@@ -1,0 +1,79 @@
+// E7 — Theorem 5.2: active-set step complexity is adaptive — insert/remove
+// cost O(k) for k resident members, getSet cost O(1).
+//
+// The benchmark varies the resident set size k and times an insert+remove
+// pair (expected ~linear in k: the slot probe walks past k owners and the
+// climb rebuilds k-sized snapshots) and a getSet (expected flat).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "wfl/active/active_set.hpp"
+#include "wfl/platform/real.hpp"
+
+namespace {
+
+using wfl::ActiveSet;
+using wfl::EbrDomain;
+using wfl::IndexPool;
+using wfl::RealPlat;
+using wfl::SetMem;
+using wfl::SetSnap;
+
+struct Item {
+  int id = 0;
+};
+
+struct Fixture {
+  IndexPool<SetSnap<Item*>> pool{8192};
+  EbrDomain ebr{2};
+  SetMem<Item*> mem{pool, ebr};
+  std::vector<std::unique_ptr<Item>> items;
+
+  Fixture() {
+    for (int i = 0; i < 64; ++i) items.push_back(std::make_unique<Item>());
+  }
+};
+
+void BM_InsertRemovePair(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  Fixture f;
+  ActiveSet<RealPlat, Item*> set(64, f.mem);
+  const int pid = f.ebr.register_participant();
+  f.ebr.enter(pid);
+  // Pre-populate k resident members in the low slots.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    set.insert(f.items[i].get(), pid);
+  }
+  Item probe;
+  for (auto _ : state) {
+    const int slot = set.insert(&probe, pid);
+    set.remove(slot, pid);
+  }
+  f.ebr.exit(pid);
+  f.ebr.collect(pid);
+  state.SetLabel("resident=" + std::to_string(k));
+}
+BENCHMARK(BM_InsertRemovePair)->Arg(0)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GetSet(benchmark::State& state) {
+  const auto k = static_cast<std::uint32_t>(state.range(0));
+  Fixture f;
+  ActiveSet<RealPlat, Item*> set(64, f.mem);
+  const int pid = f.ebr.register_participant();
+  f.ebr.enter(pid);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    set.insert(f.items[i].get(), pid);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.get_set());
+  }
+  f.ebr.exit(pid);
+  state.SetLabel("resident=" + std::to_string(k));
+}
+BENCHMARK(BM_GetSet)->Arg(0)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

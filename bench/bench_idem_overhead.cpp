@@ -1,0 +1,111 @@
+// E6 — Theorem 4.2: the idempotence simulation has *constant* overhead per
+// memory operation.
+//
+// Measures raw atomic operations against the same operation sequence
+// executed through IdemCtx (first run) and through a full helper replay
+// (the helping path). The paper's claim is an O(1) factor; the measured
+// factors are recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "wfl/idem/cell.hpp"
+#include "wfl/idem/idem.hpp"
+#include "wfl/platform/real.hpp"
+
+namespace {
+
+using wfl::Cell;
+using wfl::IdemCtx;
+using wfl::RealPlat;
+using wfl::ThunkLog;
+
+constexpr int kOpsPerThunk = 16;
+
+// Baseline: the same mix (load, add, store) on a raw std::atomic.
+void BM_RawAtomicOps(benchmark::State& state) {
+  std::atomic<std::uint32_t> cell{0};
+  for (auto _ : state) {
+    for (int i = 0; i < kOpsPerThunk / 2; ++i) {
+      const std::uint32_t v = cell.load(std::memory_order_seq_cst);
+      cell.store(v + 1, std::memory_order_seq_cst);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerThunk);
+}
+BENCHMARK(BM_RawAtomicOps);
+
+// Same mix through the idempotence construction (first/only run).
+void BM_IdemFirstRun(benchmark::State& state) {
+  Cell<RealPlat> cell{0};
+  for (auto _ : state) {
+    ThunkLog<RealPlat> log;
+    IdemCtx<RealPlat> m(log, 1000);
+    for (int i = 0; i < kOpsPerThunk / 2; ++i) {
+      const std::uint32_t v = m.load(cell);
+      m.store(cell, v + 1);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerThunk);
+}
+BENCHMARK(BM_IdemFirstRun);
+
+// The helping path: replaying an already-finished thunk against its log
+// (every agreement is already decided; physical ops all no-op).
+void BM_IdemHelperReplay(benchmark::State& state) {
+  Cell<RealPlat> cell{0};
+  ThunkLog<RealPlat> log;
+  {
+    IdemCtx<RealPlat> m(log, 1000);
+    for (int i = 0; i < kOpsPerThunk / 2; ++i) {
+      const std::uint32_t v = m.load(cell);
+      m.store(cell, v + 1);
+    }
+  }
+  for (auto _ : state) {
+    IdemCtx<RealPlat> m(log, 1000);
+    for (int i = 0; i < kOpsPerThunk / 2; ++i) {
+      const std::uint32_t v = m.load(cell);
+      m.store(cell, v + 1);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerThunk);
+}
+BENCHMARK(BM_IdemHelperReplay);
+
+// CAS through the construction (two log slots per op).
+void BM_IdemCas(benchmark::State& state) {
+  Cell<RealPlat> cell{0};
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    ThunkLog<RealPlat> log;
+    IdemCtx<RealPlat> m(log, 2000);
+    for (int i = 0; i < kOpsPerThunk; ++i) {
+      benchmark::DoNotOptimize(m.cas(cell, v, v + 1));
+      ++v;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerThunk);
+}
+BENCHMARK(BM_IdemCas);
+
+void BM_RawCas(benchmark::State& state) {
+  std::atomic<std::uint32_t> cell{0};
+  std::uint32_t v = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kOpsPerThunk; ++i) {
+      std::uint32_t expect = v;
+      benchmark::DoNotOptimize(cell.compare_exchange_strong(
+          expect, v + 1, std::memory_order_seq_cst));
+      ++v;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerThunk);
+}
+BENCHMARK(BM_RawCas);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,226 @@
+// E5 — practicality (§7): throughput of the wait-free locks against the §3
+// baselines on the bank-transfer workload, real threads.
+//
+// Strategies:
+//   wflock        — Algorithm 3, practical mode (delays off, retry on fail)
+//   wflock(fair)  — Algorithm 3 with the paper's delays (the fairness
+//                   bounds' price tag, paid in the T0/T1 stalls)
+//   turek         — lock-free locks with recursive helping
+//   spin2pl       — test-and-set spinlocks, ordered 2PL, bounded trylock
+//   mutex2pl      — std::mutex ordered 2PL (blocking)
+//
+// Numbers are machine-dependent (this table is about *shape*: wflock's
+// practical mode should land within a small factor of the blocking
+// baselines while keeping per-attempt bounds; the fair mode pays ~T0+T1
+// spins per op).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "wfl/util/cli.hpp"
+#include "wfl/util/table.hpp"
+#include "wfl/wfl.hpp"
+
+namespace {
+
+using namespace wfl;
+using Plat = RealPlat;
+
+constexpr int kAccounts = 16;
+constexpr std::uint32_t kInitial = 1000;
+
+struct RunOut {
+  double ops_per_sec = 0;
+  bool conserved = false;
+};
+
+// Drives `op(thread, a, b, amount)` from `threads` threads for `secs`.
+template <typename Op, typename Audit>
+RunOut drive(int threads, double secs, Op&& op, Audit&& audit,
+             std::uint64_t expected) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Plat::seed_rng(4000 + static_cast<std::uint64_t>(t));
+      Xoshiro256 rng(t * 7 + 3);
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto a = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+        auto b = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+        if (b == a) b = (b + 1) % kAccounts;
+        op(t, a, b, static_cast<std::uint32_t>(rng.next_below(10)));
+        ++local;
+      }
+      ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  stop.store(true);
+  for (auto& th : ts) th.join();
+  RunOut out;
+  out.ops_per_sec = static_cast<double>(ops.load()) / secs;
+  out.conserved = audit() == expected;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double secs = cli.flag_double("secs", 0.4);
+  cli.done();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kInitial) * kAccounts;
+
+  std::printf("E5: bank-transfer throughput (ops/s), %d accounts, "
+              "2 locks/op, real threads\n\n", kAccounts);
+
+  Table t({"strategy", "threads", "ops/s", "total conserved"});
+  for (int threads : {1, 2, 4}) {
+    {  // wflock practical
+      LockConfig cfg;
+      cfg.kappa = static_cast<std::uint32_t>(threads);
+      cfg.max_locks = 2;
+      cfg.max_thunk_steps = 8;
+      cfg.delay_mode = DelayMode::kOff;
+      LockSpace<Plat> space(cfg, threads, kAccounts);
+      Bank<Plat> bank(space, kAccounts, kInitial);
+      std::vector<typename LockSpace<Plat>::Process> procs;
+      for (int i = 0; i < threads; ++i) {
+        procs.push_back(space.register_process());
+      }
+      auto out = drive(
+          threads, secs,
+          [&](int tt, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+            while (!bank.try_transfer(procs[static_cast<std::size_t>(tt)], a,
+                                      b, amt)) {
+            }
+          },
+          [&] { return bank.total_balance(); }, expected);
+      t.cell("wflock").cell(threads).cell(format_si(out.ops_per_sec))
+          .cell(out.conserved ? "yes" : "NO");
+      t.end_row();
+    }
+    {  // wflock fair (theory delays)
+      LockConfig cfg;
+      cfg.kappa = static_cast<std::uint32_t>(threads);
+      cfg.max_locks = 2;
+      cfg.max_thunk_steps = 8;
+      cfg.delay_mode = DelayMode::kTheory;
+      cfg.c0 = 4.0;
+      cfg.c1 = 4.0;
+      LockSpace<Plat> space(cfg, threads, kAccounts);
+      Bank<Plat> bank(space, kAccounts, kInitial);
+      std::vector<typename LockSpace<Plat>::Process> procs;
+      for (int i = 0; i < threads; ++i) {
+        procs.push_back(space.register_process());
+      }
+      auto out = drive(
+          threads, secs,
+          [&](int tt, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+            while (!bank.try_transfer(procs[static_cast<std::size_t>(tt)], a,
+                                      b, amt)) {
+            }
+          },
+          [&] { return bank.total_balance(); }, expected);
+      t.cell("wflock(fair)").cell(threads).cell(format_si(out.ops_per_sec))
+          .cell(out.conserved ? "yes" : "NO");
+      t.end_row();
+    }
+    {  // turek
+      TurekLockSpace<Plat> space(threads, kAccounts);
+      std::vector<std::unique_ptr<Cell<Plat>>> accounts;
+      for (int i = 0; i < kAccounts; ++i) {
+        accounts.push_back(std::make_unique<Cell<Plat>>(kInitial));
+      }
+      std::vector<typename TurekLockSpace<Plat>::Process> procs;
+      for (int i = 0; i < threads; ++i) {
+        procs.push_back(space.register_process());
+      }
+      auto out = drive(
+          threads, secs,
+          [&](int tt, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+            Cell<Plat>& src = *accounts[a];
+            Cell<Plat>& dst = *accounts[b];
+            const std::uint32_t ids[] = {a, b};
+            space.apply(procs[static_cast<std::size_t>(tt)], ids,
+                        [&src, &dst, amt](IdemCtx<Plat>& m) {
+                          const std::uint32_t s = m.load(src);
+                          if (s >= amt) {
+                            m.store(src, s - amt);
+                            m.store(dst, m.load(dst) + amt);
+                          }
+                        });
+          },
+          [&] {
+            std::uint64_t sum = 0;
+            for (const auto& a : accounts) sum += a->peek();
+            return sum;
+          },
+          expected);
+      t.cell("turek").cell(threads).cell(format_si(out.ops_per_sec))
+          .cell(out.conserved ? "yes" : "NO");
+      t.end_row();
+    }
+    {  // spin2pl (try + retry)
+      Spin2PL<Plat> locks(kAccounts);
+      std::vector<std::uint32_t> balances(kAccounts, kInitial);
+      auto out = drive(
+          threads, secs,
+          [&](int, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+            const std::uint32_t ids[] = {a, b};
+            while (!locks.try_locked(ids, [&] {
+              if (balances[a] >= amt) {
+                balances[a] -= amt;
+                balances[b] += amt;
+              }
+            })) {
+            }
+          },
+          [&] {
+            std::uint64_t sum = 0;
+            for (auto v : balances) sum += v;
+            return sum;
+          },
+          expected);
+      t.cell("spin2pl").cell(threads).cell(format_si(out.ops_per_sec))
+          .cell(out.conserved ? "yes" : "NO");
+      t.end_row();
+    }
+    {  // mutex2pl
+      Mutex2PL locks(kAccounts);
+      std::vector<std::uint32_t> balances(kAccounts, kInitial);
+      auto out = drive(
+          threads, secs,
+          [&](int, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+            const std::uint32_t ids[] = {a, b};
+            locks.locked(ids, [&] {
+              if (balances[a] >= amt) {
+                balances[a] -= amt;
+                balances[b] += amt;
+              }
+            });
+          },
+          [&] {
+            std::uint64_t sum = 0;
+            for (auto v : balances) sum += v;
+            return sum;
+          },
+          expected);
+      t.cell("mutex2pl").cell(threads).cell(format_si(out.ops_per_sec))
+          .cell(out.conserved ? "yes" : "NO");
+      t.end_row();
+    }
+  }
+  t.print();
+  std::printf("\n(one physical core on this machine: threads>1 measures "
+              "oversubscription behavior, which is where blocking "
+              "strategies suffer preemption-holding-lock stalls)\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Multi-lock transactions: bank transfers under four locking strategies.
+//
+// Moves money between accounts with atomic two-lock critical sections and
+// audits conservation of the total. Runs the same workload over:
+//   * wflock        — this paper's wait-free locks (practical mode),
+//   * wflock(fair)  — with the paper's fixed delays (theory mode),
+//   * turek         — lock-free locks with recursive helping (§3 baseline),
+//   * mutex2pl      — ordered two-phase locking over std::mutex.
+//
+// Build & run:  ./examples/bank_transfer
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "wfl/wfl.hpp"
+
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kAccounts = 16;
+constexpr int kOpsPerThread = 3000;
+constexpr std::uint32_t kInitial = 1000;
+
+template <typename RunOp>
+double run_workload(const char* name, RunOp&& run_op,
+                    std::uint64_t expected_total,
+                    const std::function<std::uint64_t()>& audit) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      wfl::RealPlat::seed_rng(500 + t);
+      wfl::Xoshiro256 rng(t * 13 + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto a = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+        auto b = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+        if (b == a) b = (b + 1) % kAccounts;
+        const auto amount = static_cast<std::uint32_t>(rng.next_below(10));
+        run_op(t, a, b, amount);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const std::uint64_t total = audit();
+  std::printf("%-14s %8.0f ops/s   total=%llu %s\n", name,
+              kThreads * kOpsPerThread / secs,
+              static_cast<unsigned long long>(total),
+              total == expected_total ? "(conserved)" : "(LOST MONEY!)");
+  return secs;
+}
+
+}  // namespace
+
+int main() {
+  using Plat = wfl::RealPlat;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kInitial) * kAccounts;
+
+  {  // wflock, practical mode — retry failed attempts
+    wfl::LockConfig cfg;
+    cfg.kappa = kThreads;
+    cfg.max_locks = 2;
+    cfg.max_thunk_steps = 8;
+    cfg.delay_mode = wfl::DelayMode::kOff;
+    wfl::LockSpace<Plat> space(cfg, kThreads, kAccounts);
+    wfl::Bank<Plat> bank(space, kAccounts, kInitial);
+    std::vector<typename wfl::LockSpace<Plat>::Process> procs;
+    for (int t = 0; t < kThreads; ++t) procs.push_back(space.register_process());
+    run_workload(
+        "wflock",
+        [&](int t, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+          while (!bank.try_transfer(procs[t], a, b, amt)) {
+          }
+        },
+        expected, [&] { return bank.total_balance(); });
+  }
+  {  // wflock, theory mode (paper delays: fairness bounds hold; slower)
+    wfl::LockConfig cfg;
+    cfg.kappa = kThreads;
+    cfg.max_locks = 2;
+    cfg.max_thunk_steps = 8;
+    cfg.delay_mode = wfl::DelayMode::kTheory;
+    cfg.c0 = 4.0;
+    cfg.c1 = 4.0;
+    wfl::LockSpace<Plat> space(cfg, kThreads, kAccounts);
+    wfl::Bank<Plat> bank(space, kAccounts, kInitial);
+    std::vector<typename wfl::LockSpace<Plat>::Process> procs;
+    for (int t = 0; t < kThreads; ++t) procs.push_back(space.register_process());
+    run_workload(
+        "wflock(fair)",
+        [&](int t, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+          while (!bank.try_transfer(procs[t], a, b, amt)) {
+          }
+        },
+        expected, [&] { return bank.total_balance(); });
+  }
+  {  // Turek-style lock-free locks
+    wfl::TurekLockSpace<Plat> space(kThreads, kAccounts);
+    std::vector<std::unique_ptr<wfl::Cell<Plat>>> accounts;
+    for (int i = 0; i < kAccounts; ++i) {
+      accounts.push_back(std::make_unique<wfl::Cell<Plat>>(kInitial));
+    }
+    std::vector<typename wfl::TurekLockSpace<Plat>::Process> procs;
+    for (int t = 0; t < kThreads; ++t) procs.push_back(space.register_process());
+    run_workload(
+        "turek",
+        [&](int t, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+          wfl::Cell<Plat>& src = *accounts[a];
+          wfl::Cell<Plat>& dst = *accounts[b];
+          const std::uint32_t ids[] = {a, b};
+          space.apply(procs[t], ids,
+                      [&src, &dst, amt](wfl::IdemCtx<Plat>& m) {
+                        const std::uint32_t s = m.load(src);
+                        if (s >= amt) {
+                          m.store(src, s - amt);
+                          m.store(dst, m.load(dst) + amt);
+                        }
+                      });
+        },
+        expected, [&] {
+          std::uint64_t sum = 0;
+          for (const auto& a : accounts) sum += a->peek();
+          return sum;
+        });
+  }
+  {  // std::mutex ordered 2PL
+    wfl::Mutex2PL locks(kAccounts);
+    std::vector<std::uint32_t> balances(kAccounts, kInitial);
+    run_workload(
+        "mutex2pl",
+        [&](int, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
+          const std::uint32_t ids[] = {a, b};
+          locks.locked(ids, [&] {
+            if (balances[a] >= amt) {
+              balances[a] -= amt;
+              balances[b] += amt;
+            }
+          });
+        },
+        expected, [&] {
+          std::uint64_t sum = 0;
+          for (auto v : balances) sum += v;
+          return sum;
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Algorithm 1: linearizable active set with adaptive step complexity.
+//
+// A C-slot announcement array; each slot holds an owner item and a pointer
+// to an immutable *snapshot* — the set of owners of this slot and every
+// slot above it. insert() claims the first ownerless slot with one CAS and
+// climbs; remove() clears its slot and climbs; climb(i) walks from slot i
+// down to slot 0, twice per slot, rebuilding `set[j] = set[j+1] + owner[j]`
+// with a CAS. The double pass is the usual helping trick that makes a
+// concurrent climber's stale CAS harmless. getSet() is one load of
+// slot 0's snapshot pointer — O(1), as Theorem 5.2 requires; insert/remove
+// are O(set size + contention).
+//
+// The pseudocode's corner case (`announcements[C].set` above the top slot)
+// is realized as a permanently-empty sentinel snapshot, which is what makes
+// removals at the top slot actually drain: the top slot's snapshot is
+// rebuilt from {} + its own owner.
+//
+// Snapshots are immutable once published; replaced snapshots are retired
+// through EBR (readers hold a guard across their use of getSet results).
+#pragma once
+
+#include <cstdint>
+
+#include "wfl/mem/arena.hpp"
+#include "wfl/mem/ebr.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+// Upper bound on members of one snapshot; also bounds the announcement
+// array capacity C. 64 covers every experiment in this repo (κ per lock for
+// the known-bounds algorithm, P for the adaptive variant).
+inline constexpr std::uint32_t kMaxSetCap = 64;
+
+template <typename T>
+struct SetSnap {
+  std::uint32_t count = 0;
+  std::uint32_t self_index = 0;  // pool slot, recorded at allocation
+  T items[kMaxSetCap];
+
+  bool contains(T x) const {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (items[i] == x) return true;
+    }
+    return false;
+  }
+};
+
+// Shared memory-management context for all active sets of one lock space.
+template <typename T>
+struct SetMem {
+  IndexPool<SetSnap<T>>& pool;
+  EbrDomain& ebr;
+
+  static void free_snap(void* ctx, std::uint32_t handle) {
+    static_cast<IndexPool<SetSnap<T>>*>(ctx)->free(handle);
+  }
+};
+
+template <typename Plat, typename T>
+class ActiveSet {
+ public:
+  using Snap = SetSnap<T>;
+
+  ActiveSet(std::uint32_t capacity, SetMem<T>& mem)
+      : capacity_(capacity), mem_(mem), slots_(capacity) {
+    WFL_CHECK(capacity > 0 && capacity <= kMaxSetCap);
+    empty_.count = 0;
+    for (auto& s : slots_) {
+      s.owner.init(T{});
+      s.set.init(&empty_);
+    }
+  }
+
+  ActiveSet(const ActiveSet&) = delete;
+  ActiveSet& operator=(const ActiveSet&) = delete;
+
+  std::uint32_t capacity() const { return capacity_; }
+
+  // Claims a slot for `item` and propagates. Returns the slot index (the
+  // caller passes it back to remove()). Caller must hold an EBR guard for
+  // `ebr_pid`. Aborts if the capacity contract (point contention <= C) is
+  // violated beyond any transient amount.
+  int insert(T item, int ebr_pid) {
+    WFL_DASSERT(item != T{});
+    // One pass almost always suffices under the contention contract; a CAS
+    // can lose to a racing insert whose owner then frees a slot behind our
+    // scan position, hence the bounded retry. The bound keeps wait-freedom
+    // structural: exceeding it means the κ contract was violated.
+    for (int pass = 0; pass < kMaxInsertPasses; ++pass) {
+      for (std::uint32_t i = 0; i < capacity_; ++i) {
+        if (slots_[i].owner.load() == T{} && slots_[i].owner.cas(T{}, item)) {
+          climb(static_cast<int>(i), ebr_pid);
+          return static_cast<int>(i);
+        }
+      }
+    }
+    WFL_CHECK_MSG(false,
+                  "ActiveSet::insert found no free slot: point contention "
+                  "exceeds the configured bound (kappa)");
+    return -1;
+  }
+
+  // Clears the slot claimed by the previous insert and propagates.
+  void remove(int slot, int ebr_pid) {
+    WFL_CHECK(slot >= 0 && slot < static_cast<int>(capacity_));
+    slots_[static_cast<std::size_t>(slot)].owner.store(T{});
+    climb(slot, ebr_pid);
+  }
+
+  // O(1): returns the current slot-0 snapshot. Valid while the caller's EBR
+  // guard (entered before this call) remains held.
+  const Snap* get_set() { return slots_[0].set.load(); }
+
+ private:
+  static constexpr int kMaxInsertPasses = 8;
+  static constexpr std::uint32_t kPoolLowWater = 64;
+
+  struct Slot {
+    typename Plat::template Atomic<T> owner;
+    typename Plat::template Atomic<Snap*> set;
+  };
+
+  // Rebuilds snapshots from slot i down to slot 0 (two attempts per slot).
+  void climb(int i, int ebr_pid) {
+    // Backpressure: when the snapshot pool runs low (e.g. a preempted
+    // process is pinning the epoch), try to reclaim before allocating.
+    if (mem_.pool.free_count() < kPoolLowWater) {
+      mem_.ebr.collect(ebr_pid);
+    }
+    for (int j = i; j >= 0; --j) {
+      for (int k = 0; k < 2; ++k) {
+        Snap* cur = slots_[static_cast<std::size_t>(j)].set.load();
+        Snap* above = (j + 1 == static_cast<int>(capacity_))
+                          ? &empty_
+                          : slots_[static_cast<std::size_t>(j) + 1].set.load();
+        const T member = slots_[static_cast<std::size_t>(j)].owner.load();
+        const std::uint32_t idx = mem_.pool.alloc();
+        Snap& fresh = mem_.pool.at(idx);
+        fresh.self_index = idx;
+        build(fresh, *above, member);
+        if (slots_[static_cast<std::size_t>(j)].set.cas(cur, &fresh)) {
+          retire(cur, ebr_pid);
+        } else {
+          mem_.pool.free(idx);  // never published
+        }
+      }
+    }
+  }
+
+  void build(Snap& out, const Snap& above, T member) {
+    WFL_CHECK(above.count <= kMaxSetCap);
+    out.count = 0;
+    for (std::uint32_t i = 0; i < above.count; ++i) {
+      if (above.items[i] != member) out.items[out.count++] = above.items[i];
+    }
+    if (member != T{}) {
+      WFL_CHECK_MSG(out.count < kMaxSetCap, "set snapshot overflow");
+      out.items[out.count++] = member;
+    }
+  }
+
+  void retire(Snap* snap, int ebr_pid) {
+    if (snap == &empty_) return;  // the sentinel is never reclaimed
+    mem_.ebr.retire(ebr_pid, &mem_.pool, snap->self_index,
+                    &SetMem<T>::free_snap);
+  }
+
+  std::uint32_t capacity_;
+  SetMem<T>& mem_;
+  std::vector<Slot> slots_;
+  Snap empty_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,95 @@
+// Application substrate: a bank of accounts with atomic transfers.
+//
+// The canonical multi-lock workload: a transfer takes the locks of both
+// accounts (L = 2) and moves money inside the critical section. The global
+// invariant — the sum of balances never changes — catches every mutual
+// exclusion or idempotence failure as a lost/duplicated update.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+class Bank {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  // Account i is protected by lock id `i` of `space` (the space must have at
+  // least n_accounts locks).
+  Bank(Space& space, std::uint32_t n_accounts, std::uint32_t initial_balance)
+      : space_(space), initial_(initial_balance) {
+    WFL_CHECK(n_accounts >= 2);
+    WFL_CHECK(static_cast<int>(n_accounts) <= space.num_locks());
+    for (std::uint32_t i = 0; i < n_accounts; ++i) {
+      accounts_.push_back(std::make_unique<Cell<Plat>>(initial_balance));
+    }
+    // Per-process result scratch. Thunks may be replayed by helpers *after*
+    // the owning attempt returned, so their output cells must be in stable
+    // storage — never on the caller's stack. Reuse across a process's
+    // attempts is safe: a won attempt's first thunk run completes before
+    // try_locks returns, so any later replay's stores are exact-expected
+    // CASes against long-gone words and fail without effect.
+    for (int i = 0; i < space.max_procs(); ++i) {
+      results_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+  }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(accounts_.size());
+  }
+
+  // One tryLock attempt at transferring `amount` from `from` to `to`.
+  // Returns the attempt's outcome; *insufficient funds* still counts as a
+  // successful attempt (the critical section ran and decided not to move
+  // money — recorded in `denied` when provided).
+  bool try_transfer(Process proc, std::uint32_t from, std::uint32_t to,
+                    std::uint32_t amount, bool* denied = nullptr) {
+    WFL_CHECK(from < accounts_.size() && to < accounts_.size() && from != to);
+    Cell<Plat>& src = *accounts_[from];
+    Cell<Plat>& dst = *accounts_[to];
+    Cell<Plat>& result = *results_[static_cast<std::size_t>(proc.ebr_pid)];
+    const std::uint32_t ids[2] = {from, to};
+    const bool won = space_.try_locks(
+        proc, ids, [&src, &dst, amount, &result](IdemCtx<Plat>& m) {
+          const std::uint32_t s = m.load(src);
+          if (s >= amount) {
+            m.store(src, s - amount);
+            m.store(dst, m.load(dst) + amount);
+            m.store(result, 1);
+          } else {
+            m.store(result, 2);
+          }
+        });
+    if (denied != nullptr) *denied = won && result.peek() == 2;
+    return won;
+  }
+
+  // Quiescent-only audit.
+  std::uint64_t total_balance() const {
+    std::uint64_t sum = 0;
+    for (const auto& a : accounts_) sum += a->peek();
+    return sum;
+  }
+
+  std::uint64_t expected_total() const {
+    return static_cast<std::uint64_t>(initial_) * accounts_.size();
+  }
+
+  std::uint32_t balance(std::uint32_t i) const { return accounts_[i]->peek(); }
+
+ private:
+  Space& space_;
+  std::uint32_t initial_;
+  std::vector<std::unique_ptr<Cell<Plat>>> accounts_;
+  std::vector<std::unique_ptr<Cell<Plat>>> results_;
+};
+
+}  // namespace wfl

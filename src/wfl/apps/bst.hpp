@@ -1,0 +1,297 @@
+// Application substrate: an external (leaf-oriented) binary search tree
+// with fine-grained per-node locks — the paper's "trees" use case (§1:
+// local updates that "require taking a lock on a node and its neighbors").
+//
+// External trees keep all keys in leaves; internal nodes are routers. This
+// makes the locked neighbourhoods small and static, which is exactly the
+// regime the paper's tryLocks target:
+//   * insert(k): replace leaf `l` (child of `p`) by a fresh router whose
+//     children are `l` and a new leaf(k). Locks {p, l} — L = 2.
+//   * erase(k): unlink leaf `l` and its parent router `p`, promoting `l`'s
+//     sibling into the grandparent `g`. Locks {g, p, l} — L = 3.
+//   * contains(k): optimistic, lock-free read-only traversal.
+//
+// Correctness pattern (same as LockedList): traverse optimistically, then
+// validate *inside* the critical section that the locked nodes are still
+// live and still wired the way the traversal saw them; publish a result
+// code through a per-process result cell. A failed validation or a lost
+// tryLock attempt retries from the traversal. Unreachable nodes are marked
+// dead inside the erase thunk, so a racing insert can never publish into a
+// detached subtree (the classic lost-update hazard of locked externals).
+//
+// Progress: each attempt is wait-free (inherited from the locks); the whole
+// operation is retry-until-success. Removed nodes are not recycled until
+// quiescent_reset() — index recycling under live optimistic traversals
+// would require era validation that this substrate deliberately omits
+// (documented trade-off, same as LockedList).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+inline constexpr std::uint32_t kBstNil = 0xFFFFFFFFu;
+// All real keys must be < kBstInf; the two sentinel leaves hold kBstInf.
+inline constexpr std::uint32_t kBstInf = 0xFFFFFFF0u;
+
+template <typename Plat>
+class LockedBst {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  // Node index i is protected by lock id i; `space` must provide at least
+  // `capacity` locks. Capacity counts *all* nodes: a set of n keys needs
+  // 2n + 3 nodes (n leaves, n-1 routers, 3 sentinels), plus headroom for
+  // nodes retired between quiescent resets.
+  LockedBst(Space& space, std::uint32_t capacity)
+      : space_(space), pool_(capacity) {
+    WFL_CHECK(capacity >= 8);
+    WFL_CHECK(static_cast<int>(capacity) <= space.num_locks());
+    // Sentinel shape (Ellen et al. style): root router with two infinite
+    // leaves. Every real key routes left of the root.
+    root_ = alloc_node(kBstInf, /*leaf=*/false);
+    const std::uint32_t l1 = alloc_node(kBstInf, /*leaf=*/true);
+    const std::uint32_t l2 = alloc_node(kBstInf, /*leaf=*/true);
+    pool_.at(root_).left.init(l1);
+    pool_.at(root_).right.init(l2);
+    for (int i = 0; i < space.max_procs(); ++i) {
+      results_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+  }
+
+  // Inserts `key` (must be > 0 and < kBstInf). Returns false if present.
+  // `attempts`, if given, accumulates tryLock attempts spent.
+  bool insert(Process proc, std::uint32_t key,
+              std::uint64_t* attempts = nullptr) {
+    WFL_CHECK(key > 0 && key < kBstInf);
+    std::uint32_t router = kBstNil;  // reused across failed attempts
+    std::uint32_t leaf = kBstNil;
+    for (;;) {
+      const SearchPath sp = search(key);
+      if (pool_.at(sp.leaf).key == key) {
+        if (router != kBstNil) {
+          pool_.free(router);
+          pool_.free(leaf);
+        }
+        return false;
+      }
+      if (router == kBstNil) {
+        leaf = alloc_node(key, /*leaf=*/true);
+        router = alloc_node(0, /*leaf=*/false);
+      }
+      // Wire the private replacement subtree: router carries the larger key
+      // and routes strictly-smaller keys left (external-tree convention:
+      // left subtree keys < router key <= right subtree keys).
+      const std::uint32_t old_leaf_key = pool_.at(sp.leaf).key;
+      Node& r = pool_.at(router);
+      if (key < old_leaf_key) {
+        r.key = old_leaf_key;
+        r.left.init(leaf);
+        r.right.init(sp.leaf);
+      } else {
+        r.key = key;
+        r.left.init(sp.leaf);
+        r.right.init(leaf);
+      }
+
+      Cell<Plat>& res = result_of(proc);
+      Node& p = pool_.at(sp.parent);
+      Cell<Plat>& p_child = sp.leaf_is_left ? p.left : p.right;
+      Cell<Plat>& p_dead = p.dead;
+      Cell<Plat>& l_dead = pool_.at(sp.leaf).dead;
+      const std::uint32_t expect_leaf = sp.leaf;
+      const std::uint32_t router_idx = router;
+      const std::uint32_t ids[2] = {sp.parent, sp.leaf};
+      const bool won = space_.try_locks(
+          proc, ids,
+          [&p_child, &p_dead, &l_dead, &res, expect_leaf,
+           router_idx](IdemCtx<Plat>& m) {
+            if (m.load(p_dead) == 0 && m.load(l_dead) == 0 &&
+                m.load(p_child) == expect_leaf) {
+              m.store(p_child, router_idx);
+              m.store(res, kOk);
+            } else {
+              m.store(res, kStale);
+            }
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won && res.peek() == kOk) return true;
+      // Lost the attempt or the neighbourhood moved: retry from the top.
+    }
+  }
+
+  // Erases `key`. Returns false if absent.
+  bool erase(Process proc, std::uint32_t key,
+             std::uint64_t* attempts = nullptr) {
+    WFL_CHECK(key > 0 && key < kBstInf);
+    for (;;) {
+      const SearchPath sp = search(key);
+      if (pool_.at(sp.leaf).key != key) return false;
+      WFL_CHECK_MSG(sp.gparent != kBstNil,
+                    "real leaf must sit at depth >= 2 under the sentinels");
+
+      Cell<Plat>& res = result_of(proc);
+      Node& g = pool_.at(sp.gparent);
+      Node& p = pool_.at(sp.parent);
+      Cell<Plat>& g_child = sp.parent_is_left ? g.left : g.right;
+      Cell<Plat>& p_child = sp.leaf_is_left ? p.left : p.right;
+      Cell<Plat>& sibling = sp.leaf_is_left ? p.right : p.left;
+      Cell<Plat>& g_dead = g.dead;
+      Cell<Plat>& p_dead = p.dead;
+      Cell<Plat>& l_dead = pool_.at(sp.leaf).dead;
+      const std::uint32_t expect_parent = sp.parent;
+      const std::uint32_t expect_leaf = sp.leaf;
+      const std::uint32_t ids[3] = {sp.gparent, sp.parent, sp.leaf};
+      const bool won = space_.try_locks(
+          proc, ids,
+          [&g_child, &p_child, &sibling, &g_dead, &p_dead, &l_dead, &res,
+           expect_parent, expect_leaf](IdemCtx<Plat>& m) {
+            // p_child must still be the leaf: a racing insert interposes a
+            // router between p and l, and promoting the sibling would then
+            // silently drop the freshly inserted key.
+            if (m.load(g_dead) == 0 && m.load(p_dead) == 0 &&
+                m.load(l_dead) == 0 && m.load(g_child) == expect_parent &&
+                m.load(p_child) == expect_leaf) {
+              const std::uint32_t sib = m.load(sibling);
+              m.store(p_dead, 1);  // mark before unlink: traversing inserts
+              m.store(l_dead, 1);  // must see death even if they raced past
+              m.store(g_child, sib);
+              m.store(res, kOk);
+            } else {
+              m.store(res, kStale);
+            }
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won && res.peek() == kOk) {
+        retired_.fetch_add(2, std::memory_order_relaxed);
+        return true;
+      }
+    }
+  }
+
+  // Optimistic membership probe. Weakly consistent: concurrent updates may
+  // or may not be observed, like the lazy list's unlocked contains.
+  bool contains(std::uint32_t key) {
+    const SearchPath sp = search(key);
+    return pool_.at(sp.leaf).key == key;
+  }
+
+  // Quiescent-only: in-order keys of all live leaves (sentinels excluded).
+  // Checks the routing invariant on the way down.
+  std::vector<std::uint32_t> keys() const {
+    std::vector<std::uint32_t> out;
+    collect(pool_.at(root_).left.peek(), 0, kBstInf, out);
+    return out;
+  }
+
+  // Quiescent-only structural audit: every reachable node is alive, every
+  // router has exactly two children, and the reachable subgraph is a tree
+  // (visiting more nodes than the pool holds means a cycle). Depth is NOT
+  // bounded by a constant: sorted insertions legitimately build a spine as
+  // deep as the key count (external trees do not self-balance).
+  void check_structure() const {
+    std::uint64_t visited = 0;
+    audit(pool_.at(root_).left.peek(), &visited);
+  }
+
+  std::uint64_t retired_nodes() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::uint32_t kOk = 1;
+  static constexpr std::uint32_t kStale = 2;
+
+  struct Node {
+    std::uint32_t key = 0;  // immutable once published
+    bool leaf = false;      // immutable once published
+    Cell<Plat> left;        // router only
+    Cell<Plat> right;       // router only
+    Cell<Plat> dead;        // 0 = live; set inside the erase thunk
+  };
+
+  struct SearchPath {
+    std::uint32_t gparent = kBstNil;
+    std::uint32_t parent = kBstNil;
+    std::uint32_t leaf = kBstNil;
+    bool parent_is_left = false;  // parent is g's left child
+    bool leaf_is_left = false;    // leaf is p's left child
+  };
+
+  std::uint32_t alloc_node(std::uint32_t key, bool leaf) {
+    const std::uint32_t idx = pool_.alloc();
+    WFL_CHECK(static_cast<int>(idx) < space_.num_locks());
+    Node& n = pool_.at(idx);
+    n.key = key;
+    n.leaf = leaf;
+    n.left.init(kBstNil);
+    n.right.init(kBstNil);
+    n.dead.init(0);
+    return idx;
+  }
+
+  Cell<Plat>& result_of(Process proc) {
+    return *results_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+
+  // Optimistic root-to-leaf walk; no locks, no validation (the thunks
+  // re-validate). Routing: key < node.key goes left.
+  SearchPath search(std::uint32_t key) const {
+    SearchPath sp;
+    sp.parent = root_;
+    sp.leaf_is_left = true;
+    std::uint32_t cur = pool_.at(root_).left.load_direct();
+    while (!pool_.at(cur).leaf) {
+      sp.gparent = sp.parent;
+      sp.parent_is_left = sp.leaf_is_left;
+      sp.parent = cur;
+      const Node& n = pool_.at(cur);
+      sp.leaf_is_left = key < n.key;
+      cur = sp.leaf_is_left ? n.left.load_direct() : n.right.load_direct();
+    }
+    sp.leaf = cur;
+    return sp;
+  }
+
+  void collect(std::uint32_t idx, std::uint32_t lo, std::uint32_t hi,
+               std::vector<std::uint32_t>& out) const {
+    const Node& n = pool_.at(idx);
+    WFL_CHECK_MSG(n.dead.peek() == 0, "dead node reachable from the root");
+    if (n.leaf) {
+      if (n.key != kBstInf) {
+        WFL_CHECK_MSG(n.key >= lo && n.key < hi, "BST routing violated");
+        out.push_back(n.key);
+      }
+      return;
+    }
+    collect(n.left.peek(), lo, n.key, out);
+    collect(n.right.peek(), n.key, hi, out);
+  }
+
+  void audit(std::uint32_t idx, std::uint64_t* visited) const {
+    WFL_CHECK_MSG(++*visited <= pool_.capacity(),
+                  "more reachable nodes than the pool holds: cycle");
+    const Node& n = pool_.at(idx);
+    WFL_CHECK(n.dead.peek() == 0);
+    if (n.leaf) return;
+    WFL_CHECK(n.left.peek() != kBstNil && n.right.peek() != kBstNil);
+    audit(n.left.peek(), visited);
+    audit(n.right.peek(), visited);
+  }
+
+  Space& space_;
+  IndexPool<Node> pool_;
+  std::uint32_t root_ = 0;
+  std::vector<std::unique_ptr<Cell<Plat>>> results_;
+  std::atomic<std::uint64_t> retired_{0};
+};
+
+}  // namespace wfl

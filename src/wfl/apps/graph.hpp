@@ -1,0 +1,256 @@
+// Application substrate: vertex-local updates on a bounded-degree graph —
+// the GraphLab pattern the paper's introduction cites (§1: "graph
+// processing systems such as GraphLab" take "a lock on a node and its
+// neighbors for the purpose of making a local update").
+//
+// The topology is immutable after construction; each vertex carries one
+// idempotent data cell and is protected by lock id = vertex id. An
+// apply(v) operation tryLocks {v} ∪ N(v) — L = deg(v)+1 — and runs a
+// user functor over the neighbourhood's cells. Because the topology is
+// static, no validation is needed inside the thunk: the lock set *is* the
+// neighbourhood, exactly the paper's model where lock sets are specified
+// in advance.
+//
+// Degree is capped at kMaxLocksPerAttempt-1 so every neighbourhood fits in
+// one attempt; the constructors for standard topologies (ring, torus,
+// random d-regular) respect the cap by construction.
+//
+// Two ready-made local updates are provided because the experiments use
+// them: greedy vertex colouring (pick the smallest colour unused by any
+// neighbour) and neighbourhood averaging (the PageRank/consensus shape).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/util/assert.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+class LockedGraph {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  // Builds the graph from an adjacency list. Vertex v is protected by lock
+  // id v; `space` must have >= n locks, max_locks >= max_degree+1 and
+  // max_thunk_steps >= thunk_step_budget(max_degree).
+  LockedGraph(Space& space, std::vector<std::vector<std::uint32_t>> adj)
+      : space_(space), adj_(std::move(adj)) {
+    const std::uint32_t n = static_cast<std::uint32_t>(adj_.size());
+    WFL_CHECK(n >= 1);
+    WFL_CHECK(static_cast<int>(n) <= space.num_locks());
+    std::uint32_t max_deg = 0;
+    for (std::uint32_t v = 0; v < n; ++v) {
+      auto& nb = adj_[v];
+      WFL_CHECK_MSG(nb.size() + 1 <= kMaxLocksPerAttempt,
+                    "vertex degree exceeds the per-attempt lock budget");
+      max_deg = std::max(max_deg, static_cast<std::uint32_t>(nb.size()));
+      for (std::uint32_t u : nb) {
+        WFL_CHECK(u < n && u != v);
+      }
+    }
+    WFL_CHECK_MSG(space.config().max_locks >= max_deg + 1,
+                  "LockConfig::max_locks must cover max_degree + 1");
+    WFL_CHECK_MSG(space.config().max_thunk_steps >=
+                      thunk_step_budget(max_deg),
+                  "LockConfig::max_thunk_steps must cover the apply thunk");
+    data_.reserve(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      data_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+    // Immutable neighbour-pointer tables: View construction inside thunks
+    // (where helpers run concurrently) must not mutate shared state.
+    nbr_ptrs_.resize(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      nbr_ptrs_[v].reserve(adj_[v].size());
+      for (std::uint32_t u : adj_[v]) {
+        nbr_ptrs_[v].push_back(data_[u].get());
+      }
+    }
+  }
+
+  // Instrumented-operation budget of an apply thunk on a vertex of degree
+  // d: one load per neighbourhood member, one store to the centre, one
+  // result store (the provided updates stay within this).
+  static constexpr std::uint32_t thunk_step_budget(std::uint32_t max_deg) {
+    return 2 * (max_deg + 1) + 4;
+  }
+
+  // --- standard bounded-degree topologies -------------------------------
+
+  static std::vector<std::vector<std::uint32_t>> ring(std::uint32_t n) {
+    WFL_CHECK(n >= 3);
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      adj[v] = {(v + n - 1) % n, (v + 1) % n};
+    }
+    return adj;
+  }
+
+  static std::vector<std::vector<std::uint32_t>> torus(std::uint32_t rows,
+                                                       std::uint32_t cols) {
+    WFL_CHECK(rows >= 3 && cols >= 3);
+    std::vector<std::vector<std::uint32_t>> adj(rows * cols);
+    auto id = [cols](std::uint32_t r, std::uint32_t c) {
+      return r * cols + c;
+    };
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      for (std::uint32_t c = 0; c < cols; ++c) {
+        adj[id(r, c)] = {id((r + rows - 1) % rows, c),
+                         id((r + 1) % rows, c),
+                         id(r, (c + cols - 1) % cols),
+                         id(r, (c + 1) % cols)};
+      }
+    }
+    return adj;
+  }
+
+  // Random d-regular-ish graph via d/2 superimposed random perfect
+  // matchings on a shuffled cycle; degree is capped, self/multi edges
+  // dropped. Deterministic from the seed.
+  static std::vector<std::vector<std::uint32_t>> random_regular(
+      std::uint32_t n, std::uint32_t d, std::uint64_t seed) {
+    WFL_CHECK(n >= 4 && d >= 2 && d + 1 <= kMaxLocksPerAttempt);
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    Xoshiro256 rng(seed);
+    auto has_edge = [&adj](std::uint32_t a, std::uint32_t b) {
+      for (std::uint32_t x : adj[a]) {
+        if (x == b) return true;
+      }
+      return false;
+    };
+    std::vector<std::uint32_t> perm(n);
+    for (std::uint32_t i = 0; i < n; ++i) perm[i] = i;
+    for (std::uint32_t round = 0; round < (d + 1) / 2; ++round) {
+      for (std::uint32_t i = n - 1; i > 0; --i) {
+        const std::uint32_t j =
+            static_cast<std::uint32_t>(rng.next_below(i + 1));
+        std::swap(perm[i], perm[j]);
+      }
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t a = perm[i];
+        const std::uint32_t b = perm[(i + 1) % n];
+        if (a == b || has_edge(a, b)) continue;
+        if (adj[a].size() + 1 >= kMaxLocksPerAttempt ||
+            adj[b].size() + 1 >= kMaxLocksPerAttempt) {
+          continue;
+        }
+        adj[a].push_back(b);
+        adj[b].push_back(a);
+      }
+    }
+    return adj;
+  }
+
+  // --- the core operation ------------------------------------------------
+
+  // One tryLock *attempt* at a local update on v's neighbourhood: the
+  // functor receives the centre cell and the neighbour cells and may
+  // m.load/m.store them. Returns true iff the attempt won (the paper's
+  // tryLock semantics; callers own the retry policy). F must be capture-
+  // light: it is copied into the descriptor's FixedFunction.
+  template <typename F>
+  bool try_apply(Process proc, std::uint32_t v, F&& f,
+                 AttemptInfo* info = nullptr) {
+    WFL_CHECK(v < adj_.size());
+    std::uint32_t ids[kMaxLocksPerAttempt];
+    std::uint32_t nids = 0;
+    ids[nids++] = v;
+    for (std::uint32_t u : adj_[v]) ids[nids++] = u;
+    std::sort(ids, ids + nids);
+    LockedGraph* self = this;
+    auto fn = std::forward<F>(f);
+    return space_.try_locks(
+        proc, {ids, nids},
+        [self, v, fn](IdemCtx<Plat>& m) { fn(m, self->view(v)); }, info);
+  }
+
+  // Retry-until-success wrapper; returns the number of attempts used.
+  template <typename F>
+  std::uint64_t apply(Process proc, std::uint32_t v, F&& f) {
+    std::uint64_t attempts = 0;
+    for (;;) {
+      ++attempts;
+      if (try_apply(proc, v, f)) return attempts;
+    }
+  }
+
+  // Neighbourhood view handed to update functors.
+  struct View {
+    Cell<Plat>* centre;
+    Cell<Plat>* const* neighbours;
+    std::uint32_t degree;
+  };
+
+  View view(std::uint32_t v) {
+    return View{data_[v].get(), nbr_ptrs_[v].data(),
+                static_cast<std::uint32_t>(adj_[v].size())};
+  }
+
+  // --- ready-made local updates ------------------------------------------
+
+  // Greedy colouring step: set centre to the smallest colour (1-based) not
+  // used by any neighbour. Colour 0 means "uncoloured".
+  std::uint64_t colour_vertex(Process proc, std::uint32_t v) {
+    return apply(proc, v, [](IdemCtx<Plat>& m, View nb) {
+      std::uint32_t used = 0;  // bitmask over colours 1..deg+1
+      for (std::uint32_t i = 0; i < nb.degree; ++i) {
+        const std::uint32_t c = m.load(*nb.neighbours[i]);
+        if (c >= 1 && c <= 32) used |= 1u << (c - 1);
+      }
+      std::uint32_t c = 1;
+      while (used & (1u << (c - 1))) ++c;
+      m.store(*nb.centre, c);
+    });
+  }
+
+  // Averaging step (integer): centre := floor(mean of neighbourhood).
+  std::uint64_t average_vertex(Process proc, std::uint32_t v) {
+    return apply(proc, v, [](IdemCtx<Plat>& m, View nb) {
+      std::uint64_t sum = m.load(*nb.centre);
+      for (std::uint32_t i = 0; i < nb.degree; ++i) {
+        sum += m.load(*nb.neighbours[i]);
+      }
+      m.store(*nb.centre,
+              static_cast<std::uint32_t>(sum / (nb.degree + 1)));
+    });
+  }
+
+  // --- quiescent inspection ----------------------------------------------
+
+  std::uint32_t value(std::uint32_t v) const { return data_[v]->peek(); }
+  void set_value(std::uint32_t v, std::uint32_t x) { data_[v]->init(x); }
+  std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+  const std::vector<std::uint32_t>& neighbours(std::uint32_t v) const {
+    return adj_[v];
+  }
+
+  // Quiescent-only: is the current assignment a proper colouring (no edge
+  // monochromatic, no vertex uncoloured)?
+  bool properly_coloured() const {
+    for (std::uint32_t v = 0; v < adj_.size(); ++v) {
+      if (value(v) == 0) return false;
+      for (std::uint32_t u : adj_[v]) {
+        if (value(u) == value(v)) return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  Space& space_;
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::unique_ptr<Cell<Plat>>> data_;
+  std::vector<std::vector<Cell<Plat>*>> nbr_ptrs_;  // immutable after ctor
+};
+
+}  // namespace wfl

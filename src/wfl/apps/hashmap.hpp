@@ -1,0 +1,317 @@
+// Application substrate: a chained hash map with one lock per bucket.
+//
+// This is the k/v-store shape the paper's tryLocks fit naturally:
+//   * put / erase / get_locked touch one bucket — L = 1;
+//   * swap(k1, k2) atomically exchanges the values of two keys in two
+//     buckets — L = 2, the canonical "multi-word atomic without a global
+//     lock" pattern (same shape as the bank-transfer workload).
+//
+// Unlike LockedList/LockedBst, mutators re-walk the chain *inside* the
+// critical section (the bucket lock serializes the whole bucket), so there
+// is no optimistic-validation dance: the walk is the validation. Chains are
+// capped at kMaxChain so the in-thunk walk has a static operation budget —
+// required both by the thunk-length bound T of the paper and by the
+// idempotence log capacity (kMaxThunkOps). A put into a full chain returns
+// kFull rather than growing: this substrate trades resizing for bounded
+// critical sections (document-level trade-off; size nbuckets for the load).
+//
+// Erased nodes are marked dead and unlinked under the bucket lock but not
+// recycled until quiescent (same era-free policy as the other substrates).
+// The unlocked get() is weakly consistent: it can read through a node
+// unlinked moments ago — the same semantics as the lazy list's contains.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+inline constexpr std::uint32_t kMapNil = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kMaxChain = 10;
+
+// Result codes published through the per-process result cell.
+enum : std::uint32_t {
+  kMapPending = 0,
+  kMapOk = 1,       // mutation applied
+  kMapExists = 2,   // put: key already present (value updated)
+  kMapAbsent = 3,   // erase/swap/get: key not found
+  kMapFull = 4,     // put: chain at kMaxChain, key not inserted
+};
+
+template <typename Plat>
+class LockedHashMap {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  // Bucket b is protected by lock id b; `space` needs >= nbuckets locks and
+  // max_thunk_steps >= thunk_step_budget().
+  LockedHashMap(Space& space, std::uint32_t nbuckets,
+                std::uint32_t node_capacity)
+      : space_(space), nbuckets_(nbuckets), pool_(node_capacity) {
+    WFL_CHECK(nbuckets >= 1);
+    WFL_CHECK(static_cast<int>(nbuckets) <= space.num_locks());
+    WFL_CHECK_MSG(space.config().max_thunk_steps >= thunk_step_budget(),
+                  "configure LockConfig::max_thunk_steps >= "
+                  "LockedHashMap::thunk_step_budget()");
+    heads_.reserve(nbuckets);
+    for (std::uint32_t b = 0; b < nbuckets; ++b) {
+      heads_.push_back(std::make_unique<Cell<Plat>>(kMapNil));
+    }
+    for (int i = 0; i < space.max_procs(); ++i) {
+      results_.push_back(std::make_unique<Cell<Plat>>(0u));
+      out_vals_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+  }
+
+  // Worst-case instrumented operations of the widest thunk (swap: two
+  // bounded chain walks plus the exchange and result stores).
+  static constexpr std::uint32_t thunk_step_budget() {
+    return 4 * (kMaxChain + 2) + 8;
+  }
+
+  // Upsert. Returns kMapOk (inserted), kMapExists (value replaced) or
+  // kMapFull. Retries internally until an attempt wins its locks.
+  std::uint32_t put(Process proc, std::uint64_t key, std::uint32_t value,
+                    std::uint64_t* attempts = nullptr) {
+    const std::uint32_t b = bucket_of(key);
+    const std::uint32_t fresh = pool_.alloc();
+    {
+      Node& n = pool_.at(fresh);
+      n.key = key;
+      n.val.init(value);
+      n.next.init(kMapNil);
+      n.dead.init(0);
+    }
+    Cell<Plat>& res = result_of(proc);
+    for (;;) {
+      Cell<Plat>* res_ptr = &res;
+      const std::uint32_t ids[1] = {b};
+      const bool won = space_.try_locks(
+          proc, ids, [this, b, key, value, fresh, res_ptr](IdemCtx<Plat>& m) {
+            Cell<Plat>& head = *heads_[b];
+            std::uint32_t len = 0;
+            std::uint32_t cur = m.load(head);
+            while (cur != kMapNil) {
+              Node& n = pool_.at(cur);
+              if (n.key == key) {  // keys immutable: plain read is safe
+                m.store(n.val, value);
+                m.store(*res_ptr, kMapExists);
+                return;
+              }
+              ++len;
+              cur = m.load(n.next);
+            }
+            if (len >= kMaxChain) {
+              m.store(*res_ptr, kMapFull);
+              return;
+            }
+            // Link at head. `fresh` is private to this thunk instance; all
+            // runs agree on this branch, so it is touched iff it is linked.
+            Node& f = pool_.at(fresh);
+            m.store(f.next, m.load(head));
+            m.store(head, fresh);
+            m.store(*res_ptr, kMapOk);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (!won) continue;
+      const std::uint32_t r = res.peek();
+      if (r != kMapOk) pool_.free(fresh);  // thunk never touched it
+      return r;
+    }
+  }
+
+  // Removes `key`. Returns kMapOk or kMapAbsent.
+  std::uint32_t erase(Process proc, std::uint64_t key,
+                      std::uint64_t* attempts = nullptr) {
+    const std::uint32_t b = bucket_of(key);
+    Cell<Plat>& res = result_of(proc);
+    for (;;) {
+      Cell<Plat>* res_ptr = &res;
+      const std::uint32_t ids[1] = {b};
+      const bool won = space_.try_locks(
+          proc, ids, [this, b, key, res_ptr](IdemCtx<Plat>& m) {
+            Cell<Plat>* prev = heads_[b].get();
+            std::uint32_t cur = m.load(*prev);
+            while (cur != kMapNil) {
+              Node& n = pool_.at(cur);
+              if (n.key == key) {
+                m.store(n.dead, 1);  // mark, then unlink (order documented)
+                m.store(*prev, m.load(n.next));
+                m.store(*res_ptr, kMapOk);
+                return;
+              }
+              prev = &n.next;
+              cur = m.load(n.next);
+            }
+            m.store(*res_ptr, kMapAbsent);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won) {
+        const std::uint32_t r = res.peek();
+        if (r == kMapOk) retired_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+      }
+    }
+  }
+
+  // Linearizable read: walks the chain under the bucket lock. Returns
+  // kMapOk with *out filled, or kMapAbsent.
+  std::uint32_t get_locked(Process proc, std::uint64_t key,
+                           std::uint32_t* out,
+                           std::uint64_t* attempts = nullptr) {
+    const std::uint32_t b = bucket_of(key);
+    Cell<Plat>& res = result_of(proc);
+    Cell<Plat>& oval = out_val_of(proc);
+    for (;;) {
+      Cell<Plat>* res_ptr = &res;
+      Cell<Plat>* out_ptr = &oval;
+      const std::uint32_t ids[1] = {b};
+      const bool won = space_.try_locks(
+          proc, ids, [this, b, key, res_ptr, out_ptr](IdemCtx<Plat>& m) {
+            std::uint32_t cur = m.load(*heads_[b]);
+            while (cur != kMapNil) {
+              Node& n = pool_.at(cur);
+              if (n.key == key) {
+                m.store(*out_ptr, m.load(n.val));
+                m.store(*res_ptr, kMapOk);
+                return;
+              }
+              cur = m.load(n.next);
+            }
+            m.store(*res_ptr, kMapAbsent);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won) {
+        if (res.peek() == kMapOk) {
+          *out = oval.peek();
+          return kMapOk;
+        }
+        return kMapAbsent;
+      }
+    }
+  }
+
+  // Weakly consistent unlocked probe (may race with unlinking).
+  bool get(std::uint64_t key, std::uint32_t* out) const {
+    std::uint32_t cur = heads_[bucket_of(key)]->load_direct();
+    while (cur != kMapNil) {
+      const Node& n = pool_.at(cur);
+      if (n.key == key) {
+        *out = n.val.load_direct();
+        return true;
+      }
+      cur = n.next.load_direct();
+    }
+    return false;
+  }
+
+  // Atomically exchanges the values of k1 and k2 (both must exist).
+  // Returns kMapOk or kMapAbsent. L = 2 when the keys hash to different
+  // buckets — the experiment-grade multi-lock operation of this substrate.
+  std::uint32_t swap(Process proc, std::uint64_t k1, std::uint64_t k2,
+                     std::uint64_t* attempts = nullptr) {
+    const std::uint32_t b1 = bucket_of(k1);
+    const std::uint32_t b2 = bucket_of(k2);
+    Cell<Plat>& res = result_of(proc);
+    for (;;) {
+      std::uint32_t ids[2] = {b1 < b2 ? b1 : b2, b1 < b2 ? b2 : b1};
+      const std::uint32_t nids = (b1 == b2) ? 1 : 2;
+      Cell<Plat>* res_ptr = &res;
+      const bool won = space_.try_locks(
+          proc, {ids, nids},
+          [this, b1, b2, k1, k2, res_ptr](IdemCtx<Plat>& m) {
+            const std::uint32_t n1 = find_in_chain(m, b1, k1);
+            const std::uint32_t n2 = find_in_chain(m, b2, k2);
+            if (n1 == kMapNil || n2 == kMapNil || n1 == n2) {
+              m.store(*res_ptr, kMapAbsent);
+              return;
+            }
+            Cell<Plat>& v1 = pool_.at(n1).val;
+            Cell<Plat>& v2 = pool_.at(n2).val;
+            const std::uint32_t a = m.load(v1);
+            const std::uint32_t bval = m.load(v2);
+            m.store(v1, bval);
+            m.store(v2, a);
+            m.store(*res_ptr, kMapOk);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won) return res.peek();
+    }
+  }
+
+  std::uint32_t nbuckets() const { return nbuckets_; }
+
+  // Quiescent-only: total live entries, with chain-shape audit.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (std::uint32_t b = 0; b < nbuckets_; ++b) {
+      std::uint32_t len = 0;
+      std::uint32_t cur = heads_[b]->peek();
+      while (cur != kMapNil) {
+        const Node& n = pool_.at(cur);
+        WFL_CHECK_MSG(n.dead.peek() == 0, "dead node still linked");
+        WFL_CHECK_MSG(bucket_of(n.key) == b, "node in the wrong bucket");
+        ++len;
+        WFL_CHECK_MSG(len <= kMaxChain, "chain exceeds kMaxChain");
+        cur = n.next.peek();
+      }
+      total += len;
+    }
+    return total;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key = 0;  // immutable once published
+    Cell<Plat> val;
+    Cell<Plat> next;
+    Cell<Plat> dead;
+  };
+
+  std::uint32_t bucket_of(std::uint64_t key) const {
+    // SplitMix64 finalizer: full-avalanche, cheap, deterministic.
+    std::uint64_t x = key + 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::uint32_t>((x ^ (x >> 31)) % nbuckets_);
+  }
+
+  // In-thunk chain search; every hop is an agreed instrumented load.
+  std::uint32_t find_in_chain(IdemCtx<Plat>& m, std::uint32_t b,
+                              std::uint64_t key) {
+    std::uint32_t cur = m.load(*heads_[b]);
+    while (cur != kMapNil) {
+      Node& n = pool_.at(cur);
+      if (n.key == key) return cur;
+      cur = m.load(n.next);
+    }
+    return kMapNil;
+  }
+
+  // Each process owns one result cell and one out-value cell; thunks
+  // capture the owner's cells by pointer (helpers then write the *owner's*
+  // cells, which is the point — the owner reads them after the attempt).
+  Cell<Plat>& result_of(Process proc) {
+    return *results_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+  Cell<Plat>& out_val_of(Process proc) {
+    return *out_vals_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+
+  Space& space_;
+  std::uint32_t nbuckets_;
+  IndexPool<Node> pool_;
+  std::vector<std::unique_ptr<Cell<Plat>>> heads_;
+  std::vector<std::unique_ptr<Cell<Plat>>> results_;
+  std::vector<std::unique_ptr<Cell<Plat>>> out_vals_;
+  std::atomic<std::uint64_t> retired_{0};
+};
+
+}  // namespace wfl

@@ -1,0 +1,205 @@
+// Application substrate: a sorted linked-list set with fine-grained
+// per-node locks — the paper's motivating data-structure pattern (§1:
+// "operations on linked lists ... that require taking a lock on a node and
+// its neighbors for the purpose of making a local update").
+//
+// Structure: nodes live in an index pool; links are idempotent Cells
+// holding 32-bit node indices. An operation optimistically traverses
+// without locks, then tryLocks {pred, curr} and re-validates inside the
+// critical section (hand-over-hand validation in the style of the lazy
+// list). A failed validation or a failed tryLock attempt retries from the
+// traversal.
+//
+// Progress: each *attempt* is wait-free (inherited from the locks); the
+// operation as a whole is retry-until-success. Erased nodes are marked
+// (next = kTombstone) and not recycled until quiescent_reset() — index
+// recycling under live traversals would need hazard-era validation that
+// this substrate deliberately omits (documented trade-off).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+inline constexpr std::uint32_t kListNil = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kListTomb = 0xFFFFFFFEu;
+
+template <typename Plat>
+class LockedList {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  // Node index i is protected by lock id i; `space` must have at least
+  // `capacity` locks. Keys must be < kListTomb.
+  LockedList(Space& space, std::uint32_t capacity)
+      : space_(space), pool_(capacity) {
+    WFL_CHECK(capacity >= 2);
+    WFL_CHECK(static_cast<int>(capacity) <= space.num_locks());
+    head_ = pool_.alloc();
+    Node& h = pool_.at(head_);
+    h.key = 0;  // head sentinel sorts before every real key (keys are > 0)
+    h.next.init(kListNil);
+    for (int i = 0; i < space.max_procs(); ++i) {
+      results_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+  }
+
+  // Inserts `key` (must be > 0). Returns false if already present.
+  // `attempts` (optional) accumulates the number of tryLock attempts spent.
+  bool insert(Process proc, std::uint32_t key, std::uint64_t* attempts = nullptr) {
+    WFL_CHECK(key > 0 && key < kListTomb);
+    std::uint32_t fresh = kListNil;
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      if (curr != kListNil && pool_.at(curr).key == key) {
+        if (fresh != kListNil) pool_.free(fresh);
+        return false;
+      }
+      if (fresh == kListNil) {
+        fresh = pool_.alloc();
+        pool_.at(fresh).key = key;
+      }
+      pool_.at(fresh).next.init(curr);  // private until linked
+
+      Cell<Plat>& presult = *results_[static_cast<std::size_t>(proc.ebr_pid)];
+      Cell<Plat>& pred_next = pool_.at(pred).next;
+      std::uint32_t ids[2] = {pred, curr};
+      const std::uint32_t nids = curr == kListNil ? 1 : 2;
+      const std::uint32_t fresh_idx = fresh;
+      const std::uint32_t expect_curr = curr;
+      const bool won = space_.try_locks(
+          proc, {ids, nids},
+          [&pred_next, &presult, fresh_idx, expect_curr](IdemCtx<Plat>& m) {
+            if (m.load(pred_next) == expect_curr) {
+              m.store(pred_next, fresh_idx);
+              m.store(presult, 1);
+            } else {
+              m.store(presult, 2);
+            }
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won && presult.peek() == 1) return true;
+      // Lost the attempt or failed validation: re-traverse and retry.
+    }
+  }
+
+  // Erases `key`. Returns false if absent.
+  bool erase(Process proc, std::uint32_t key, std::uint64_t* attempts = nullptr) {
+    WFL_CHECK(key > 0 && key < kListTomb);
+    for (;;) {
+      auto [pred, curr] = locate(key);
+      if (curr == kListNil || pool_.at(curr).key != key) return false;
+
+      Cell<Plat>& presult = *results_[static_cast<std::size_t>(proc.ebr_pid)];
+      Cell<Plat>& pred_next = pool_.at(pred).next;
+      Cell<Plat>& curr_next = pool_.at(curr).next;
+      const std::uint32_t expect_curr = curr;
+      const std::uint32_t ids[2] = {pred, curr};
+      const bool won = space_.try_locks(
+          proc, ids,
+          [&pred_next, &curr_next, &presult, expect_curr](IdemCtx<Plat>& m) {
+            if (m.load(pred_next) == expect_curr) {
+              const std::uint32_t succ = m.load(curr_next);
+              m.store(pred_next, succ);
+              m.store(curr_next, kListTomb);  // mark: traversals restart
+              m.store(presult, 1);
+            } else {
+              m.store(presult, 2);
+            }
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won && presult.peek() == 1) {
+        // The unlinked node is exactly `curr` (the thunk validated it);
+        // park it for quiescent_recycle. Raw mutex: reclamation is outside
+        // the step model (DESIGN.md substitution #2).
+        std::lock_guard<std::mutex> g(retired_mu_);
+        retired_.push_back(curr);
+        return true;
+      }
+    }
+  }
+
+  // Quiescent-only: returns every node erased since the last call to the
+  // pool, making the list usable indefinitely on a bounded pool. The
+  // caller must guarantee quiescence — no operation in flight and no
+  // helper that could still replay a thunk referencing these nodes (e.g.
+  // a single-threaded phase, or after joining all workers). Reusing an
+  // index while an optimistic traversal is live would be an ABA hazard,
+  // which is exactly why this is not done inside erase() (documented
+  // trade-off in the header comment).
+  std::size_t quiescent_recycle() {
+    std::lock_guard<std::mutex> g(retired_mu_);
+    for (const std::uint32_t idx : retired_) pool_.free(idx);
+    const std::size_t n = retired_.size();
+    retired_.clear();
+    return n;
+  }
+  bool contains(std::uint32_t key) {
+    auto [pred, curr] = locate(key);
+    (void)pred;
+    return curr != kListNil && pool_.at(curr).key == key;
+  }
+
+  // Quiescent-only: walks the list and returns the keys in order. Also
+  // checks sortedness — the structural invariant of the set.
+  std::vector<std::uint32_t> keys() const {
+    std::vector<std::uint32_t> out;
+    std::uint32_t curr = pool_.at(head_).next.peek();
+    std::uint32_t prev_key = 0;
+    while (curr != kListNil) {
+      const Node& n = pool_.at(curr);
+      WFL_CHECK_MSG(n.key > prev_key, "list order violated");
+      prev_key = n.key;
+      out.push_back(n.key);
+      curr = n.next.peek();
+      WFL_CHECK_MSG(curr != kListTomb, "tombstone reachable from the list");
+    }
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::uint32_t key = 0;  // immutable once published
+    Cell<Plat> next;
+  };
+
+  // Optimistic traversal: returns (pred, curr) with pred.key < key <=
+  // curr.key (curr may be nil). Restarts when it runs into a node erased
+  // mid-walk.
+  std::pair<std::uint32_t, std::uint32_t> locate(std::uint32_t key) {
+    for (;;) {
+      std::uint32_t pred = head_;
+      std::uint32_t curr = pool_.at(head_).next.load_direct();
+      bool restart = false;
+      while (curr != kListNil) {
+        if (curr == kListTomb) {
+          restart = true;  // pred was erased under us
+          break;
+        }
+        const Node& n = pool_.at(curr);
+        if (n.key >= key) break;
+        pred = curr;
+        curr = n.next.load_direct();
+      }
+      if (!restart) return {pred, curr};
+    }
+  }
+
+  Space& space_;
+  IndexPool<Node> pool_;
+  std::uint32_t head_ = 0;
+  std::vector<std::unique_ptr<Cell<Plat>>> results_;
+  std::mutex retired_mu_;
+  std::vector<std::uint32_t> retired_;
+};
+
+}  // namespace wfl

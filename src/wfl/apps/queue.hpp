@@ -1,0 +1,218 @@
+// Application substrate: a two-lock FIFO queue (Michael & Scott 1996
+// shape) built on the wait-free tryLocks, plus an atomic cross-queue
+// transfer — the multi-object composition the paper's lock-set API makes
+// trivial and conventional two-lock queues make deadlock-prone.
+//
+// The queue is a linked list with a dummy head node: enqueue touches only
+// the tail (lock id `tail_lock`), dequeue only the head (lock id
+// `head_lock`), so producers and consumers never contend on the same lock
+// (the dummy keeps head != tail even at size 1).
+//
+//   * enqueue: L = 1 on the tail lock.
+//   * dequeue: L = 1 on the head lock.
+//   * transfer(src, dst): dequeues from src and enqueues into dst in ONE
+//     critical section: lock set {src.head_lock, dst.tail_lock} — with
+//     ordinary locks this is the textbook deadlock recipe (opposing
+//     orders), with tryLocks it needs no lock ordering discipline at all.
+//
+// Dequeued nodes are retired, not recycled, until quiescent (same policy
+// as every substrate here).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+inline constexpr std::uint32_t kQueueNil = 0xFFFFFFFFu;
+
+enum : std::uint32_t {
+  kQueuePending = 0,
+  kQueueOk = 1,
+  kQueueEmpty = 2,
+};
+
+template <typename Plat>
+class LockedQueue {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  // `head_lock` and `tail_lock` are lock ids in `space` (distinct; several
+  // queues may live in one space on disjoint ids so transfers compose).
+  LockedQueue(Space& space, std::uint32_t head_lock, std::uint32_t tail_lock,
+              std::uint32_t capacity)
+      : space_(space),
+        head_lock_(head_lock),
+        tail_lock_(tail_lock),
+        pool_(capacity) {
+    WFL_CHECK(head_lock != tail_lock);
+    WFL_CHECK(static_cast<int>(head_lock) < space.num_locks());
+    WFL_CHECK(static_cast<int>(tail_lock) < space.num_locks());
+    const std::uint32_t dummy = pool_.alloc();
+    pool_.at(dummy).value.init(0);
+    pool_.at(dummy).next.init(kQueueNil);
+    head_.init(dummy);
+    tail_.init(dummy);
+    for (int i = 0; i < space.max_procs(); ++i) {
+      results_.push_back(std::make_unique<Cell<Plat>>(0u));
+      out_vals_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+  }
+
+  // Appends `value`. Retries lost attempts internally; never fails (the
+  // pool aborts loudly if capacity is exceeded, per the arena contract).
+  void enqueue(Process proc, std::uint32_t value,
+               std::uint64_t* attempts = nullptr) {
+    const std::uint32_t fresh = pool_.alloc();
+    pool_.at(fresh).value.init(value);
+    pool_.at(fresh).next.init(kQueueNil);
+    Cell<Plat>* tail_ptr = &tail_;
+    LockedQueue* self = this;
+    for (;;) {
+      const std::uint32_t ids[1] = {tail_lock_};
+      const bool won = space_.try_locks(
+          proc, ids, [self, tail_ptr, fresh](IdemCtx<Plat>& m) {
+            const std::uint32_t last = m.load(*tail_ptr);
+            m.store(self->pool_.at(last).next, fresh);
+            m.store(*tail_ptr, fresh);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won) return;
+    }
+  }
+
+  // Removes the front element into *out. Returns kQueueOk or kQueueEmpty.
+  std::uint32_t dequeue(Process proc, std::uint32_t* out,
+                        std::uint64_t* attempts = nullptr) {
+    Cell<Plat>& res = result_of(proc);
+    Cell<Plat>& oval = out_val_of(proc);
+    Cell<Plat>* res_ptr = &res;
+    Cell<Plat>* out_ptr = &oval;
+    Cell<Plat>* head_ptr = &head_;
+    LockedQueue* self = this;
+    for (;;) {
+      const std::uint32_t ids[1] = {head_lock_};
+      const bool won = space_.try_locks(
+          proc, ids, [self, head_ptr, res_ptr, out_ptr](IdemCtx<Plat>& m) {
+            const std::uint32_t dummy = m.load(*head_ptr);
+            const std::uint32_t first = m.load(self->pool_.at(dummy).next);
+            if (first == kQueueNil) {
+              m.store(*res_ptr, kQueueEmpty);
+              return;
+            }
+            m.store(*out_ptr, m.load(self->pool_.at(first).value));
+            m.store(*head_ptr, first);  // `first` becomes the new dummy
+            m.store(*res_ptr, kQueueOk);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won) {
+        if (res.peek() == kQueueOk) {
+          *out = oval.peek();
+          retired_.fetch_add(1, std::memory_order_relaxed);
+          return kQueueOk;
+        }
+        return kQueueEmpty;
+      }
+    }
+  }
+
+  // Atomically moves the front of `src` to the back of `dst`: either both
+  // happen or (src empty) neither. One critical section over two queues.
+  static std::uint32_t transfer(Process proc, LockedQueue& src,
+                                LockedQueue& dst,
+                                std::uint64_t* attempts = nullptr) {
+    WFL_CHECK(&src.space_ == &dst.space_);
+    WFL_CHECK(&src != &dst);
+    // A node moved from src to dst keeps its pool slot: both queues must
+    // draw from compatible pools, so transfer pre-allocates in dst and
+    // copies the value — node identity does not cross pools.
+    const std::uint32_t fresh = dst.pool_.alloc();
+    dst.pool_.at(fresh).value.init(0);
+    dst.pool_.at(fresh).next.init(kQueueNil);
+    Cell<Plat>& res = src.result_of(proc);
+    Cell<Plat>* res_ptr = &res;
+    LockedQueue* s = &src;
+    LockedQueue* d = &dst;
+    for (;;) {
+      std::uint32_t ids[2] = {src.head_lock_, dst.tail_lock_};
+      std::sort(ids, ids + 2);
+      const bool won = src.space_.try_locks(
+          proc, ids, [s, d, fresh, res_ptr](IdemCtx<Plat>& m) {
+            const std::uint32_t dummy = m.load(s->head_);
+            const std::uint32_t first = m.load(s->pool_.at(dummy).next);
+            if (first == kQueueNil) {
+              m.store(*res_ptr, kQueueEmpty);
+              return;
+            }
+            // Pop from src ...
+            const std::uint32_t v = m.load(s->pool_.at(first).value);
+            m.store(s->head_, first);
+            // ... and push into dst within the same critical section.
+            m.store(d->pool_.at(fresh).value, v);
+            const std::uint32_t last = m.load(d->tail_);
+            m.store(d->pool_.at(last).next, fresh);
+            m.store(d->tail_, fresh);
+            m.store(*res_ptr, kQueueOk);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won) {
+        const std::uint32_t r = res.peek();
+        if (r != kQueueOk) dst.pool_.free(fresh);  // thunk never touched it
+        if (r == kQueueOk) src.retired_.fetch_add(1, std::memory_order_relaxed);
+        return r;
+      }
+    }
+  }
+
+  // Quiescent-only: walk the queue, validating linkage; returns contents.
+  std::vector<std::uint32_t> snapshot() const {
+    std::vector<std::uint32_t> out;
+    std::uint32_t cur = pool_.at(head_.peek()).next.peek();
+    while (cur != kQueueNil) {
+      out.push_back(pool_.at(cur).value.peek());
+      cur = pool_.at(cur).next.peek();
+    }
+    if (out.empty()) {
+      WFL_CHECK_MSG(head_.peek() == tail_.peek(),
+                    "empty queue must have head == tail");
+    }
+    return out;
+  }
+
+  std::uint64_t retired_nodes() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    Cell<Plat> value;
+    Cell<Plat> next;
+  };
+
+  Cell<Plat>& result_of(Process proc) {
+    return *results_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+  Cell<Plat>& out_val_of(Process proc) {
+    return *out_vals_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+
+  Space& space_;
+  std::uint32_t head_lock_;
+  std::uint32_t tail_lock_;
+  IndexPool<Node> pool_;
+  Cell<Plat> head_;
+  Cell<Plat> tail_;
+  std::vector<std::unique_ptr<Cell<Plat>>> results_;
+  std::vector<std::unique_ptr<Cell<Plat>>> out_vals_;
+  std::atomic<std::uint64_t> retired_{0};
+};
+
+}  // namespace wfl

@@ -1,0 +1,289 @@
+// Application substrate: a sorted skip-list set with fine-grained per-node
+// locks — the multi-lock generalization of the linked list (the paper cites
+// Pugh's concurrent skip lists [41] among the fine-grained-locking data
+// structures its locks target).
+//
+// An update must atomically adjust the predecessor pointer at every level
+// of a tower, so its tryLock set is the *distinct predecessors* across the
+// tower's levels (plus the victim, for erase) — a natural workload where
+// L > 2 and the lock sets of concurrent operations overlap partially, not
+// totally. That makes the skip list the stress case for the multi active
+// set machinery that pairwise structures (lists, bank transfers) never
+// exercise.
+//
+// Concurrency recipe (lazy-list style, per level):
+//   1. optimistic traversal collects preds[lvl]/succs[lvl] without locks;
+//   2. tryLocks on the deduplicated preds (+ victim);
+//   3. inside the critical section, re-validate pred.next[lvl] == succ[lvl]
+//      at every level, then perform all link writes, or none.
+// A failed validation or lost attempt retries from the traversal. Erased
+// nodes tombstone every level; traversals restart on a tombstone. Node
+// indices are not recycled while operations are live (same documented
+// trade-off as LockedList).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/util/assert.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl {
+
+inline constexpr std::uint32_t kSkipNil = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kSkipTomb = 0xFFFFFFFEu;
+inline constexpr std::uint32_t kSkipMaxLevel = 3;
+
+template <typename Plat>
+class LockedSkipList {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  // Node index i is protected by lock id i; `space` must have at least
+  // `capacity` locks and max_locks >= kSkipMaxLevel + 1. Keys must be in
+  // (0, kSkipTomb).
+  LockedSkipList(Space& space, std::uint32_t capacity)
+      : space_(space), pool_(capacity) {
+    WFL_CHECK(capacity >= 2);
+    WFL_CHECK(static_cast<int>(capacity) <= space.num_locks());
+    WFL_CHECK(space.config().max_locks >= kSkipMaxLevel + 1);
+    head_ = pool_.alloc();
+    Node& h = pool_.at(head_);
+    h.key = 0;
+    h.levels = kSkipMaxLevel;
+    for (std::uint32_t l = 0; l < kSkipMaxLevel; ++l) h.next[l].init(kSkipNil);
+    for (int i = 0; i < space.max_procs(); ++i) {
+      results_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+  }
+
+  // Geometric tower height in [1, kSkipMaxLevel], p = 1/2.
+  static std::uint32_t draw_level(Xoshiro256& rng) {
+    std::uint32_t lvl = 1;
+    while (lvl < kSkipMaxLevel && (rng.next() & 1u) != 0) ++lvl;
+    return lvl;
+  }
+
+  // Inserts `key` with the given tower height. Returns false if present.
+  bool insert(Process proc, std::uint32_t key, std::uint32_t level,
+              std::uint64_t* attempts = nullptr) {
+    WFL_CHECK(key > 0 && key < kSkipTomb);
+    WFL_CHECK(level >= 1 && level <= kSkipMaxLevel);
+    std::uint32_t fresh = kSkipNil;
+    for (;;) {
+      Locate loc = locate(key);
+      if (loc.found != kSkipNil) {
+        if (fresh != kSkipNil) pool_.free(fresh);
+        return false;
+      }
+      if (fresh == kSkipNil) {
+        fresh = pool_.alloc();
+        Node& n = pool_.at(fresh);
+        n.key = key;
+        n.levels = level;
+      }
+      // Private until linked: point the new tower at the observed succs.
+      for (std::uint32_t l = 0; l < level; ++l) {
+        pool_.at(fresh).next[l].init(loc.succs[l]);
+      }
+
+      // Thunk state, captured by value (stragglers may replay after this
+      // attempt returns — see DESIGN.md §3.6 on descriptor lifetimes).
+      struct LinkPlan {
+        std::array<Cell<Plat>*, kSkipMaxLevel> pred_next;
+        std::array<std::uint32_t, kSkipMaxLevel> expect;
+        std::uint32_t fresh;
+        std::uint32_t levels;
+        Cell<Plat>* result;
+      } plan{};
+      for (std::uint32_t l = 0; l < level; ++l) {
+        plan.pred_next[l] = &pool_.at(loc.preds[l]).next[l];
+        plan.expect[l] = loc.succs[l];
+      }
+      plan.fresh = fresh;
+      plan.levels = level;
+      plan.result = results_[static_cast<std::size_t>(proc.ebr_pid)].get();
+
+      std::array<std::uint32_t, kSkipMaxLevel> ids{};
+      const std::uint32_t nids = dedupe_preds(loc, level, ids);
+      const bool won = space_.try_locks(
+          proc, {ids.data(), nids}, [plan](IdemCtx<Plat>& m) {
+            for (std::uint32_t l = 0; l < plan.levels; ++l) {
+              if (m.load(*plan.pred_next[l]) != plan.expect[l]) {
+                m.store(*plan.result, 2);
+                return;
+              }
+            }
+            // Bottom-up: a concurrent traversal that sees a higher level
+            // early still finds the node at level 0.
+            for (std::uint32_t l = 0; l < plan.levels; ++l) {
+              m.store(*plan.pred_next[l], plan.fresh);
+            }
+            m.store(*plan.result, 1);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won && plan.result->peek() == 1) return true;
+    }
+  }
+
+  // Erases `key`. Returns false if absent.
+  bool erase(Process proc, std::uint32_t key,
+             std::uint64_t* attempts = nullptr) {
+    WFL_CHECK(key > 0 && key < kSkipTomb);
+    for (;;) {
+      Locate loc = locate(key);
+      if (loc.found == kSkipNil) return false;
+      Node& victim = pool_.at(loc.found);
+
+      struct UnlinkPlan {
+        std::array<Cell<Plat>*, kSkipMaxLevel> pred_next;
+        Node* victim;
+        std::uint32_t victim_idx;
+        std::uint32_t levels;
+        Cell<Plat>* result;
+      } plan{};
+      plan.victim = &victim;
+      plan.victim_idx = loc.found;
+      plan.levels = victim.levels;
+      plan.result = results_[static_cast<std::size_t>(proc.ebr_pid)].get();
+      for (std::uint32_t l = 0; l < victim.levels; ++l) {
+        plan.pred_next[l] = &pool_.at(loc.preds[l]).next[l];
+      }
+
+      std::array<std::uint32_t, kSkipMaxLevel + 1> ids{};
+      std::array<std::uint32_t, kSkipMaxLevel> pred_ids{};
+      const std::uint32_t npred = dedupe_preds(loc, victim.levels, pred_ids);
+      for (std::uint32_t i = 0; i < npred; ++i) ids[i] = pred_ids[i];
+      ids[npred] = loc.found;  // victim's lock serializes with its erasure
+      const bool won = space_.try_locks(
+          proc, {ids.data(), npred + 1}, [plan](IdemCtx<Plat>& m) {
+            for (std::uint32_t l = 0; l < plan.levels; ++l) {
+              if (m.load(*plan.pred_next[l]) != plan.victim_idx) {
+                m.store(*plan.result, 2);
+                return;
+              }
+            }
+            // Top-down unlink, then tombstone the tower so optimistic
+            // traversals caught on the victim restart.
+            for (std::uint32_t l = plan.levels; l-- > 0;) {
+              const std::uint32_t succ = m.load(plan.victim->next[l]);
+              m.store(*plan.pred_next[l], succ);
+            }
+            for (std::uint32_t l = 0; l < plan.levels; ++l) {
+              m.store(plan.victim->next[l], kSkipTomb);
+            }
+            m.store(*plan.result, 1);
+          });
+      if (attempts != nullptr) ++*attempts;
+      if (won && plan.result->peek() == 1) return true;
+    }
+  }
+
+  // Lock-free membership probe (optimistic).
+  bool contains(std::uint32_t key) { return locate(key).found != kSkipNil; }
+
+  // Quiescent-only: keys in order, validating sortedness and that every
+  // higher level is a sublist of level 0.
+  std::vector<std::uint32_t> keys() const {
+    std::vector<std::uint32_t> out;
+    std::uint32_t curr = pool_.at(head_).next[0].peek();
+    std::uint32_t prev = 0;
+    while (curr != kSkipNil) {
+      const Node& n = pool_.at(curr);
+      WFL_CHECK_MSG(n.key > prev, "skiplist order violated");
+      prev = n.key;
+      out.push_back(n.key);
+      curr = n.next[0].peek();
+      WFL_CHECK_MSG(curr != kSkipTomb, "tombstone reachable at level 0");
+    }
+    for (std::uint32_t l = 1; l < kSkipMaxLevel; ++l) {
+      std::size_t pos = 0;
+      std::uint32_t c = pool_.at(head_).next[l].peek();
+      while (c != kSkipNil) {
+        const std::uint32_t k = pool_.at(c).key;
+        while (pos < out.size() && out[pos] != k) ++pos;
+        WFL_CHECK_MSG(pos < out.size(),
+                      "level is not a sublist of the bottom level");
+        c = pool_.at(c).next[l].peek();
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Node {
+    std::uint32_t key = 0;     // immutable once published
+    std::uint32_t levels = 1;  // immutable once published
+    Cell<Plat> next[kSkipMaxLevel];
+  };
+
+  struct Locate {
+    std::array<std::uint32_t, kSkipMaxLevel> preds{};
+    std::array<std::uint32_t, kSkipMaxLevel> succs{};
+    std::uint32_t found = kSkipNil;  // node with key, if any
+  };
+
+  // Optimistic multi-level traversal; restarts on tombstones.
+  Locate locate(std::uint32_t key) {
+    for (;;) {
+      Locate loc;
+      bool restart = false;
+      std::uint32_t pred = head_;
+      for (std::uint32_t l = kSkipMaxLevel; l-- > 0 && !restart;) {
+        std::uint32_t curr = pool_.at(pred).next[l].load_direct();
+        for (;;) {
+          if (curr == kSkipTomb) {
+            restart = true;
+            break;
+          }
+          if (curr == kSkipNil || pool_.at(curr).key >= key) break;
+          pred = curr;
+          curr = pool_.at(curr).next[l].load_direct();
+        }
+        loc.preds[l] = pred;
+        loc.succs[l] = curr;
+      }
+      if (restart) continue;
+      const std::uint32_t c0 = loc.succs[0];
+      if (c0 != kSkipNil && pool_.at(c0).key == key) loc.found = c0;
+      return loc;
+    }
+  }
+
+  // Distinct predecessor ids over the bottom `level` levels, sorted.
+  static std::uint32_t dedupe_preds(
+      const Locate& loc, std::uint32_t level,
+      std::array<std::uint32_t, kSkipMaxLevel>& out) {
+    std::uint32_t n = 0;
+    for (std::uint32_t l = 0; l < level; ++l) {
+      bool seen = false;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (out[i] == loc.preds[l]) seen = true;
+      }
+      if (!seen) out[n++] = loc.preds[l];
+    }
+    for (std::uint32_t i = 1; i < n; ++i) {  // insertion sort, n <= 3
+      const std::uint32_t v = out[i];
+      std::uint32_t j = i;
+      while (j > 0 && out[j - 1] > v) {
+        out[j] = out[j - 1];
+        --j;
+      }
+      out[j] = v;
+    }
+    return n;
+  }
+
+  Space& space_;
+  IndexPool<Node> pool_;
+  std::uint32_t head_ = 0;
+  std::vector<std::unique_ptr<Cell<Plat>>> results_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,170 @@
+// Baseline: a deterministic wait-free universal construction in the style
+// of Herlihy's (§3 "The Need for Randomization": "the problem can be solved
+// in O(n) steps deterministically using, for example, Herlihy's universal
+// wait-free construction ... announce when they are hungry and then try to
+// help all others, using a shared pointer to the philosopher currently
+// being helped").
+//
+// Shape: announce-then-agree. A process publishes its operation record in
+// its announce slot, then repeatedly helps the completion frontier: at
+// frontier position c, every helper scans the announce slots round-robin
+// starting at c mod P, proposes the first pending record it finds by
+// CASing it into chosen[c], executes the agreed record's thunk through the
+// record's own idempotence log, marks it done, and advances the frontier.
+//
+// Wait-freedom is deterministic: once announced, an operation is the
+// round-robin-first candidate within at most P frontier positions, so it
+// is chosen after at most O(P) other operations; each costs O(P + T)
+// steps (scan + thunk), giving O(P(P+T)) steps per operation regardless of
+// the schedule — the Θ(P)-factor cost the paper's randomized algorithm
+// removes, which is exactly what exp_philosophers quantifies.
+//
+// Being a universal construction, it ignores conflict structure entirely:
+// ALL operations serialize, even ones touching disjoint data. Records are
+// never recycled within a run (a straggling helper may replay a record's
+// thunk long after completion; reuse would hand it another op's log), so
+// the construction is sized for the run and reset() is quiescent-only —
+// an accepted cost of a baseline harness, not a production artifact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/idem/idem.hpp"
+#include "wfl/util/assert.hpp"
+#include "wfl/util/fixed_function.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+class HerlihyUniversal {
+ public:
+  using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
+
+  // `procs` processes, each executing at most `max_ops_per_proc` before
+  // the next quiescent reset().
+  HerlihyUniversal(int procs, std::uint32_t max_ops_per_proc)
+      : procs_(procs), ops_cap_(max_ops_per_proc) {
+    WFL_CHECK(procs >= 1 && max_ops_per_proc >= 1);
+    const std::size_t total =
+        static_cast<std::size_t>(procs) * max_ops_per_proc;
+    records_.resize(total);
+    for (auto& r : records_) r = std::make_unique<Record>();
+    chosen_.resize(total + 1);
+    for (auto& c : chosen_) {
+      c = std::make_unique<typename Plat::template Atomic<std::uint32_t>>();
+      c->init(kNone);
+    }
+    pending_.resize(static_cast<std::size_t>(procs));
+    for (auto& p : pending_) {
+      p = std::make_unique<typename Plat::template Atomic<std::uint32_t>>();
+      p->init(kNone);
+    }
+    used_.assign(static_cast<std::size_t>(procs), 0);
+    completed_.init(0);
+  }
+
+  // Executes `thunk` wait-free on behalf of process `pid`; returns the
+  // linearization index (frontier position at which it was chosen).
+  std::uint64_t execute(int pid, Thunk thunk) {
+    WFL_CHECK(pid >= 0 && pid < procs_);
+    const std::uint32_t seq = used_[static_cast<std::size_t>(pid)]++;
+    WFL_CHECK_MSG(seq < ops_cap_,
+                  "HerlihyUniversal per-process op budget exhausted");
+    const std::uint32_t rid =
+        static_cast<std::uint32_t>(pid) * ops_cap_ + seq;
+    Record& mine = *records_[rid];
+    mine.thunk = std::move(thunk);
+    mine.done.init(0);
+    mine.linearized.init(0);
+    // Announce: from here on any helper can execute us.
+    pending_[static_cast<std::size_t>(pid)]->store(rid);
+    while (mine.done.load() == 0) advance();
+    // Un-announce (benign race: helpers re-reading a done record skip it).
+    pending_[static_cast<std::size_t>(pid)]->store(kNone);
+    return mine.linearized.load() - 1;
+  }
+
+  std::uint64_t completed() const { return completed_.peek(); }
+
+  // Quiescent-only.
+  void reset() {
+    for (auto& r : records_) {
+      r->done.init(0);
+      r->thunk.reset();
+      r->log.reset();
+      r->linearized.init(0);
+    }
+    for (auto& c : chosen_) c->init(kNone);
+    for (auto& p : pending_) p->init(kNone);
+    for (auto& u : used_) u = 0;
+    completed_.init(0);
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  struct Record {
+    Thunk thunk;
+    ThunkLog<Plat> log;
+    typename Plat::template Atomic<std::uint32_t> done{0};
+    // First-writer-wins (stored as c+1; 0 = unset): a stale helper that
+    // proposes an already-done record at a later frontier position must
+    // not be able to move the linearization index.
+    typename Plat::template Atomic<std::uint64_t> linearized{0};
+  };
+
+  // One helping round at the current frontier: agree on a record for this
+  // position (round-robin scan), execute it, advance. Completes at least
+  // one operation whenever any operation is pending.
+  void advance() {
+    const std::uint64_t c = completed_.load();
+    WFL_CHECK_MSG(c < chosen_.size(), "chosen history exhausted");
+    auto& slot = *chosen_[c];
+    std::uint32_t rid = slot.load();
+    if (rid == kNone) {
+      // Propose the round-robin-first pending record. All helpers scan in
+      // the same cyclic order, so proposals rarely conflict and no
+      // announced record is bypassed more than P frontier positions.
+      const int start = static_cast<int>(c % static_cast<std::uint64_t>(
+                                                 procs_));
+      std::uint32_t cand = kNone;
+      for (int k = 0; k < procs_; ++k) {
+        const int p = (start + k) % procs_;
+        const std::uint32_t r =
+            pending_[static_cast<std::size_t>(p)]->load();
+        if (r != kNone && records_[r]->done.load() == 0) {
+          cand = r;
+          break;
+        }
+      }
+      if (cand == kNone) return;  // nothing pending anywhere
+      slot.cas(kNone, cand);
+      rid = slot.load();
+      if (rid == kNone) return;
+    }
+    Record& rec = *records_[rid];
+    if (rec.done.load() == 0) {
+      rec.linearized.cas(0, c + 1);
+      if (rec.thunk) {
+        IdemCtx<Plat> ctx(rec.log, rid * kMaxThunkOps);
+        rec.thunk(ctx);
+      }
+      rec.done.store(1);
+    }
+    completed_.cas(c, c + 1);
+  }
+
+  int procs_;
+  std::uint32_t ops_cap_;
+  std::vector<std::unique_ptr<Record>> records_;
+  std::vector<std::unique_ptr<typename Plat::template Atomic<std::uint32_t>>>
+      chosen_;
+  std::vector<std::unique_ptr<typename Plat::template Atomic<std::uint32_t>>>
+      pending_;
+  std::vector<std::uint32_t> used_;  // owner-private op counters
+  typename Plat::template Atomic<std::uint64_t> completed_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,72 @@
+// Baseline: the Lehmann–Rabin randomized dining philosophers protocol
+// (POPL '81), as discussed in §3 of the paper.
+//
+// A hungry philosopher flips a fair coin to pick a first fork, *waits*
+// (blocking) until that fork is free and takes it, then checks the other
+// fork: if free, takes it and eats; otherwise puts the first fork back and
+// re-flips. Symmetric, deadlock-free with probability 1 — but with no
+// bound on the steps until eating (the paper's Lynch–Saias–Segala
+// discussion), no helping, and progress that degrades under adversarial
+// scheduling. The exp_philosophers experiment contrasts its steps-to-eat
+// tail with the wait-free locks' fixed bound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+class LehmannRabinTable {
+ public:
+  explicit LehmannRabinTable(int n_philosophers)
+      : n_(n_philosophers), forks_(static_cast<std::size_t>(n_philosophers)) {
+    WFL_CHECK(n_philosophers >= 2);
+    for (auto& f : forks_) {
+      f = std::make_unique<typename Plat::template Atomic<std::uint32_t>>();
+      f->init(0);
+    }
+  }
+
+  int size() const { return n_; }
+
+  // One full hungry→eating episode for philosopher `p`. Returns the number
+  // of coin-flip rounds it took (the re-flip count is the protocol's
+  // instability measure). Blocking: only returns once the philosopher ate.
+  // `max_rounds` is a safety valve for simulation harnesses.
+  std::uint64_t dine(int p, std::uint64_t max_rounds = ~0ull) {
+    const std::uint32_t left = static_cast<std::uint32_t>(p);
+    const std::uint32_t right = static_cast<std::uint32_t>((p + 1) % n_);
+    std::uint64_t rounds = 0;
+    for (;;) {
+      ++rounds;
+      WFL_CHECK_MSG(rounds <= max_rounds,
+                    "Lehmann-Rabin exceeded the simulation round budget");
+      const bool left_first = (Plat::rand_u64() & 1) == 0;
+      const std::uint32_t first = left_first ? left : right;
+      const std::uint32_t second = left_first ? right : left;
+      // Wait for the first fork (blocking), then grab it.
+      for (;;) {
+        if (forks_[first]->load() == 0 && forks_[first]->cas(0, 1)) break;
+      }
+      // Second fork: take it if free, else put the first back and re-flip.
+      if (forks_[second]->load() == 0 && forks_[second]->cas(0, 1)) {
+        // Eating: the caller's critical section runs here conceptually.
+        forks_[second]->store(0);
+        forks_[first]->store(0);
+        return rounds;
+      }
+      forks_[first]->store(0);
+    }
+  }
+
+ private:
+  int n_;
+  std::vector<std::unique_ptr<typename Plat::template Atomic<std::uint32_t>>>
+      forks_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,67 @@
+// Baseline: ordered two-phase locking over std::mutex (OS-blocking).
+// RealPlat-only comparator for the throughput benchmark: what most systems
+// actually deploy for multi-lock critical sections.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+class Mutex2PL {
+ public:
+  explicit Mutex2PL(int num_locks) {
+    WFL_CHECK(num_locks > 0);
+    locks_.reserve(static_cast<std::size_t>(num_locks));
+    for (int i = 0; i < num_locks; ++i) {
+      locks_.push_back(std::make_unique<std::mutex>());
+    }
+  }
+
+  int num_locks() const { return static_cast<int>(locks_.size()); }
+
+  template <typename Fn>
+  void locked(std::span<const std::uint32_t> ids, Fn&& fn) {
+    std::uint32_t sorted[16];
+    WFL_CHECK(ids.size() <= 16);
+    std::copy(ids.begin(), ids.end(), sorted);
+    std::sort(sorted, sorted + ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) locks_[sorted[i]]->lock();
+    fn();
+    for (std::size_t i = ids.size(); i > 0; --i) {
+      locks_[sorted[i - 1]]->unlock();
+    }
+  }
+
+  template <typename Fn>
+  bool try_locked(std::span<const std::uint32_t> ids, Fn&& fn) {
+    std::uint32_t sorted[16];
+    WFL_CHECK(ids.size() <= 16);
+    std::copy(ids.begin(), ids.end(), sorted);
+    std::sort(sorted, sorted + ids.size());
+    std::size_t held = 0;
+    for (; held < ids.size(); ++held) {
+      if (!locks_[sorted[held]]->try_lock()) break;
+    }
+    if (held != ids.size()) {
+      for (std::size_t i = held; i > 0; --i) locks_[sorted[i - 1]]->unlock();
+      return false;
+    }
+    fn();
+    for (std::size_t i = ids.size(); i > 0; --i) {
+      locks_[sorted[i - 1]]->unlock();
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::mutex>> locks_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,183 @@
+// Baseline: software transactional memory in the style of Shavit–Touitou
+// (PODC '95), as characterized in §3 of the paper: *selfish* (non-
+// recursive) helping over static transactions.
+//
+// A transaction acquires per-lock ownerships in sorted order. On finding a
+// lock owned by another transaction T:
+//   * if T has already committed (acquired everything and is executing),
+//     help it finish and release — bounded work, no recursion;
+//   * otherwise, *abort* T (CAS its status acquiring→aborted), release the
+//     ownerships T held, and retry — never recursively help an acquiring
+//     transaction (the Turek/Barnes behavior this scheme rejects).
+//
+// Properties per the paper's discussion: lock-free but not wait-free, no
+// priorities and hence no fairness bound, and the worst case admits long
+// chains of aborted transactions ("as long as the size of memory") — the
+// abort counter exposes exactly that pathology to the benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "wfl/idem/idem.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/mem/ebr.hpp"
+#include "wfl/util/assert.hpp"
+#include "wfl/util/fixed_function.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+class ShavitTouitouSpace {
+ public:
+  enum : std::uint32_t {
+    kStAcquiring = 0,
+    kStCommitted = 1,
+    kStAborted = 2,
+    kStDone = 3,
+  };
+
+  struct Desc {
+    using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
+    std::uint32_t lock_ids[16] = {};  // sorted
+    std::uint32_t lock_count = 0;
+    Thunk thunk;
+    std::uint32_t tag_base = 0;
+    typename Plat::template Atomic<std::uint32_t> status;
+    ThunkLog<Plat> log;
+
+    void reinit(std::uint64_t serial) {
+      lock_count = 0;
+      thunk.reset();
+      tag_base = static_cast<std::uint32_t>(serial) * kMaxThunkOps;
+      status.init(kStAcquiring);
+      log.reset();
+    }
+  };
+  using Thunk = typename Desc::Thunk;
+
+  struct Process {
+    int ebr_pid = -1;
+  };
+
+  ShavitTouitouSpace(int max_procs, int num_locks)
+      : desc_pool_(std::max(1024, max_procs * 64)), ebr_(max_procs) {
+    WFL_CHECK(max_procs > 0 && num_locks > 0);
+    owners_.resize(static_cast<std::size_t>(num_locks));
+    for (auto& o : owners_) o = std::make_unique<OwnerCell>();
+  }
+
+  Process register_process() { return Process{ebr_.register_participant()}; }
+
+  int num_locks() const { return static_cast<int>(owners_.size()); }
+
+  // Executes `thunk` under the given locks; retries internally until the
+  // transaction commits. Lock-free: some transaction always commits, but
+  // *this* one can be aborted unboundedly often.
+  void apply(Process proc, std::span<const std::uint32_t> lock_ids,
+             Thunk thunk) {
+    WFL_CHECK(proc.ebr_pid >= 0);
+    WFL_CHECK(lock_ids.size() <= 16);
+    ebr_.enter(proc.ebr_pid);
+    for (;;) {
+      const std::uint32_t didx = desc_pool_.alloc();
+      Desc& d = desc_pool_.at(didx);
+      d.reinit(serial_.fetch_add(1, std::memory_order_relaxed));
+      d.lock_count = static_cast<std::uint32_t>(lock_ids.size());
+      for (std::size_t i = 0; i < lock_ids.size(); ++i) {
+        WFL_CHECK(lock_ids[i] < owners_.size());
+        d.lock_ids[i] = lock_ids[i];
+      }
+      std::sort(d.lock_ids, d.lock_ids + d.lock_count);
+      d.thunk = std::move(thunk);
+
+      if (acquire_all(d)) {
+        // Committed: execute + release; helpers may race us harmlessly.
+        finish(d);
+        ebr_.exit(proc.ebr_pid);
+        ebr_.retire(proc.ebr_pid, this, didx, &free_descriptor);
+        return;
+      }
+      // Aborted: our ownerships were (or will be) cleaned by the aborter;
+      // release whatever is still ours, recycle, retry with a new serial.
+      aborts_.fetch_add(1, std::memory_order_relaxed);
+      release_all(d);
+      thunk = std::move(d.thunk);  // take the closure back for the retry
+      ebr_.retire(proc.ebr_pid, this, didx, &free_descriptor);
+    }
+  }
+
+  std::uint64_t aborts() const {
+    return aborts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct OwnerCell {
+    typename Plat::template Atomic<Desc*> owner{nullptr};
+  };
+
+  static void free_descriptor(void* ctx, std::uint32_t handle) {
+    static_cast<ShavitTouitouSpace*>(ctx)->desc_pool_.free(handle);
+  }
+
+  // Returns true if d committed, false if d was aborted.
+  bool acquire_all(Desc& d) {
+    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+      auto& cell = owners_[d.lock_ids[i]]->owner;
+      for (;;) {
+        if (d.status.load() == kStAborted) return false;
+        Desc* cur = cell.load();
+        if (cur == &d) break;
+        if (cur == nullptr) {
+          if (cell.cas(nullptr, &d)) break;
+          continue;
+        }
+        const std::uint32_t st = cur->status.load();
+        if (st == kStCommitted || st == kStDone) {
+          finish(*cur);  // bounded, selfish help: run + release
+        } else {
+          // Acquiring (or already aborted): try to abort it. The CAS can
+          // lose to a concurrent commit — re-check before touching its
+          // locks, because force-releasing a *committed* transaction's
+          // ownerships would break mutual exclusion.
+          cur->status.cas(kStAcquiring, kStAborted);
+          if (cur->status.load() == kStAborted) {
+            release_all(*cur);
+          } else {
+            finish(*cur);
+          }
+        }
+      }
+    }
+    return d.status.cas(kStAcquiring, kStCommitted);
+  }
+
+  // Runs a committed transaction's thunk (idempotently) and releases.
+  void finish(Desc& d) {
+    if (d.status.load() == kStCommitted) {
+      if (d.thunk) {
+        IdemCtx<Plat> m(d.log, d.tag_base);
+        d.thunk(m);
+      }
+      d.status.cas(kStCommitted, kStDone);
+    }
+    if (d.status.load() == kStDone) release_all(d);
+  }
+
+  void release_all(Desc& d) {
+    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+      owners_[d.lock_ids[i]]->owner.cas(&d, nullptr);
+    }
+  }
+
+  IndexPool<Desc> desc_pool_;
+  EbrDomain ebr_;
+  std::vector<std::unique_ptr<OwnerCell>> owners_;
+  std::atomic<std::uint64_t> serial_{1};
+  std::atomic<std::uint64_t> aborts_{0};
+};
+
+}  // namespace wfl

@@ -1,0 +1,113 @@
+// Baseline: blocking two-phase locking over test-and-set spinlocks.
+//
+// The classic practice the paper's locks are measured against: sort the
+// lock set (deadlock freedom by global order), spin-acquire each, run the
+// critical section directly (no helping, no idempotence — mutual exclusion
+// is by blocking), release in reverse. Also provides a try_locked variant
+// (acquire with bounded patience, back off on failure) so benchmarks can
+// compare attempt-shaped APIs.
+//
+// Not wait-free, not fair: a preempted (or starved) lock holder blocks
+// everyone behind it — exactly the failure mode wait-free locks remove.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wfl/util/align.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+class Spin2PL {
+ public:
+  explicit Spin2PL(int num_locks) : flags_(static_cast<std::size_t>(num_locks)) {
+    WFL_CHECK(num_locks > 0);
+    for (auto& f : flags_) f->init(0);
+  }
+
+  Spin2PL(const Spin2PL&) = delete;
+  Spin2PL& operator=(const Spin2PL&) = delete;
+
+  int num_locks() const { return static_cast<int>(flags_.size()); }
+
+  // Blocking: acquires all locks (sorted order), runs fn, releases.
+  template <typename Fn>
+  void locked(std::span<const std::uint32_t> ids, Fn&& fn) {
+    std::uint32_t sorted[kMaxIds];
+    const std::uint32_t n = sort_ids(ids, sorted);
+    for (std::uint32_t i = 0; i < n; ++i) acquire(sorted[i]);
+    fn();
+    for (std::uint32_t i = n; i > 0; --i) release(sorted[i - 1]);
+  }
+
+  // Attempt-shaped: try each lock up to `patience` spins; on failure release
+  // everything and report false (caller backs off / retries).
+  template <typename Fn>
+  bool try_locked(std::span<const std::uint32_t> ids, Fn&& fn,
+                  int patience = 1) {
+    std::uint32_t sorted[kMaxIds];
+    const std::uint32_t n = sort_ids(ids, sorted);
+    std::uint32_t held = 0;
+    for (; held < n; ++held) {
+      if (!try_acquire(sorted[held], patience)) break;
+    }
+    if (held != n) {
+      for (std::uint32_t i = held; i > 0; --i) release(sorted[i - 1]);
+      return false;
+    }
+    fn();
+    for (std::uint32_t i = n; i > 0; --i) release(sorted[i - 1]);
+    return true;
+  }
+
+  // Diagnostic (quiescent or crash-audit use): true if any lock is held.
+  // After all live processes drained, a held flag can only belong to a
+  // process that died inside its critical section — the blocking failure
+  // mode exp_crash measures.
+  bool any_held() const {
+    for (const auto& f : flags_) {
+      if (f->peek() != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::uint32_t kMaxIds = 16;
+
+  static std::uint32_t sort_ids(std::span<const std::uint32_t> ids,
+                                std::uint32_t* out) {
+    WFL_CHECK(ids.size() <= kMaxIds);
+    std::copy(ids.begin(), ids.end(), out);
+    std::sort(out, out + ids.size());
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+      WFL_CHECK_MSG(out[i] != out[i - 1], "duplicate lock in lock set");
+    }
+    return static_cast<std::uint32_t>(ids.size());
+  }
+
+  void acquire(std::uint32_t id) {
+    auto& f = *flags_[id];
+    for (;;) {
+      if (f.load() == 0 && f.cas(0, 1)) return;
+    }
+  }
+
+  bool try_acquire(std::uint32_t id, int patience) {
+    auto& f = *flags_[id];
+    for (int s = 0; s < patience; ++s) {
+      if (f.load() == 0 && f.cas(0, 1)) return true;
+    }
+    return false;
+  }
+
+  void release(std::uint32_t id) { flags_[id]->store(0); }
+
+  std::vector<CachePadded<typename Plat::template Atomic<std::uint32_t>>>
+      flags_;
+};
+
+}  // namespace wfl

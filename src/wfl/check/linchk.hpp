@@ -1,0 +1,162 @@
+// A small exhaustive linearizability checker (Wing & Gong style).
+//
+// Theorem 4.2(3) claims the idempotence-simulated memory operations are
+// linearizable. Tests discharge that claim by recording complete concurrent
+// histories (invocation/response timestamps from the simulator's global
+// slot clock) and asking this checker whether some legal sequential order
+// exists that respects real time.
+//
+// The search is DFS over "which ops have been linearized so far" with
+// memoization on (done-mask, abstract state): an operation may linearize
+// next iff every not-yet-linearized operation's response is at or after its
+// invocation (otherwise the other op finished strictly before this one
+// began, and real-time order would be violated). Exponential in the worst
+// case — intended for the short, targeted histories tests produce (<= 32
+// operations per call), not for production monitoring.
+//
+// The abstract object semantics come from a Model policy:
+//
+//   struct Model {
+//     using State = ...;                  // ==, and hash() -> size_t
+//     static State initial();
+//     // Post-state if `op` (kind/arg/ret) is legal from `s`, else nullopt.
+//     static std::optional<State> apply(const State& s, const LinOp& op);
+//   };
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+struct LinOp {
+  int proc = 0;
+  std::uint64_t invoke = 0;    // global time of invocation
+  std::uint64_t response = 0;  // global time of response; >= invoke
+  int kind = 0;                // model-specific opcode
+  std::uint64_t arg = 0;
+  std::uint64_t arg2 = 0;      // second argument (e.g. CAS desired)
+  std::uint64_t ret = 0;
+};
+
+// Single 32-bit register with Load/Store/Cas — the semantics of one
+// idempotent Cell. ret of a Cas is 1 (success) or 0 (failure).
+struct RegisterModel {
+  enum Kind { kLoad = 0, kStore = 1, kCas = 2 };
+
+  struct State {
+    std::uint32_t value = 0;
+    bool operator==(const State&) const = default;
+    std::size_t hash() const { return value * 0x9E3779B97F4A7C15ULL >> 32; }
+  };
+
+  static State initial() { return {}; }
+  static State initial(std::uint32_t v) { return State{v}; }
+
+  static std::optional<State> apply(const State& s, const LinOp& op) {
+    switch (op.kind) {
+      case kLoad:
+        if (op.ret != s.value) return std::nullopt;
+        return s;
+      case kStore:
+        return State{static_cast<std::uint32_t>(op.arg)};
+      case kCas: {
+        const bool would_succeed = s.value == op.arg;
+        if ((op.ret != 0) != would_succeed) return std::nullopt;
+        return would_succeed ? State{static_cast<std::uint32_t>(op.arg2)} : s;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+};
+
+namespace detail {
+
+template <typename State>
+struct LinKey {
+  std::uint64_t mask;
+  State state;
+  bool operator==(const LinKey&) const = default;
+};
+
+template <typename State>
+struct LinKeyHash {
+  std::size_t operator()(const LinKey<State>& k) const {
+    return k.state.hash() ^ (k.mask * 0xBF58476D1CE4E5B9ULL);
+  }
+};
+
+}  // namespace detail
+
+template <typename Model>
+class LinChecker {
+ public:
+  using State = typename Model::State;
+
+  explicit LinChecker(State initial) : initial_(std::move(initial)) {}
+  LinChecker() : initial_(Model::initial()) {}
+
+  // True iff `hist` (complete: every op has responded) is linearizable with
+  // respect to Model starting from the initial state.
+  bool check(const std::vector<LinOp>& hist) {
+    WFL_CHECK_MSG(hist.size() <= 63, "history too long for mask-based DFS");
+    for (const LinOp& op : hist) {
+      WFL_CHECK_MSG(op.invoke <= op.response, "malformed op interval");
+    }
+    hist_ = &hist;
+    seen_.clear();
+    nodes_ = 0;
+    return dfs(0, initial_);
+  }
+
+  // Search effort of the last check() — exported so tests can keep their
+  // histories comfortably inside budget.
+  std::uint64_t nodes_explored() const { return nodes_; }
+
+ private:
+  bool dfs(std::uint64_t done, State state) {
+    const std::size_t n = hist_->size();
+    if (done == (n == 64 ? ~0ull : (1ull << n) - 1)) return true;
+    if (!seen_.insert({done, state}).second) return false;
+    WFL_CHECK_MSG(++nodes_ < kMaxNodes,
+                  "linearizability search exceeded node budget");
+
+    // Earliest response among pending ops bounds who may linearize next.
+    std::uint64_t frontier = ~0ull;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((done >> i) & 1) continue;
+      frontier = std::min(frontier, (*hist_)[i].response);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((done >> i) & 1) continue;
+      const LinOp& op = (*hist_)[i];
+      if (op.invoke > frontier) continue;  // someone finished before it began
+      std::optional<State> next = Model::apply(state, op);
+      if (!next) continue;
+      if (dfs(done | (1ull << i), *next)) return true;
+    }
+    return false;
+  }
+
+  static constexpr std::uint64_t kMaxNodes = 1u << 24;
+
+  State initial_;
+  const std::vector<LinOp>* hist_ = nullptr;
+  std::unordered_set<detail::LinKey<State>, detail::LinKeyHash<State>> seen_;
+  std::uint64_t nodes_ = 0;
+};
+
+// Convenience entry point.
+template <typename Model>
+bool linearizable(const std::vector<LinOp>& hist,
+                  typename Model::State initial = Model::initial()) {
+  LinChecker<Model> chk(std::move(initial));
+  return chk.check(hist);
+}
+
+}  // namespace wfl

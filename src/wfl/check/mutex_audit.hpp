@@ -1,0 +1,121 @@
+// Mutual-exclusion audit for Definition 4.3 (mutual exclusion with
+// idempotence).
+//
+// For every lock we keep two idempotent cells:
+//   * busy[ℓ]  — set to 1 on critical-section entry, 0 on exit. A thunk
+//     that observes busy[ℓ] != 0 on entry has caught another critical
+//     section holding ℓ mid-flight: a mutual-exclusion violation.
+//   * count[ℓ] — incremented once per winning thunk (read-modify-write).
+//     After the run, count[ℓ] must equal the number of *wins* whose lock
+//     set contains ℓ: fewer means a lost update (two sections ran
+//     concurrently), more means a thunk ran logically more than once
+//     (idempotence violation).
+//
+// Both detectors are free of false positives under helping: a straggler
+// replaying a finished run gets all its loads from the agreement log (it
+// sees the run's historical values, not the current cell), and its
+// physical stores are single-shot CASes against superseded words, which
+// fail with no effect. So a reported violation is a real interleaving of
+// two distinct critical sections — never an artifact of replay.
+//
+// Wall-clock interval recording was rejected for this job: any recording
+// around the thunk body measures a superset of the true interval (clock
+// reads sit on the far side of scheduler yields), and interval-overlap on
+// supersets flags legal executions. The in-band flags measure exactly the
+// steps the Definition talks about.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "wfl/idem/cell.hpp"
+#include "wfl/idem/idem.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+class MutexAudit {
+ public:
+  explicit MutexAudit(int num_locks) {
+    WFL_CHECK(num_locks > 0);
+    for (int i = 0; i < num_locks; ++i) {
+      busy_.push_back(std::make_unique<Cell<Plat>>(0u));
+      count_.push_back(std::make_unique<Cell<Plat>>(0u));
+    }
+    violations_.assign(static_cast<std::size_t>(num_locks), 0);
+  }
+
+  int num_locks() const { return static_cast<int>(busy_.size()); }
+
+  // Instrumented-op cost of guard() for a lock set of size L: 4L + 2.
+  // Callers must budget max_thunk_steps accordingly.
+  static constexpr std::uint32_t thunk_ops(std::uint32_t lock_count) {
+    return 4 * lock_count + 2;
+  }
+
+  // The guarded critical section: flags up on every lock, one counter
+  // bump on the first lock, flags down. Safe to run helped (see header).
+  // `ids` must outlive the attempt (point at the caller's lock array).
+  void guard(IdemCtx<Plat>& m, std::span<const std::uint32_t> ids) {
+    for (const std::uint32_t l : ids) {
+      if (m.load(*busy_[l]) != 0) {
+        ++violations_[l];  // plain counter: instrumentation, not model state
+      }
+      m.store(*busy_[l], 1);
+    }
+    const std::uint32_t v = m.load(*count_[ids[0]]);
+    m.store(*count_[ids[0]], v + 1);
+    for (const std::uint32_t l : ids) {
+      m.store(*busy_[l], 0);
+    }
+  }
+
+  // Post-run audit. `wins_with_first_lock[ℓ]` = number of returned wins
+  // whose first lock was ℓ; `slack` bounds attempts that never returned
+  // (e.g. a crashed process's in-flight attempt).
+  //
+  // `allow_inflight_flags`: with a crashed winner whose thunk no later
+  // overlapping attempt came along to complete (celebrateIfWon only fires
+  // when lock sets meet), flags of that one section legitimately stay
+  // raised at teardown — the section simply never finished, which is not
+  // an exclusion violation. Crash harnesses pass true and bound
+  // `raised_flags` by the victim's lock-set size instead.
+  struct Report {
+    std::uint64_t flag_violations = 0;
+    std::uint64_t lost_updates = 0;
+    std::uint64_t duplicated_runs = 0;
+    std::uint64_t raised_flags = 0;  // busy flags still up at audit time
+  };
+
+  Report audit(std::span<const std::uint64_t> wins_with_first_lock,
+               std::uint64_t slack = 0,
+               bool allow_inflight_flags = false) const {
+    WFL_CHECK(wins_with_first_lock.size() == busy_.size());
+    Report r;
+    for (std::size_t l = 0; l < busy_.size(); ++l) {
+      r.flag_violations += violations_[l];
+      const std::uint64_t counted = count_[l]->peek();
+      const std::uint64_t known = wins_with_first_lock[l];
+      if (counted < known) r.lost_updates += known - counted;
+      if (counted > known + slack) {
+        r.duplicated_runs += counted - (known + slack);
+      }
+      if (busy_[l]->peek() != 0) {
+        ++r.raised_flags;
+        WFL_CHECK_MSG(allow_inflight_flags,
+                      "a busy flag was left raised after quiescence");
+      }
+    }
+    return r;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Cell<Plat>>> busy_;
+  std::vector<std::unique_ptr<Cell<Plat>>> count_;
+  std::vector<std::uint64_t> violations_;
+};
+
+}  // namespace wfl

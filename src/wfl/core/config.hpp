@@ -1,0 +1,70 @@
+// Configuration for the wait-free lock algorithm.
+#pragma once
+
+#include <cstdint>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+// The fixed delays are what make the reveal time of an attempt a pure
+// function of its start time (Observation 6.7) — the linchpin of the
+// fairness proof. kTheory is the paper's Algorithm 3. kOff removes the
+// delays (and with them the fairness bound, NOT safety); it is the
+// "flock-style" practical mode used by the throughput benchmark and the
+// delay-ablation experiment.
+enum class DelayMode { kTheory, kOff };
+
+struct LockConfig {
+  // κ: promised upper bound on the point contention of any single lock
+  // (live attempts whose lock set contains the lock). Sizes the
+  // announcement arrays and the delays.
+  std::uint32_t kappa = 4;
+  // L: promised upper bound on locks per tryLock attempt.
+  std::uint32_t max_locks = 2;
+  // T: promised upper bound on instrumented steps per thunk.
+  std::uint32_t max_thunk_steps = 4;
+
+  // Delay constants: T0 = c0·κ²L²·T steps from attempt start to the reveal
+  // step, T1 = c1·κLT steps from the reveal step to attempt end (§6
+  // "Delays"). Any sufficiently large constant works; defaults are
+  // validated empirically by exp_step_bound (overruns must be zero).
+  double c0 = 24.0;
+  double c1 = 24.0;
+
+  DelayMode delay_mode = DelayMode::kTheory;
+
+  // Ablation switch for experiment E10: disables the pre-insert helping
+  // phase (tryLocks lines 17–20). Fairness-breaking; safety preserved.
+  bool help_phase = true;
+
+  std::uint64_t t0_steps() const {
+    const double k = kappa, l = max_locks, t = max_thunk_steps;
+    return static_cast<std::uint64_t>(c0 * k * k * l * l * t);
+  }
+  std::uint64_t t1_steps() const {
+    const double k = kappa, l = max_locks, t = max_thunk_steps;
+    return static_cast<std::uint64_t>(c1 * k * l * t);
+  }
+
+  void validate() const {
+    WFL_CHECK(kappa >= 1);
+    WFL_CHECK(max_locks >= 1);
+    WFL_CHECK(max_thunk_steps >= 1);
+    WFL_CHECK(c0 > 0 && c1 > 0);
+  }
+};
+
+// Counters exported by a lock space; raw atomics, not part of the step
+// model. Cheap enough to keep always-on.
+struct LockStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t wins = 0;
+  std::uint64_t helps = 0;          // run(p') calls on others' descriptors
+  std::uint64_t eliminations = 0;   // successful status CASes to lost
+  std::uint64_t thunk_runs = 0;     // celebrateIfWon executions that ran code
+  std::uint64_t t0_overruns = 0;    // pre-reveal work exceeded T0 (must be 0)
+  std::uint64_t t1_overruns = 0;    // post-reveal work exceeded T1 (must be 0)
+};
+
+}  // namespace wfl

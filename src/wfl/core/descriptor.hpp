@@ -1,0 +1,80 @@
+// The tryLock attempt descriptor (Algorithm 3, struct Descriptor).
+//
+// A descriptor is the unit that lives in the active sets: it names the lock
+// set, carries the thunk and its idempotence log, and holds the two pieces
+// of shared state the competition is decided on:
+//   * priority — doubles as the multi-active-set flag: -1 means unflagged
+//     (pending), kPriorityTbd is the adaptive variant's participation-reveal
+//     sentinel, positive values are revealed priorities;
+//   * status — {active, won, lost}; transitions only by CAS, only away from
+//     active, so a descriptor's fate is decided exactly once (the property
+//     Lemma 6.3 leans on).
+//
+// Descriptors are pool-allocated and recycled only after an EBR grace
+// period, so any helper that found one through a set snapshot can safely
+// read it for the duration of its guard.
+#pragma once
+
+#include <cstdint>
+
+#include "wfl/idem/idem.hpp"
+#include "wfl/util/assert.hpp"
+#include "wfl/util/fixed_function.hpp"
+
+namespace wfl {
+
+inline constexpr std::uint32_t kMaxLocksPerAttempt = 8;
+
+inline constexpr std::int64_t kPriorityPending = -1;
+inline constexpr std::int64_t kPriorityTbd = -2;  // adaptive variant only
+
+enum : std::uint32_t {
+  kStatusActive = 0,
+  kStatusWon = 1,
+  kStatusLost = 2,
+};
+
+template <typename Plat>
+struct Descriptor {
+  using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
+
+  // --- written by the owner before publication, read-only afterwards ---
+  std::uint32_t lock_ids[kMaxLocksPerAttempt] = {};
+  std::uint32_t lock_count = 0;
+  Thunk thunk;
+  std::uint32_t tag_base = 0;  // serial * kMaxThunkOps; see IdemCtx contract
+  std::uint64_t serial = 0;
+
+  // --- owner-private bookkeeping (never read by helpers) ---
+  int slot_of_lock[kMaxLocksPerAttempt] = {};
+
+  // --- shared competition state ---
+  typename Plat::template Atomic<std::int64_t> priority;
+  typename Plat::template Atomic<std::uint32_t> status;
+  ThunkLog<Plat> log;
+
+  // Multi-active-set flag interface (Algorithm 3 lines 7-13; the delay that
+  // precedes the reveal lives in LockSpace, which owns the step counting).
+  bool flag() { return priority.load() > 0; }
+  void clear_flag() { priority.store(kPriorityPending); }
+
+  // Quiescent reset on (re)allocation from the pool.
+  void reinit(std::uint64_t new_serial) {
+    lock_count = 0;
+    thunk.reset();
+    serial = new_serial;
+    tag_base = static_cast<std::uint32_t>(new_serial) * kMaxThunkOps;
+    priority.init(kPriorityPending);
+    status.init(kStatusActive);
+    log.reset();
+  }
+};
+
+// Draws a positive 62-bit priority. Uniqueness is probabilistic; ties are
+// handled by the both-lose rule (paper footnote 3).
+template <typename Plat>
+std::int64_t draw_priority() {
+  return static_cast<std::int64_t>(Plat::rand_u64() >> 2) + 1;
+}
+
+}  // namespace wfl

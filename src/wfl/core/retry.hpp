@@ -1,0 +1,60 @@
+// Retry-until-success: the corollary of Theorem 1.1.
+//
+// A tryLock attempt succeeds with probability >= 1/C_p >= 1/(κL),
+// independently across attempts (the paper's fairness bound), so retrying
+// on failure gives a *randomized wait-free* lock: the number of attempts is
+// geometric with mean <= κL and the total work is O(κ³L³T) expected steps.
+// This header packages that corollary as the API most callers actually
+// want, together with the per-call accounting the experiments report.
+//
+// The retry loop is NOT an unbounded spin in the model's sense: each
+// attempt is wait-free in its own right, and the loop terminates with
+// probability 1 with geometrically-decaying tail. A hard `max_attempts`
+// escape is still offered for callers that must bound worst-case work
+// deterministically (0 = retry forever).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "wfl/core/lock_space.hpp"
+
+namespace wfl {
+
+struct RetryStats {
+  bool success = false;
+  std::uint64_t attempts = 0;     // attempts consumed, including the winner
+  std::uint64_t total_steps = 0;  // own steps across all attempts
+};
+
+// Retries `f` on `lock_ids` until an attempt wins (or `max_attempts` is
+// exhausted, if nonzero). Returns the accounting either way.
+//
+// `f` must be a *copyable* functor (each attempt's descriptor stores its
+// own copy) obeying the same capture contract as try_locks itself: by
+// value, or pointers/references to state that outlives the lock space's
+// reclamation grace period — a straggling helper may replay the thunk
+// after this call returns, so capturing locals of the calling frame by
+// reference is a use-after-free.
+template <typename Plat, typename F>
+RetryStats retry_until_success(LockSpace<Plat>& space,
+                               typename LockSpace<Plat>::Process proc,
+                               std::span<const std::uint32_t> lock_ids,
+                               const F& f, std::uint64_t max_attempts = 0) {
+  RetryStats rs;
+  for (;;) {
+    AttemptInfo info;
+    typename LockSpace<Plat>::Thunk attempt_thunk{F(f)};
+    const bool won = space.try_locks(proc, lock_ids,
+                                     std::move(attempt_thunk), &info);
+    ++rs.attempts;
+    rs.total_steps += info.total_steps;
+    if (won) {
+      rs.success = true;
+      return rs;
+    }
+    if (max_attempts != 0 && rs.attempts >= max_attempts) return rs;
+  }
+}
+
+}  // namespace wfl

@@ -1,0 +1,180 @@
+// The idempotence construction of Theorem 4.2.
+//
+// A thunk (critical section) may be executed concurrently by its owner and
+// by any number of helpers; idempotence (Definition 4.1) demands the
+// combined runs look like a single run. The construction: every run replays
+// the thunk from the top, but each shared-memory operation, in program
+// order, first *agrees* with all other runs on its result through a shared
+// per-thunk log.
+//
+//   * agree(i, v): one CAS of slot i from EMPTY to v, then one load — the
+//     first run to arrive wins, everyone adopts the winner's value.
+//     Constant overhead per operation, as the theorem requires.
+//   * load:   raw-load the cell, agree on the observed word.
+//   * store:  agree on the observed old word, then one single-shot physical
+//     CAS(old -> (value, fresh unique tag)). Tags make installed words
+//     unique, so at most one run's CAS takes effect; stragglers' CASes find
+//     a different word and fail with no effect.
+//   * cas:    agree on the observed word; if its value mismatches, the
+//     logical CAS failed identically in every run. Otherwise one physical
+//     CAS to a tagged word, then agree on the *outcome*. A straggler whose
+//     physical CAS failed re-reads the cell: if it sees the desired word the
+//     logical CAS clearly succeeded; if it sees anything newer, the winning
+//     run must already have recorded the outcome (later operations only run
+//     after the outcome slot is filled), so the straggler's (possibly wrong)
+//     vote loses the agreement. This ordering argument is why the outcome
+//     agreement must sit *between* the physical CAS and any later operation.
+//   * once:   agree on a local nondeterministic value (randomness, time),
+//     making replays deterministic.
+//
+// Because agreed values are identical across runs, every run takes the same
+// branch at every step, so log-slot consumption is deterministic — the log
+// needs no per-run indexing.
+//
+// Exactness assumes cells are mutated only through this construction (all
+// writers install unique words). That holds for cells guarded by the locks
+// — the regime the paper's locks guarantee — and extends to racy
+// "group-locking" uses as long as *all* writers are instrumented
+// (store_racy provides the bounded-retry variant for that case).
+#pragma once
+
+#include <cstdint>
+
+#include "wfl/idem/cell.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+// Capacity contract: a thunk may perform at most kMaxThunkOps instrumented
+// operations; each consumes at most 2 log slots.
+inline constexpr std::uint32_t kMaxThunkOps = 64;
+inline constexpr std::uint32_t kThunkLogCap = 2 * kMaxThunkOps;
+
+// Outcome words for CAS agreement; distinct from kCellEmptySlot.
+inline constexpr std::uint64_t kOutcomeFalse = 0;
+inline constexpr std::uint64_t kOutcomeTrue = 1;
+
+template <typename Plat>
+class ThunkLog {
+ public:
+  ThunkLog() { reset(); }
+
+  // Quiescent-only: called when the owning descriptor is (re)initialized,
+  // after reclamation guarantees no helper can still touch it.
+  void reset() {
+    for (auto& s : slots_) s.init(kCellEmptySlot);
+  }
+
+  // Agreement on slot i: first arrival installs, everyone reads the winner.
+  std::uint64_t agree(std::uint32_t i, std::uint64_t v) {
+    WFL_CHECK_MSG(i < kThunkLogCap, "thunk exceeded its operation budget");
+    WFL_DASSERT(v != kCellEmptySlot);
+    typename Plat::template Atomic<std::uint64_t>& slot = slots_[i];
+    // Avoid the CAS when already decided (common when helping a finished
+    // run); the load alone is the agreement in that case.
+    const std::uint64_t cur = slot.load();
+    if (cur != kCellEmptySlot) return cur;
+    slot.cas(kCellEmptySlot, v);
+    return slot.load();
+  }
+
+ private:
+  typename Plat::template Atomic<std::uint64_t> slots_[kThunkLogCap];
+};
+
+// Per-run cursor over a shared ThunkLog. Each run of the thunk constructs
+// its own IdemCtx (positions are per-run; agreement makes them line up).
+template <typename Plat>
+class IdemCtx {
+ public:
+  // `tag_base` must be identical for all runs of the same thunk instance and
+  // unique across thunk instances (the lock descriptor provides
+  // serial * kMaxThunkOps).
+  IdemCtx(ThunkLog<Plat>& log, std::uint32_t tag_base)
+      : log_(&log), tag_base_(tag_base) {}
+
+  std::uint32_t load(Cell<Plat>& c) {
+    const std::uint64_t agreed = agree(c.raw_load());
+    return cell_value(agreed);
+  }
+
+  void store(Cell<Plat>& c, std::uint32_t v) {
+    const std::uint32_t op = consume_op();
+    const std::uint64_t old = log_->agree(slot_for(op, 0), c.raw_load());
+    const std::uint64_t desired = cell_pack(v, tag_for(op));
+    WFL_DASSERT(old != desired);
+    c.raw_cas(old, desired);  // single shot; failure means already done
+  }
+
+  bool cas(Cell<Plat>& c, std::uint32_t expected, std::uint32_t desired_v) {
+    const std::uint32_t op = consume_op();
+    const std::uint64_t cur = log_->agree(slot_for(op, 0), c.raw_load());
+    if (cell_value(cur) != expected) {
+      return false;  // same agreed word in every run => same branch
+    }
+    const std::uint64_t desired = cell_pack(desired_v, tag_for(op));
+    std::uint64_t vote = kOutcomeFalse;
+    if (c.raw_cas(cur, desired)) {
+      vote = kOutcomeTrue;
+    } else if (c.raw_load() == desired) {
+      vote = kOutcomeTrue;  // another run of this very op installed it
+    }
+    const std::uint64_t outcome = log_->agree(slot_for(op, 1), vote);
+    return outcome == kOutcomeTrue;
+  }
+
+  // Agree on a run-local nondeterministic value (e.g. a random draw). The
+  // value must not equal kCellEmptySlot.
+  std::uint64_t once(std::uint64_t v) { return agree(v); }
+
+  // Bounded-retry store for racy (group-locking) cells where concurrent
+  // instrumented writers outside this thunk are allowed. Returns false if
+  // the write could not be applied within max_rounds (callers choose
+  // max_rounds >= the interference bound, e.g. the point contention).
+  bool store_racy(Cell<Plat>& c, std::uint32_t v, int max_rounds) {
+    for (int r = 0; r < max_rounds; ++r) {
+      const std::uint32_t op = consume_op();
+      const std::uint64_t old = log_->agree(slot_for(op, 0), c.raw_load());
+      const std::uint64_t desired = cell_pack(v, tag_for(op));
+      if (old == desired) return true;  // an earlier round already landed
+      std::uint64_t vote = kOutcomeFalse;
+      if (c.raw_cas(old, desired)) {
+        vote = kOutcomeTrue;
+      } else if (c.raw_load() == desired) {
+        vote = kOutcomeTrue;
+      }
+      if (log_->agree(slot_for(op, 1), vote) == kOutcomeTrue) return true;
+    }
+    return false;
+  }
+
+  std::uint32_t ops_used() const { return pos_; }
+
+ private:
+  std::uint32_t consume_op() {
+    WFL_CHECK_MSG(pos_ < kMaxThunkOps,
+                  "thunk exceeded kMaxThunkOps instrumented operations");
+    return pos_++;
+  }
+
+  static std::uint32_t slot_for(std::uint32_t op, std::uint32_t which) {
+    return 2 * op + which;
+  }
+
+  std::uint32_t tag_for(std::uint32_t op) const {
+    // Never emit the initial tag 0: offset by 1. Uniqueness across thunk
+    // instances comes from tag_base_ (see ctor contract).
+    return tag_base_ + op + 1;
+  }
+
+  std::uint64_t agree(std::uint64_t v) {
+    const std::uint32_t op = consume_op();
+    return log_->agree(slot_for(op, 0), v);
+  }
+
+  ThunkLog<Plat>* log_;
+  std::uint32_t pos_ = 0;
+  std::uint32_t tag_base_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,188 @@
+// Growable fixed-address object pools.
+//
+// The lock algorithm allocates descriptors and immutable set snapshots on
+// every attempt. The paper's model treats allocation as primitive, so pool
+// operations use raw std::atomic and are *not* counted as algorithm steps
+// (DESIGN.md substitution #2); they are also excluded from the wait-freedom
+// accounting, exactly as the paper excludes memory management.
+//
+// Design constraints:
+//   * addresses must never move (helpers hold raw pointers across epochs),
+//   * reclamation can stall for as long as any process is preempted inside
+//     an EBR guard, so demand is unbounded by any static formula — the pool
+//     must grow.
+// Storage is therefore segmented: a fixed directory of segment pointers,
+// segments allocated lazily under a mutex (rare slow path) and published
+// with release stores; readers touch only immutable-once-published state.
+// The freelist head packs (index:32, tag:32) into one 64-bit CAS; the tag
+// increments on every pop, which removes the Treiber-stack ABA case.
+// Exceeding max_capacity is a loud failure (leak or runaway workload),
+// never UB.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+inline constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+
+template <typename T>
+class IndexPool {
+ public:
+  explicit IndexPool(std::uint32_t initial_capacity,
+                     std::uint32_t max_capacity = 1u << 22)
+      : max_capacity_(round_up(max_capacity)) {
+    WFL_CHECK(initial_capacity > 0 && initial_capacity <= max_capacity_);
+    const std::size_t dir = max_capacity_ >> kSegBits;
+    segments_ = std::make_unique<std::atomic<Segment*>[]>(dir);
+    next_dir_ = std::make_unique<std::atomic<NextSeg*>[]>(dir);
+    for (std::size_t i = 0; i < dir; ++i) {
+      segments_[i].store(nullptr, std::memory_order_relaxed);
+      next_dir_[i].store(nullptr, std::memory_order_relaxed);
+    }
+    head_.store(pack(kNullIndex, 0), std::memory_order_relaxed);
+    while (capacity_.load(std::memory_order_relaxed) < initial_capacity) {
+      grow(/*force=*/true);  // pre-size: grow even though slots are free
+    }
+  }
+
+  IndexPool(const IndexPool&) = delete;
+  IndexPool& operator=(const IndexPool&) = delete;
+
+  ~IndexPool() {
+    const std::size_t dir = max_capacity_ >> kSegBits;
+    for (std::size_t i = 0; i < dir; ++i) {
+      delete segments_[i].load(std::memory_order_relaxed);
+      delete next_dir_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  std::uint32_t capacity() const {
+    return capacity_.load(std::memory_order_acquire);
+  }
+
+  std::uint32_t free_count() const {
+    return free_count_.load(std::memory_order_relaxed);
+  }
+
+  // Pops a slot, growing if the freelist is empty. Aborts only at
+  // max_capacity (a leak, not a transient condition).
+  std::uint32_t alloc() {
+    for (;;) {
+      std::uint64_t head = head_.load(std::memory_order_acquire);
+      while (index_of(head) != kNullIndex) {
+        const std::uint32_t idx = index_of(head);
+        const std::uint32_t next =
+            next_slot(idx).load(std::memory_order_relaxed);
+        const std::uint64_t desired = pack(next, tag_of(head) + 1);
+        if (head_.compare_exchange_weak(head, desired,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          free_count_.fetch_sub(1, std::memory_order_relaxed);
+          return idx;
+        }
+      }
+      grow();
+    }
+  }
+
+  void free(std::uint32_t idx) {
+    WFL_DASSERT(idx < capacity());
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      next_slot(idx).store(index_of(head), std::memory_order_relaxed);
+      const std::uint64_t desired = pack(idx, tag_of(head) + 1);
+      if (head_.compare_exchange_weak(head, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        free_count_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  T& at(std::uint32_t idx) {
+    WFL_DASSERT(idx < capacity());
+    Segment* seg = segments_[idx >> kSegBits].load(std::memory_order_acquire);
+    WFL_DASSERT(seg != nullptr);
+    return seg->items[idx & kSegMask];
+  }
+  const T& at(std::uint32_t idx) const {
+    return const_cast<IndexPool*>(this)->at(idx);
+  }
+
+  T* ptr(std::uint32_t idx) { return &at(idx); }
+
+ private:
+  static constexpr std::uint32_t kSegBits = 8;
+  static constexpr std::uint32_t kSegSize = 1u << kSegBits;
+  static constexpr std::uint32_t kSegMask = kSegSize - 1;
+
+  struct Segment {
+    T items[kSegSize];
+  };
+  struct NextSeg {
+    std::atomic<std::uint32_t> next[kSegSize];
+  };
+
+  static std::uint32_t round_up(std::uint32_t v) {
+    return (v + kSegMask) & ~kSegMask;
+  }
+  static std::uint64_t pack(std::uint32_t idx, std::uint32_t tag) {
+    return (static_cast<std::uint64_t>(tag) << 32) | idx;
+  }
+  static std::uint32_t index_of(std::uint64_t head) {
+    return static_cast<std::uint32_t>(head & 0xFFFFFFFFu);
+  }
+  static std::uint32_t tag_of(std::uint64_t head) {
+    return static_cast<std::uint32_t>(head >> 32);
+  }
+
+  std::atomic<std::uint32_t>& next_slot(std::uint32_t idx) {
+    NextSeg* seg = next_dir_[idx >> kSegBits].load(std::memory_order_acquire);
+    return seg->next[idx & kSegMask];
+  }
+
+  // Slow path: appends one segment and pushes its slots onto the freelist.
+  // `force` skips the refill re-check — used only by the constructor's
+  // pre-sizing loop, where free slots must not stop capacity growth.
+  void grow(bool force = false) {
+    std::lock_guard<std::mutex> lock(grow_mutex_);
+    // Re-check under the lock: a concurrent grower may have refilled.
+    if (!force && free_count_.load(std::memory_order_relaxed) > 0) return;
+    const std::uint32_t cap = capacity_.load(std::memory_order_relaxed);
+    WFL_CHECK_MSG(cap < max_capacity_,
+                  "IndexPool reached max_capacity: leak or runaway demand");
+    const std::uint32_t seg_idx = cap >> kSegBits;
+    auto seg = std::make_unique<Segment>();
+    auto nxt = std::make_unique<NextSeg>();
+    for (std::uint32_t i = 0; i < kSegSize; ++i) {
+      nxt->next[i].store(kNullIndex, std::memory_order_relaxed);
+    }
+    segments_[seg_idx].store(seg.release(), std::memory_order_release);
+    next_dir_[seg_idx].store(nxt.release(), std::memory_order_release);
+    capacity_.store(cap + kSegSize, std::memory_order_release);
+    // Push top-down so the *lowest* new index pops first: applications use
+    // pool indices as lock ids ("node i is protected by lock i") and size
+    // their lock spaces by the indices they expect to see.
+    for (std::uint32_t i = kSegSize; i > 0; --i) {
+      free(cap + i - 1);
+    }
+  }
+
+  std::uint32_t max_capacity_;
+  std::unique_ptr<std::atomic<Segment*>[]> segments_;
+  std::unique_ptr<std::atomic<NextSeg*>[]> next_dir_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint32_t> capacity_{0};
+  std::atomic<std::uint32_t> free_count_{0};
+  std::mutex grow_mutex_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,198 @@
+// Epoch-based reclamation with explicit participant handles.
+//
+// Helpers may hold references to another attempt's descriptor or to a
+// replaced set snapshot long after the owner moved on, so freeing must wait
+// for a grace period. Classic 3-epoch EBR; the one twist is that
+// participants are explicit handles rather than thread_locals, because a
+// "process" here can be either an OS thread (RealPlat) or a simulator fiber
+// (SimPlat) — many fibers share one thread.
+//
+// Safety contract: retire(obj) must be called only after obj is unreachable
+// from shared memory. Then any guard that can still hold a reference was
+// entered at an epoch <= the epoch observed by retire(); such a guard blocks
+// the global epoch below observed+2, so freeing at observed+2 is safe.
+//
+// Reclamation is not part of the algorithms' step accounting (DESIGN.md
+// substitution #2): all internals are raw std::atomic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "wfl/util/align.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+class EbrDomain {
+ public:
+  using Deleter = void (*)(void* ctx, std::uint32_t handle);
+
+  explicit EbrDomain(int max_participants)
+      : parts_(static_cast<std::size_t>(max_participants)) {
+    WFL_CHECK(max_participants > 0);
+  }
+
+  EbrDomain(const EbrDomain&) = delete;
+  EbrDomain& operator=(const EbrDomain&) = delete;
+
+  ~EbrDomain() {
+    // Domain teardown implies quiescence; drain everything unconditionally.
+    for (auto& padded : parts_) {
+      Participant& p = *padded;
+      WFL_CHECK_MSG(!p.active.load(std::memory_order_relaxed),
+                    "EbrDomain destroyed while a participant holds a guard");
+      for (auto& bucket : p.buckets) {
+        for (const Retired& r : bucket.items) r.deleter(r.ctx, r.handle);
+        bucket.items.clear();
+      }
+    }
+  }
+
+  int register_participant() {
+    const int id = next_participant_.fetch_add(1, std::memory_order_relaxed);
+    WFL_CHECK_MSG(id < static_cast<int>(parts_.size()),
+                  "EbrDomain participant capacity exceeded");
+    return id;
+  }
+
+  void enter(int pid) {
+    Participant& p = part(pid);
+    WFL_CHECK_MSG(!p.active.load(std::memory_order_relaxed),
+                  "EBR enter() while already in a critical region");
+    // Announce-then-verify: re-read the global epoch after announcing so an
+    // advance that already scanned us cannot miss the announcement.
+    for (;;) {
+      const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      p.epoch.store(e, std::memory_order_seq_cst);
+      p.active.store(true, std::memory_order_seq_cst);
+      if (global_epoch_.load(std::memory_order_seq_cst) == e) return;
+      p.active.store(false, std::memory_order_seq_cst);
+    }
+  }
+
+  void exit(int pid) {
+    Participant& p = part(pid);
+    WFL_CHECK(p.active.load(std::memory_order_relaxed));
+    p.active.store(false, std::memory_order_seq_cst);
+  }
+
+  // Crash support: drops `pid`'s guard (if held) on its behalf. ONLY legal
+  // when the participant provably takes no further steps — a simulator
+  // fiber that a CrashSchedule parked forever, or a joined thread. A guard
+  // held by a genuinely running process must never be force-released: the
+  // process may still dereference retired objects. Crash harnesses call
+  // this before tearing the domain down; it also un-stalls reclamation for
+  // any post-crash measurement phase.
+  void abandon(int pid) {
+    part(pid).active.store(false, std::memory_order_seq_cst);
+  }
+
+  // Defers `deleter(ctx, handle)` until two epoch advances have passed since
+  // the epoch observed here. See the safety contract above.
+  void retire(int pid, void* ctx, std::uint32_t handle, Deleter deleter) {
+    Participant& p = part(pid);
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    Bucket& b = p.buckets[e % kBuckets];
+    if (!b.items.empty() && b.epoch != e) {
+      // Same slot, older epoch: epochs sharing a slot differ by >= kBuckets,
+      // so its contents are already past their grace period.
+      WFL_CHECK(b.epoch + 2 <= e);
+      drain(b);
+    }
+    b.epoch = e;
+    b.items.push_back(Retired{ctx, handle, deleter});
+    if (++p.retire_ops >= kCollectEvery) {
+      p.retire_ops = 0;
+      collect(pid);
+    }
+  }
+
+  // Attempts an epoch advance, then frees this participant's safe buckets.
+  void collect(int pid) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    if (all_participants_at(e)) {
+      std::uint64_t expected = e;  // racing collectors: one advance per value
+      global_epoch_.compare_exchange_strong(expected, e + 1,
+                                            std::memory_order_seq_cst);
+    }
+    free_safe_buckets(pid);
+  }
+
+  std::uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_relaxed);
+  }
+
+  class Guard {
+   public:
+    Guard(EbrDomain& d, int pid) : d_(&d), pid_(pid) { d_->enter(pid_); }
+    ~Guard() {
+      if (d_ != nullptr) d_->exit(pid_);
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EbrDomain* d_;
+    int pid_;
+  };
+
+ private:
+  static constexpr int kBuckets = 3;
+  static constexpr int kCollectEvery = 16;
+
+  struct Retired {
+    void* ctx;
+    std::uint32_t handle;
+    Deleter deleter;
+  };
+
+  struct Bucket {
+    std::uint64_t epoch = 0;
+    std::vector<Retired> items;
+  };
+
+  struct Participant {
+    std::atomic<bool> active{false};
+    std::atomic<std::uint64_t> epoch{0};
+    Bucket buckets[kBuckets];
+    int retire_ops = 0;
+  };
+
+  static void drain(Bucket& b) {
+    for (const Retired& r : b.items) r.deleter(r.ctx, r.handle);
+    b.items.clear();
+  }
+
+  Participant& part(int pid) {
+    WFL_DASSERT(pid >= 0 && pid < static_cast<int>(parts_.size()));
+    return *parts_[static_cast<std::size_t>(pid)];
+  }
+
+  bool all_participants_at(std::uint64_t e) const {
+    const int n = next_participant_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      const Participant& p = *parts_[static_cast<std::size_t>(i)];
+      if (p.active.load(std::memory_order_seq_cst) &&
+          p.epoch.load(std::memory_order_seq_cst) != e) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void free_safe_buckets(int pid) {
+    Participant& p = part(pid);
+    const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    for (Bucket& b : p.buckets) {
+      if (!b.items.empty() && b.epoch + 2 <= e) drain(b);
+    }
+  }
+
+  std::vector<CachePadded<Participant>> parts_;
+  std::atomic<std::uint64_t> global_epoch_{0};
+  std::atomic<int> next_participant_{0};
+};
+
+}  // namespace wfl

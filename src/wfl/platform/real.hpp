@@ -1,0 +1,91 @@
+// RealPlat: execute on OS threads with std::atomic.
+//
+// Every concurrent algorithm in this library is a template over a Platform
+// policy. The policy supplies atomics with a *step hook* (each shared-memory
+// operation is one "step" in the paper's model), a per-process step counter
+// (delays are "until N of my own steps"), and a per-process PRNG.
+//
+// RealPlat counts steps in a thread_local and uses sequentially consistent
+// atomics throughout. The algorithms' proofs are stated against an
+// interleaving model; we deliberately do not weaken orderings (Core
+// Guidelines CP.100/101: no cleverness in lock-free code without a proof for
+// the weaker order).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "wfl/util/rng.hpp"
+
+namespace wfl {
+
+struct RealPlat {
+  static std::uint64_t& steps_ref() {
+    thread_local std::uint64_t steps = 0;
+    return steps;
+  }
+
+  static Xoshiro256& rng_ref() {
+    thread_local Xoshiro256 rng{0x9E3779B97F4A7C15ULL};
+    return rng;
+  }
+
+  // One explicit local step: used by the delay loops of Algorithm 3 and
+  // counted exactly like a shared-memory operation.
+  static void step() { ++steps_ref(); }
+
+  static std::uint64_t steps() { return steps_ref(); }
+
+  static std::uint64_t rand_u64() { return rng_ref().next(); }
+
+  // Reseed the calling thread's PRNG (tests want reproducibility).
+  static void seed_rng(std::uint64_t seed) { rng_ref().reseed(seed); }
+
+  template <typename T>
+  class Atomic {
+   public:
+    Atomic() : v_{} {}
+    explicit Atomic(T v) : v_(v) {}
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    T load() const {
+      step();
+      return v_.load(std::memory_order_seq_cst);
+    }
+
+    void store(T v) {
+      step();
+      v_.store(v, std::memory_order_seq_cst);
+    }
+
+    // Single-shot CAS (the paper's CAS instruction). Returns true on success;
+    // does not loop.
+    bool cas(T expected, T desired) {
+      step();
+      return v_.compare_exchange_strong(expected, desired,
+                                        std::memory_order_seq_cst);
+    }
+
+    T exchange(T v) {
+      step();
+      return v_.exchange(v, std::memory_order_seq_cst);
+    }
+
+    T fetch_add(T v) {
+      step();
+      return v_.fetch_add(v, std::memory_order_seq_cst);
+    }
+
+    // Initialization-time access: not a step, not concurrency-safe. Only for
+    // construction/reset paths that happen-before any sharing.
+    void init(T v) { v_.store(v, std::memory_order_relaxed); }
+    T peek() const { return v_.load(std::memory_order_seq_cst); }
+
+   private:
+    std::atomic<T> v_;
+  };
+};
+
+}  // namespace wfl

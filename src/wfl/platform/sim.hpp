@@ -1,0 +1,93 @@
+// SimPlat: execute under the deterministic simulator.
+//
+// Identical interface to RealPlat, so every algorithm template can be
+// instantiated for either. Under SimPlat each shared-memory operation first
+// counts one step for the running logical process and yields to the
+// scheduler — making the operation occur exactly at its granted time slot,
+// which is the paper's execution model.
+//
+// Outside an active simulation (setup/teardown on the main context) the
+// hooks degrade to no-ops so fixtures can initialize shared structures.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "wfl/sim/sim.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl {
+
+struct SimPlat {
+  static void step() {
+    Simulator* sim = Simulator::current();
+    if (sim != nullptr && sim->current_pid() >= 0) {
+      sim->count_step_and_yield();
+    }
+  }
+
+  static std::uint64_t steps() {
+    Simulator* sim = Simulator::current();
+    if (sim != nullptr && sim->current_pid() >= 0) {
+      return sim->current_steps();
+    }
+    return 0;
+  }
+
+  static std::uint64_t rand_u64() {
+    Simulator* sim = Simulator::current();
+    if (sim != nullptr && sim->current_pid() >= 0) {
+      return sim->rand_u64();
+    }
+    // Setup-context fallback; deterministic but shared.
+    static Xoshiro256 fallback{0xC0FFEEULL};
+    return fallback.next();
+  }
+
+  template <typename T>
+  class Atomic {
+   public:
+    Atomic() : v_{} {}
+    explicit Atomic(T v) : v_(v) {}
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    // All fibers share one OS thread, so plain operations would already be
+    // data-race-free; we keep std::atomic so the same template also behaves
+    // if a test drives SimPlat structures from the main thread.
+    T load() const {
+      step();
+      return v_.load(std::memory_order_seq_cst);
+    }
+
+    void store(T v) {
+      step();
+      v_.store(v, std::memory_order_seq_cst);
+    }
+
+    bool cas(T expected, T desired) {
+      step();
+      return v_.compare_exchange_strong(expected, desired,
+                                        std::memory_order_seq_cst);
+    }
+
+    T exchange(T v) {
+      step();
+      return v_.exchange(v, std::memory_order_seq_cst);
+    }
+
+    T fetch_add(T v) {
+      step();
+      return v_.fetch_add(v, std::memory_order_seq_cst);
+    }
+
+    void init(T v) { v_.store(v, std::memory_order_relaxed); }
+    T peek() const { return v_.load(std::memory_order_seq_cst); }
+
+   private:
+    std::atomic<T> v_;
+  };
+};
+
+}  // namespace wfl

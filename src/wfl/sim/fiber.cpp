@@ -1,0 +1,62 @@
+#include "wfl/sim/fiber.hpp"
+
+#include <cstdint>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+namespace {
+thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : body_(std::move(body)), stack_(new char[stack_bytes]) {
+  WFL_CHECK(body_ != nullptr);
+  WFL_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = &return_ctx_;  // body return falls back to the resumer
+  // makecontext only passes ints; smuggle the this-pointer as two halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xFFFFFFFFu));
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended (unfinished) fiber leaks whatever its stack owns;
+  // the simulator only destroys fibers after run() drains them or at
+  // process teardown, where that is acceptable by construction.
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run_body();
+}
+
+void Fiber::run_body() {
+  body_();
+  finished_ = true;
+  // uc_link returns to return_ctx_ (the most recent resume()).
+}
+
+void Fiber::resume() {
+  WFL_CHECK_MSG(!finished_, "resume() on a finished fiber");
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  started_ = true;
+  WFL_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
+  g_current_fiber = prev;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  WFL_CHECK_MSG(self != nullptr, "Fiber::yield() outside a fiber");
+  WFL_CHECK(swapcontext(&self->ctx_, &self->return_ctx_) == 0);
+}
+
+}  // namespace wfl

@@ -1,0 +1,86 @@
+// Scripted adaptive *player adversary* harness (§2, §4 of the paper).
+//
+// The model splits adversarial power in two: the scheduler adversary is
+// oblivious (Schedule objects are pure functions of their seeds), but the
+// player adversary is adaptive — it sees the full history, including every
+// revealed priority, and chooses when each process starts its next attempt
+// and on which locks. In this library the player adversary is ordinary
+// process-body code: bodies may inspect any shared state before calling
+// try_locks. This header packages the inspection patterns the fairness
+// experiments (exp_ablation, exp_fairness) and tests share, so an attack
+// script reads like the strategy it implements.
+//
+// Everything here is *attacker-side* instrumentation: it holds EBR guards
+// correctly but deliberately reads other attempts' descriptors — exactly
+// what the model's adaptive player is allowed to do, and nothing an
+// application should ever include.
+#pragma once
+
+#include <cstdint>
+
+#include "wfl/core/lock_space.hpp"
+#include "wfl/platform/sim.hpp"
+
+namespace wfl {
+
+// A view of one lock's competition state, as the adaptive player sees it.
+struct FieldView {
+  std::int64_t strongest_priority = -1;  // max over active, revealed members
+  int active_members = 0;                // status == active
+  int revealed_members = 0;              // priority > 0
+};
+
+// Adversary-side observer over a LockSpace's active sets.
+template <typename Plat>
+class PlayerObserver {
+ public:
+  using Space = LockSpace<Plat>;
+  using Process = typename Space::Process;
+
+  PlayerObserver(Space& space, Process proc) : space_(&space), proc_(proc) {}
+
+  // Snapshot the competition on lock `id`. Takes steps (getSet + scan) —
+  // the player pays for its spying like any other code.
+  FieldView observe(std::uint32_t id) {
+    FieldView v;
+    space_->ebr_enter(proc_);
+    const auto* snap = space_->lock_set(id).get_set();
+    for (std::uint32_t i = 0; i < snap->count; ++i) {
+      auto* q = snap->items[i];
+      if (q->status.load() != kStatusActive) continue;
+      ++v.active_members;
+      const std::int64_t pri = q->priority.load();
+      if (pri > 0) {
+        ++v.revealed_members;
+        if (pri > v.strongest_priority) v.strongest_priority = pri;
+      }
+    }
+    space_->ebr_exit(proc_);
+    return v;
+  }
+
+  // Polls `id` until pred(view) holds or `budget` polls elapse, idling one
+  // step between polls (the player chooses its own start time by waiting).
+  // Returns true if the predicate fired.
+  template <typename Pred>
+  bool wait_for(std::uint32_t id, int budget, Pred pred) {
+    for (int i = 0; i < budget; ++i) {
+      if (pred(observe(id))) return true;
+      Plat::step();
+    }
+    return false;
+  }
+
+ private:
+  Space* space_;
+  Process proc_;
+};
+
+// Priority threshold helpers: priorities are uniform in (0, 2^62], so the
+// top fraction `f` of the range starts at (1 - f)·2^62.
+constexpr std::int64_t priority_top_fraction(double f) {
+  return static_cast<std::int64_t>(
+      (1.0 - f) * static_cast<double>(1ull << 62));
+}
+
+}  // namespace wfl

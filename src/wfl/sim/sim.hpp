@@ -1,0 +1,166 @@
+// Deterministic execution simulator for the paper's model (§4).
+//
+// A logical process is a fiber; a *step* is one shared-memory operation (or
+// one explicit delay step). The scheduler grants steps one at a time
+// according to a Schedule that is computed purely from a seed — i.e., the
+// schedule is fixed before the execution observes anything, which is exactly
+// the paper's *oblivious scheduler adversary*. Weighted and stall-burst
+// schedules express "a process can be delayed arbitrarily".
+//
+// The *adaptive player adversary* is expressed in experiment code: process
+// bodies may inspect any shared state (including revealed priorities) when
+// deciding when to start an attempt — the model allows this and our fairness
+// experiments exploit it (see bench/exp_ablation.cpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "wfl/sim/fiber.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl {
+
+// A schedule maps successive time slots to process ids. Implementations must
+// derive every decision from construction-time data (seed, weights) only —
+// never from execution state — to remain oblivious.
+class Schedule {
+ public:
+  virtual ~Schedule() = default;
+  virtual int next() = 0;
+};
+
+class RoundRobinSchedule final : public Schedule {
+ public:
+  explicit RoundRobinSchedule(int n) : n_(n) {}
+  int next() override { return pos_ = (pos_ + 1) % n_; }
+
+ private:
+  int n_;
+  int pos_ = -1;
+};
+
+class UniformSchedule final : public Schedule {
+ public:
+  UniformSchedule(int n, std::uint64_t seed) : n_(n), rng_(seed) {}
+  int next() override { return static_cast<int>(rng_.next_below(n_)); }
+
+ private:
+  int n_;
+  Xoshiro256 rng_;
+};
+
+// Processes are picked with the given weights; a near-zero weight models a
+// process the adversary delays for a very long time.
+class WeightedSchedule final : public Schedule {
+ public:
+  WeightedSchedule(std::vector<double> weights, std::uint64_t seed);
+  int next() override;
+
+ private:
+  std::vector<double> cumulative_;
+  Xoshiro256 rng_;
+};
+
+// Uniform schedule, except that periodically one process (chosen by seed) is
+// completely starved for a burst of slots — an oblivious pattern that still
+// produces highly skewed interleavings.
+class StallBurstSchedule final : public Schedule {
+ public:
+  StallBurstSchedule(int n, std::uint64_t seed, std::uint64_t burst_len)
+      : n_(n), burst_len_(burst_len), rng_(seed) {}
+  int next() override;
+
+ private:
+  int n_;
+  std::uint64_t burst_len_;
+  Xoshiro256 rng_;
+  int victim_ = -1;
+  std::uint64_t remaining_ = 0;
+};
+
+// Wraps an inner schedule and crash-fails chosen processes: after a victim's
+// crash slot has passed, slots the inner schedule would grant to it are
+// re-drawn uniformly among the other processes. A crashed process simply
+// never runs again — the model's "arbitrarily delayed" taken to the limit,
+// which is exactly the failure mode wait-freedom must tolerate. All
+// decisions derive from construction-time data (victims, slots, seed) plus
+// the slot index, so the composite schedule remains oblivious.
+class CrashSchedule final : public Schedule {
+ public:
+  struct Crash {
+    int pid;
+    std::uint64_t slot;  // first slot at which the process no longer runs
+  };
+
+  CrashSchedule(Schedule& inner, int n, std::vector<Crash> crashes,
+                std::uint64_t seed);
+  int next() override;
+
+ private:
+  bool crashed_at(int pid, std::uint64_t slot) const;
+
+  Schedule* inner_;
+  int n_;
+  std::vector<Crash> crashes_;
+  Xoshiro256 rng_;
+  std::uint64_t slot_ = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Registers a logical process. All processes must be added before run().
+  int add_process(std::function<void()> body,
+                  std::size_t stack_bytes = 128 * 1024);
+
+  // Grants steps per `sched` until every process body returned or max_slots
+  // slots were consumed. Returns true iff all processes finished. Slots
+  // granted to finished processes are wasted (the oblivious scheduler does
+  // not know who is done).
+  //
+  // `required_finishers` supports crash experiments: when >= 0, run()
+  // returns true as soon as that many processes have finished (a crashed
+  // process never finishes, so waiting for all of them would spin until
+  // max_slots).
+  bool run(Schedule& sched, std::uint64_t max_slots,
+           int required_finishers = -1);
+
+  int process_count() const { return static_cast<int>(procs_.size()); }
+  int finished_count() const { return finished_; }
+  bool is_finished(int pid) const;
+  std::uint64_t steps_of(int pid) const;
+  std::uint64_t slots_used() const { return slots_used_; }
+
+  // --- hooks used by SimPlat (valid only while run() is active) ---
+  static Simulator* current();
+  // Counts one step for the running process, then yields to the scheduler.
+  void count_step_and_yield();
+  std::uint64_t rand_u64();          // running process's deterministic PRNG
+  std::uint64_t current_steps() const;  // running process's step count
+  int current_pid() const;
+
+ private:
+  struct Proc {
+    std::unique_ptr<Fiber> fiber;
+    std::uint64_t steps = 0;
+    Xoshiro256 rng{0};
+    bool done = false;
+  };
+
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  int running_pid_ = -1;
+  int finished_ = 0;
+  std::uint64_t slots_used_ = 0;
+  bool in_run_ = false;
+};
+
+}  // namespace wfl

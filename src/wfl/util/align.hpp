@@ -1,0 +1,31 @@
+// Cache-line alignment helpers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace wfl {
+
+// Hard-code 64 rather than std::hardware_destructive_interference_size: the
+// latter is an ABI hazard (GCC warns when it leaks into public types) and 64
+// is correct on every platform we target.
+inline constexpr std::size_t kCacheLine = 64;
+
+// Pads T to a cache line to prevent false sharing between adjacent elements
+// of per-process arrays (step counters, announcement slots, stats).
+template <typename T>
+struct alignas(kCacheLine) CachePadded {
+  T value;
+
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace wfl

@@ -1,0 +1,39 @@
+// Invariant checking for wflock.
+//
+// WFL_CHECK is always on (release included): the library's wait-freedom and
+// safety arguments rely on structural invariants (bounded pools, bounded
+// loops, status state machines); violating one silently would turn a proof
+// bug into undefined behaviour. The cost is a predictable branch.
+//
+// WFL_DASSERT compiles away outside debug builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wfl {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "wfl: invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace wfl
+
+#define WFL_CHECK(expr)                                             \
+  do {                                                              \
+    if (!(expr)) ::wfl::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define WFL_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) ::wfl::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define WFL_DASSERT(expr) ((void)0)
+#else
+#define WFL_DASSERT(expr) WFL_CHECK(expr)
+#endif

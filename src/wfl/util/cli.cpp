@@ -1,0 +1,70 @@
+#include "wfl/util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+struct Cli::Impl {
+  std::map<std::string, std::string> values;
+  std::set<std::string> consumed;
+};
+
+Cli::Cli(int argc, char** argv) : impl_(new Impl) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    WFL_CHECK_MSG(arg.rfind("--", 0) == 0, "flags must look like --name=value");
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      impl_->values[arg] = "true";  // bare --flag means boolean true
+    } else {
+      impl_->values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+Cli::~Cli() { delete impl_; }
+
+std::int64_t Cli::flag_int(const std::string& name, std::int64_t def) {
+  impl_->consumed.insert(name);
+  auto it = impl_->values.find(name);
+  if (it == impl_->values.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::flag_double(const std::string& name, double def) {
+  impl_->consumed.insert(name);
+  auto it = impl_->values.find(name);
+  if (it == impl_->values.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::flag_bool(const std::string& name, bool def) {
+  impl_->consumed.insert(name);
+  auto it = impl_->values.find(name);
+  if (it == impl_->values.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Cli::flag_string(const std::string& name, const std::string& def) {
+  impl_->consumed.insert(name);
+  auto it = impl_->values.find(name);
+  if (it == impl_->values.end()) return def;
+  return it->second;
+}
+
+void Cli::done() const {
+  for (const auto& [k, v] : impl_->values) {
+    if (impl_->consumed.count(k) == 0) {
+      std::fprintf(stderr, "unknown flag --%s=%s\n", k.c_str(), v.c_str());
+      std::exit(2);
+    }
+  }
+}
+
+}  // namespace wfl

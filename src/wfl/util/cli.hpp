@@ -1,0 +1,31 @@
+// Minimal --flag=value parser for experiment binaries.
+//
+// Experiments must run unattended with sensible defaults (`for b in
+// build/bench/*; do $b; done`), so flags only override defaults and unknown
+// flags are fatal (catching typos in scripted sweeps).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wfl {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+  ~Cli();
+
+  std::int64_t flag_int(const std::string& name, std::int64_t def);
+  double flag_double(const std::string& name, double def);
+  bool flag_bool(const std::string& name, bool def);
+  std::string flag_string(const std::string& name, const std::string& def);
+
+  // Call after all flag_* lookups: aborts on unrecognized flags.
+  void done() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,106 @@
+// FixedFunction: a move-only callable with inline storage and no heap.
+//
+// Lock thunks (critical sections) are stored inside lock descriptors and
+// executed concurrently by helpers, so they must not allocate and must be
+// trivially relocatable into descriptor slots. std::function cannot promise
+// either; this can.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+template <typename Signature, std::size_t Capacity = 64>
+class FixedFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class FixedFunction<R(Args...), Capacity> {
+ public:
+  FixedFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FixedFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  FixedFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "callable too large for FixedFunction inline storage");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    ::new (storage_) Fn(std::forward<F>(f));
+    invoke_ = [](void* s, Args... args) -> R {
+      return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+    };
+    manage_ = [](void* dst, void* src, Op op) {
+      switch (op) {
+        case Op::kMove:
+          ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+          static_cast<Fn*>(src)->~Fn();
+          break;
+        case Op::kDestroy:
+          static_cast<Fn*>(dst)->~Fn();
+          break;
+      }
+    };
+  }
+
+  FixedFunction(FixedFunction&& other) noexcept { move_from(other); }
+
+  FixedFunction& operator=(FixedFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  FixedFunction(const FixedFunction&) = delete;
+  FixedFunction& operator=(const FixedFunction&) = delete;
+
+  ~FixedFunction() { reset(); }
+
+  void reset() {
+    if (manage_ != nullptr) {
+      manage_(storage_, nullptr, Op::kDestroy);
+      manage_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) const {
+    WFL_CHECK_MSG(invoke_ != nullptr, "calling empty FixedFunction");
+    // const_cast: the stored callable may be mutable; constness of the
+    // wrapper tracks the slot, not the callable (same stance as
+    // std::move_only_function).
+    return invoke_(const_cast<void*>(static_cast<const void*>(storage_)),
+                   std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kMove, kDestroy };
+  using Invoke = R (*)(void*, Args...);
+  using Manage = void (*)(void*, void*, Op);
+
+  void move_from(FixedFunction& other) {
+    if (other.manage_ != nullptr) {
+      other.manage_(storage_, other.storage_, Op::kMove);
+      invoke_ = other.invoke_;
+      manage_ = other.manage_;
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace wfl

@@ -1,0 +1,67 @@
+#include "wfl/util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  WFL_CHECK(!headers_.empty());
+}
+
+Table& Table::cell(const std::string& v) {
+  WFL_CHECK_MSG(current_.size() < headers_.size(), "row has too many cells");
+  current_.push_back(v);
+  return *this;
+}
+
+Table& Table::cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return cell(std::string(buf));
+}
+
+Table& Table::cell(std::uint32_t v) {
+  return cell(static_cast<std::uint64_t>(v));
+}
+
+Table& Table::cell(int v) { return cell(static_cast<std::uint64_t>(v)); }
+
+void Table::end_row() {
+  WFL_CHECK_MSG(current_.size() == headers_.size(), "row is incomplete");
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "| " : " | ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, " |\n");
+  };
+  print_row(headers_);
+  std::fprintf(out, "|");
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+    std::fputc('|', out);
+  }
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace wfl

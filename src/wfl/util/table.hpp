@@ -1,0 +1,33 @@
+// ASCII table writer used by every exp_* experiment binary, so the harness
+// output reads like the rows of a paper table.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wfl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Convenience cell appenders; a row is complete when it has as many cells
+  // as there are headers.
+  Table& cell(const std::string& v);
+  Table& cell(double v, int precision = 3);
+  Table& cell(std::uint64_t v);
+  Table& cell(std::uint32_t v);
+  Table& cell(int v);
+  void end_row();
+
+  // Renders with column alignment to the given stream (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> current_;
+};
+
+}  // namespace wfl

@@ -1,0 +1,47 @@
+// Umbrella header for the wflock library.
+//
+// Quickstart:
+//
+//   using Plat = wfl::RealPlat;
+//   wfl::LockConfig cfg;           // κ, L, T bounds + delay mode
+//   wfl::LockSpace<Plat> space(cfg, /*max_procs=*/8, /*num_locks=*/100);
+//   auto proc = space.register_process();     // once per thread
+//   wfl::Cell<Plat> balance{100};
+//   std::uint32_t ids[] = {3, 7};
+//   bool ok = space.try_locks(proc, ids, [&](wfl::IdemCtx<Plat>& m) {
+//     m.store(balance, m.load(balance) + 1);  // the critical section
+//   });
+//
+// The same code runs deterministically under the simulator by swapping
+// Plat for wfl::SimPlat and executing inside wfl::Simulator processes.
+#pragma once
+
+#include "wfl/active/active_set.hpp"
+#include "wfl/active/multi_set.hpp"
+#include "wfl/apps/bank.hpp"
+#include "wfl/apps/bst.hpp"
+#include "wfl/apps/graph.hpp"
+#include "wfl/apps/hashmap.hpp"
+#include "wfl/apps/list.hpp"
+#include "wfl/apps/philosophers.hpp"
+#include "wfl/apps/queue.hpp"
+#include "wfl/baseline/herlihy.hpp"
+#include "wfl/baseline/lehmann_rabin.hpp"
+#include "wfl/baseline/mutex2pl.hpp"
+#include "wfl/baseline/spin2pl.hpp"
+#include "wfl/baseline/turek.hpp"
+#include "wfl/core/adaptive.hpp"
+#include "wfl/core/config.hpp"
+#include "wfl/core/descriptor.hpp"
+#include "wfl/core/lock_space.hpp"
+#include "wfl/core/retry.hpp"
+#include "wfl/core/txn.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/idem/idem.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/mem/ebr.hpp"
+#include "wfl/platform/real.hpp"
+#include "wfl/platform/sim.hpp"
+#include "wfl/sim/sim.hpp"
+#include "wfl/util/rng.hpp"
+#include "wfl/util/stats.hpp"

@@ -1,0 +1,378 @@
+// Linearizability checker: self-tests, then the real cargo — recorded
+// histories of idempotence-simulated memory operations (Theorem 4.2(3)).
+//
+// Recording uses the simulator's global slot clock (slots_used), which
+// totally orders all shared-memory steps of a run; an operation's interval
+// is [clock at its first step, clock at its first completed run]. For a
+// helped thunk the logical operation is the agreement across runs, so the
+// interval aggregates min-invoke / min-completion over all runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "wfl/check/linchk.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/idem/idem.hpp"
+#include "wfl/platform/sim.hpp"
+#include "wfl/sim/sim.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl {
+namespace {
+
+using RM = RegisterModel;
+
+LinOp load_op(std::uint64_t inv, std::uint64_t rsp, std::uint32_t ret) {
+  LinOp op;
+  op.kind = RM::kLoad;
+  op.invoke = inv;
+  op.response = rsp;
+  op.ret = ret;
+  return op;
+}
+
+LinOp store_op(std::uint64_t inv, std::uint64_t rsp, std::uint32_t v) {
+  LinOp op;
+  op.kind = RM::kStore;
+  op.invoke = inv;
+  op.response = rsp;
+  op.arg = v;
+  return op;
+}
+
+LinOp cas_op(std::uint64_t inv, std::uint64_t rsp, std::uint32_t exp,
+             std::uint32_t des, bool ok) {
+  LinOp op;
+  op.kind = RM::kCas;
+  op.invoke = inv;
+  op.response = rsp;
+  op.arg = exp;
+  op.arg2 = des;
+  op.ret = ok ? 1 : 0;
+  return op;
+}
+
+// --- checker self-tests on hand-built histories ---
+
+TEST(LinChk, EmptyAndSequentialHistoriesAccepted) {
+  EXPECT_TRUE(linearizable<RM>({}));
+  EXPECT_TRUE(linearizable<RM>({
+      store_op(0, 1, 7),
+      load_op(2, 3, 7),
+      cas_op(4, 5, 7, 9, true),
+      load_op(6, 7, 9),
+  }));
+}
+
+TEST(LinChk, StaleReadAfterCompletedStoreRejected) {
+  // store(2) finished strictly before the load began, yet the load saw the
+  // older value — the canonical non-linearizable register history.
+  EXPECT_FALSE(linearizable<RM>({
+      store_op(0, 1, 1),
+      store_op(2, 3, 2),
+      load_op(4, 5, 1),
+  }));
+}
+
+TEST(LinChk, OverlappingReadMaySeeEitherValue) {
+  // The load overlaps store(2): both return values are linearizable.
+  EXPECT_TRUE(linearizable<RM>({
+      store_op(0, 1, 1),
+      store_op(2, 6, 2),
+      load_op(3, 5, 1),
+  }));
+  EXPECT_TRUE(linearizable<RM>({
+      store_op(0, 1, 1),
+      store_op(2, 6, 2),
+      load_op(3, 5, 2),
+  }));
+}
+
+TEST(LinChk, CasOutcomesMustMatchSomeOrder) {
+  // Two concurrent CAS(0 -> x): exactly one may succeed.
+  EXPECT_TRUE(linearizable<RM>({
+      cas_op(0, 5, 0, 1, true),
+      cas_op(1, 6, 0, 2, false),
+  }));
+  EXPECT_FALSE(linearizable<RM>({
+      cas_op(0, 5, 0, 1, true),
+      cas_op(1, 6, 0, 2, true),
+  }));
+  // A successful CAS completed before a load: the load must see its value.
+  EXPECT_FALSE(linearizable<RM>({
+      cas_op(0, 1, 0, 5, true),
+      load_op(2, 3, 0),
+  }));
+}
+
+TEST(LinChk, NonZeroInitialState) {
+  EXPECT_TRUE(linearizable<RM>({load_op(0, 1, 42)}, RM::initial(42)));
+  EXPECT_FALSE(linearizable<RM>({load_op(0, 1, 0)}, RM::initial(42)));
+}
+
+TEST(LinChk, FullyConcurrentBatchTerminatesWithinBudget) {
+  // Ten mutually overlapping ops: worst case for the DFS; must stay well
+  // inside the node budget thanks to memoization.
+  std::vector<LinOp> hist;
+  for (std::uint32_t i = 0; i < 5; ++i) hist.push_back(store_op(0, 100, i));
+  for (std::uint32_t i = 0; i < 5; ++i) hist.push_back(load_op(0, 100, 4));
+  LinChecker<RM> chk;
+  EXPECT_TRUE(chk.check(hist));
+  EXPECT_LT(chk.nodes_explored(), 1u << 20);
+}
+
+// Randomized positive generator: pick linearization points in order, wrap
+// each in a random enclosing interval. Any such history must be accepted.
+class LinChkRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinChkRandomized, GeneratedValidHistoriesAccepted) {
+  Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  RM::State st = RM::initial();
+  std::vector<LinOp> hist;
+  const int n = 14;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t point = static_cast<std::uint64_t>(10 * (i + 1));
+    const std::uint64_t inv = point - rng.next_below(10);
+    const std::uint64_t rsp = point + rng.next_below(40);
+    LinOp op;
+    switch (rng.next_below(3)) {
+      case 0:
+        op = load_op(inv, rsp, st.value);
+        break;
+      case 1:
+        op = store_op(inv, rsp, static_cast<std::uint32_t>(rng.next_below(8)));
+        break;
+      default: {
+        const auto exp = static_cast<std::uint32_t>(rng.next_below(8));
+        const auto des = static_cast<std::uint32_t>(rng.next_below(8));
+        op = cas_op(inv, rsp, exp, des, st.value == exp);
+        break;
+      }
+    }
+    st = *RM::apply(st, op);
+    hist.push_back(op);
+  }
+  EXPECT_TRUE(linearizable<RM>(hist));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinChkRandomized, ::testing::Range(1, 13));
+
+// --- Theorem 4.2(3): idempotent operations are linearizable ---
+
+std::uint64_t now() {
+  Simulator* sim = Simulator::current();
+  return sim != nullptr ? sim->slots_used() : 0;
+}
+
+// N processes each run their own single-run thunk performing random
+// instrumented ops on a few shared cells; every op's interval and result is
+// recorded. Per-cell histories (locality!) must be linearizable.
+//
+// This is the paper's *racy* ("group-locking") regime: distinct thunks
+// write the same cells concurrently. A single-shot idempotent store may
+// then be physically superseded by a concurrent write — which linearizes
+// the store immediately before its overwriter, and is legal precisely
+// because the interfering write changes the value. To keep "changes the
+// value" guaranteed, each process draws its stored/CAS values from a
+// disjoint alphabet (value ≡ pid mod kProcs); without this, an interferer
+// re-writing the *same* value could make a CAS fail while the cell never
+// left its expected value — a genuine non-linearizable outcome that the
+// paper's regime excludes via the locks.
+class IdemOpsLinearizable : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdemOpsLinearizable, CrossProcessHistories) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  constexpr int kProcs = 4;
+  constexpr int kCells = 3;
+  constexpr int kOpsPerProc = 12;
+
+  std::vector<std::unique_ptr<Cell<SimPlat>>> cells;
+  for (int c = 0; c < kCells; ++c) {
+    cells.push_back(std::make_unique<Cell<SimPlat>>(0u));
+  }
+  // One thunk log per process: each process's op sequence is one run.
+  std::vector<std::unique_ptr<ThunkLog<SimPlat>>> logs;
+  for (int p = 0; p < kProcs; ++p) {
+    logs.push_back(std::make_unique<ThunkLog<SimPlat>>());
+  }
+  std::vector<std::vector<LinOp>> per_cell(kCells);
+
+  Simulator sim(seed);
+  for (int p = 0; p < kProcs; ++p) {
+    sim.add_process([&, p] {
+      IdemCtx<SimPlat> ctx(*logs[static_cast<std::size_t>(p)],
+                           static_cast<std::uint32_t>(p) * kMaxThunkOps);
+      Xoshiro256 rng(seed * 101 + static_cast<std::uint64_t>(p));
+      // Disjoint write alphabet: value ≡ p (mod kProcs). See class comment.
+      auto own_value = [&rng, p] {
+        return static_cast<std::uint32_t>(p + kProcs * rng.next_below(4));
+      };
+      for (int i = 0; i < kOpsPerProc; ++i) {
+        const int c = static_cast<int>(rng.next_below(kCells));
+        Cell<SimPlat>& cell = *cells[static_cast<std::size_t>(c)];
+        LinOp op;
+        op.proc = p;
+        op.invoke = now();
+        switch (rng.next_below(3)) {
+          case 0:
+            op.kind = RM::kLoad;
+            op.ret = ctx.load(cell);
+            break;
+          case 1: {
+            op.kind = RM::kStore;
+            op.arg = own_value();
+            ctx.store(cell, static_cast<std::uint32_t>(op.arg));
+            break;
+          }
+          default: {
+            op.kind = RM::kCas;
+            op.arg = own_value();
+            op.arg2 = own_value();
+            op.ret = ctx.cas(cell, static_cast<std::uint32_t>(op.arg),
+                             static_cast<std::uint32_t>(op.arg2))
+                         ? 1
+                         : 0;
+            break;
+          }
+        }
+        op.response = now();
+        // Single OS thread under sim: plain push_back is race-free.
+        per_cell[static_cast<std::size_t>(c)].push_back(op);
+      }
+    });
+  }
+  UniformSchedule sched(kProcs, seed ^ 0xFACE);
+  ASSERT_TRUE(sim.run(sched, 10'000'000));
+
+  for (int c = 0; c < kCells; ++c) {
+    EXPECT_TRUE(linearizable<RM>(per_cell[static_cast<std::size_t>(c)]))
+        << "cell " << c << " history not linearizable (seed " << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdemOpsLinearizable, ::testing::Range(1, 11));
+
+// The helped case: H runs of the *same* thunk race; per program-order op we
+// aggregate min(invoke)/min(first completion) across runs. The logical ops
+// must agree on results across runs and be linearizable; the final cell
+// states must match a sequential execution of the program.
+class HelpedThunkLinearizable : public ::testing::TestWithParam<int> {};
+
+TEST_P(HelpedThunkLinearizable, AggregatedLogicalHistory) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  constexpr int kRuns = 4;
+  constexpr int kCells = 2;
+  constexpr int kProgLen = 10;
+
+  std::vector<std::unique_ptr<Cell<SimPlat>>> cells;
+  for (int c = 0; c < kCells; ++c) {
+    cells.push_back(std::make_unique<Cell<SimPlat>>(0u));
+  }
+  ThunkLog<SimPlat> log;
+
+  // The program is a pure function of the seed: (opcode, cell, args) per
+  // program-order index — every run executes the same instruction stream.
+  struct Ins {
+    int kind;
+    int cell;
+    std::uint32_t a, b;
+  };
+  std::vector<Ins> prog;
+  {
+    Xoshiro256 prng(seed * 31337);
+    for (int i = 0; i < kProgLen; ++i) {
+      prog.push_back({static_cast<int>(prng.next_below(3)),
+                      static_cast<int>(prng.next_below(kCells)),
+                      static_cast<std::uint32_t>(prng.next_below(8)),
+                      static_cast<std::uint32_t>(prng.next_below(8))});
+    }
+  }
+
+  constexpr std::uint64_t kUnset = ~0ull;
+  std::vector<std::uint64_t> min_invoke(kProgLen, kUnset);
+  std::vector<std::uint64_t> min_response(kProgLen, kUnset);
+  std::vector<std::uint64_t> agreed_ret(kProgLen, kUnset);
+  bool ret_mismatch = false;
+
+  Simulator sim(seed);
+  for (int r = 0; r < kRuns; ++r) {
+    sim.add_process([&] {
+      IdemCtx<SimPlat> ctx(log, 0);
+      for (int i = 0; i < kProgLen; ++i) {
+        const Ins& ins = prog[static_cast<std::size_t>(i)];
+        Cell<SimPlat>& cell = *cells[static_cast<std::size_t>(ins.cell)];
+        const std::uint64_t inv = now();
+        std::uint64_t ret = 0;
+        switch (ins.kind) {
+          case RM::kLoad:
+            ret = ctx.load(cell);
+            break;
+          case RM::kStore:
+            ctx.store(cell, ins.a);
+            break;
+          default:
+            ret = ctx.cas(cell, ins.a, ins.b) ? 1 : 0;
+            break;
+        }
+        const std::uint64_t rsp = now();
+        auto& mi = min_invoke[static_cast<std::size_t>(i)];
+        auto& mr = min_response[static_cast<std::size_t>(i)];
+        auto& ar = agreed_ret[static_cast<std::size_t>(i)];
+        mi = std::min(mi, inv);
+        mr = std::min(mr, rsp);
+        if (ar == kUnset) {
+          ar = ret;
+        } else if (ar != ret) {
+          ret_mismatch = true;  // runs must agree (Definition 4.1)
+        }
+      }
+    });
+  }
+  StallBurstSchedule sched(kRuns, seed ^ 0xBEEF, 64);
+  ASSERT_TRUE(sim.run(sched, 10'000'000));
+  EXPECT_FALSE(ret_mismatch) << "helper runs disagreed on an op result";
+
+  // Build the logical per-cell histories and check them.
+  std::vector<std::vector<LinOp>> per_cell(kCells);
+  for (int i = 0; i < kProgLen; ++i) {
+    const Ins& ins = prog[static_cast<std::size_t>(i)];
+    LinOp op;
+    op.kind = ins.kind;
+    op.arg = ins.a;
+    op.arg2 = ins.b;
+    op.ret = agreed_ret[static_cast<std::size_t>(i)];
+    op.invoke = min_invoke[static_cast<std::size_t>(i)];
+    op.response = min_response[static_cast<std::size_t>(i)];
+    per_cell[static_cast<std::size_t>(ins.cell)].push_back(op);
+  }
+  for (int c = 0; c < kCells; ++c) {
+    EXPECT_TRUE(linearizable<RM>(per_cell[static_cast<std::size_t>(c)]))
+        << "helped thunk: cell " << c << " (seed " << seed << ")";
+  }
+
+  // And the combination of all runs equals exactly one sequential run
+  // (Definition 4.1): replay the program on plain integers.
+  std::vector<std::uint32_t> ref(kCells, 0);
+  for (const Ins& ins : prog) {
+    auto& v = ref[static_cast<std::size_t>(ins.cell)];
+    if (ins.kind == RM::kStore) {
+      v = ins.a;
+    } else if (ins.kind == RM::kCas && v == ins.a) {
+      v = ins.b;
+    }
+  }
+  for (int c = 0; c < kCells; ++c) {
+    EXPECT_EQ(cells[static_cast<std::size_t>(c)]->peek(),
+              ref[static_cast<std::size_t>(c)])
+        << "final state diverged from the single sequential run";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HelpedThunkLinearizable,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace wfl

@@ -1,0 +1,245 @@
+// Algorithm 3 under the deterministic simulator: safety (mutual exclusion
+// with idempotence), step accounting (no delay overruns), determinism, and
+// progress under starving (but oblivious) schedules.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "wfl/wfl.hpp"
+
+namespace wfl {
+namespace {
+
+using Space = LockSpace<SimPlat>;
+
+struct SimWorkload {
+  // Each process repeatedly tryLocks a lock set chosen by `pick` and runs a
+  // thunk that (a) checks a per-resource in-critical-section flag and
+  // (b) increments a per-resource counter with a read-modify-write. Both
+  // detect mutual-exclusion violations: (a) directly, (b) via lost updates.
+  LockConfig cfg;
+  int procs = 4;
+  int locks = 4;
+  int attempts_per_proc = 50;
+  std::uint64_t seed = 1;
+
+  // Results
+  std::uint64_t total_wins = 0;
+  std::vector<std::uint64_t> wins_per_resource;
+  std::vector<std::uint64_t> flag_violations;
+
+  // pick(pid, round, rng) -> lock ids
+  template <typename Pick, typename Sched>
+  LockStats run(Pick pick, Sched& sched, std::uint64_t max_slots) {
+    auto space = std::make_unique<Space>(cfg, procs, locks);
+    std::vector<std::unique_ptr<Cell<SimPlat>>> busy;   // in-CS flags
+    std::vector<std::unique_ptr<Cell<SimPlat>>> count;  // per-resource counts
+    for (int i = 0; i < locks; ++i) {
+      busy.push_back(std::make_unique<Cell<SimPlat>>(0u));
+      count.push_back(std::make_unique<Cell<SimPlat>>(0u));
+    }
+    wins_per_resource.assign(static_cast<std::size_t>(locks), 0);
+    flag_violations.assign(static_cast<std::size_t>(locks), 0);
+    std::vector<std::uint64_t> violations(static_cast<std::size_t>(locks), 0);
+
+    Simulator sim(seed);
+    std::vector<std::vector<std::uint64_t>> local_wins(
+        static_cast<std::size_t>(procs),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(locks), 0));
+    for (int p = 0; p < procs; ++p) {
+      sim.add_process([&, p] {
+        auto proc = space->register_process();
+        Xoshiro256 rng(seed * 1000003 + static_cast<std::uint64_t>(p));
+        for (int a = 0; a < attempts_per_proc; ++a) {
+          std::vector<std::uint32_t> ids = pick(p, a, rng);
+          // The first lock id doubles as the "resource" the thunk touches.
+          const std::uint32_t r = ids[0];
+          Cell<SimPlat>& flag = *busy[r];
+          Cell<SimPlat>& cnt = *count[r];
+          std::uint64_t* viol = &violations[r];
+          const bool won = space->try_locks(
+              proc, ids, [&flag, &cnt, viol](IdemCtx<SimPlat>& m) {
+                if (m.load(flag) != 0) ++*viol;  // someone else inside
+                m.store(flag, 1);
+                const std::uint32_t v = m.load(cnt);
+                m.store(cnt, v + 1);
+                m.store(flag, 0);
+              });
+          if (won) ++local_wins[static_cast<std::size_t>(p)][r];
+        }
+      });
+    }
+    const bool all_done = sim.run(sched, max_slots);
+    EXPECT_TRUE(all_done) << "slots exhausted: " << sim.slots_used();
+
+    total_wins = 0;
+    for (int p = 0; p < procs; ++p) {
+      for (int r = 0; r < locks; ++r) {
+        wins_per_resource[static_cast<std::size_t>(r)] +=
+            local_wins[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
+        total_wins +=
+            local_wins[static_cast<std::size_t>(p)][static_cast<std::size_t>(r)];
+      }
+    }
+    for (int r = 0; r < locks; ++r) {
+      flag_violations[static_cast<std::size_t>(r)] =
+          violations[static_cast<std::size_t>(r)];
+      // Lost-update check: the counter must equal the number of wins that
+      // touched this resource — each won thunk logically runs exactly once.
+      EXPECT_EQ(count[static_cast<std::size_t>(r)]->peek(),
+                wins_per_resource[static_cast<std::size_t>(r)])
+          << "resource " << r << ": lost or duplicated critical sections";
+      EXPECT_EQ(flag_violations[static_cast<std::size_t>(r)], 0u)
+          << "resource " << r << ": overlapping critical sections observed";
+    }
+    return space->stats();
+  }
+};
+
+LockConfig small_cfg() {
+  LockConfig cfg;
+  cfg.kappa = 4;
+  cfg.max_locks = 2;
+  cfg.max_thunk_steps = 8;
+  cfg.c0 = 8.0;
+  cfg.c1 = 8.0;
+  return cfg;
+}
+
+// All processes fight over the same pair of locks.
+std::vector<std::uint32_t> pick_clique(int, int, Xoshiro256&) {
+  return {0, 1};
+}
+
+TEST(LockSim, MutualExclusionRoundRobin) {
+  SimWorkload w;
+  w.cfg = small_cfg();
+  w.procs = 4;
+  w.locks = 2;
+  w.attempts_per_proc = 30;
+  RoundRobinSchedule sched(w.procs);
+  const LockStats s = w.run(pick_clique, sched, 50'000'000);
+  EXPECT_EQ(s.t0_overruns, 0u);
+  EXPECT_EQ(s.t1_overruns, 0u);
+  EXPECT_GT(w.total_wins, 0u);
+}
+
+TEST(LockSim, MutualExclusionUniformRandom) {
+  SimWorkload w;
+  w.cfg = small_cfg();
+  w.procs = 4;
+  w.locks = 2;
+  w.attempts_per_proc = 30;
+  UniformSchedule sched(w.procs, 77);
+  const LockStats s = w.run(pick_clique, sched, 50'000'000);
+  EXPECT_EQ(s.t0_overruns, 0u);
+  EXPECT_EQ(s.t1_overruns, 0u);
+  EXPECT_GT(w.total_wins, 0u);
+}
+
+TEST(LockSim, MutualExclusionHeavilySkewedSchedule) {
+  SimWorkload w;
+  w.cfg = small_cfg();
+  w.procs = 4;
+  w.locks = 2;
+  w.attempts_per_proc = 10;
+  // One process gets 1000x fewer steps: it must still finish (wait-freedom
+  // cannot depend on the schedule), and safety must hold throughout.
+  WeightedSchedule sched({1.0, 1.0, 1.0, 0.001}, 5);
+  const LockStats s = w.run(pick_clique, sched, 400'000'000);
+  EXPECT_EQ(s.t0_overruns, 0u);
+  EXPECT_GT(w.total_wins, 0u);
+}
+
+TEST(LockSim, MutualExclusionStallBursts) {
+  SimWorkload w;
+  w.cfg = small_cfg();
+  w.procs = 6;
+  w.cfg.kappa = 6;
+  w.locks = 3;
+  w.attempts_per_proc = 15;
+  StallBurstSchedule sched(w.procs, 99, 2000);
+  auto pick = [](int p, int a, Xoshiro256&) -> std::vector<std::uint32_t> {
+    // Random-ish overlapping pairs on a 3-cycle of locks.
+    const std::uint32_t first = static_cast<std::uint32_t>((p + a) % 3);
+    return {first, (first + 1) % 3};
+  };
+  const LockStats s = w.run(pick, sched, 400'000'000);
+  EXPECT_EQ(s.t0_overruns, 0u);
+  EXPECT_GT(w.total_wins, 0u);
+}
+
+TEST(LockSim, RandomSingleLockWorkload) {
+  SimWorkload w;
+  w.cfg = small_cfg();
+  w.cfg.max_locks = 1;
+  w.procs = 5;
+  w.cfg.kappa = 5;
+  w.locks = 4;
+  w.attempts_per_proc = 40;
+  UniformSchedule sched(w.procs, 31);
+  auto pick = [](int, int, Xoshiro256& rng) -> std::vector<std::uint32_t> {
+    return {static_cast<std::uint32_t>(rng.next_below(4))};
+  };
+  w.run(pick, sched, 100'000'000);
+  EXPECT_GT(w.total_wins, 0u);
+}
+
+// Two identical simulations must produce bit-identical outcomes: the whole
+// point of the simulator is replayable schedules.
+TEST(LockSim, DeterministicReplay) {
+  auto once = [] {
+    SimWorkload w;
+    w.cfg = small_cfg();
+    w.procs = 4;
+    w.locks = 2;
+    w.attempts_per_proc = 20;
+    w.seed = 123;
+    UniformSchedule sched(w.procs, 123);
+    w.run(pick_clique, sched, 50'000'000);
+    return std::make_pair(w.total_wins, w.wins_per_resource);
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+// Delay accounting: under kTheory every attempt's own-step length between
+// start and reveal is exactly T0 (+1 for the reveal store); overruns are
+// zero with the default constants.
+TEST(LockSim, PreRevealWorkFitsUnderT0) {
+  LockConfig cfg = small_cfg();
+  Space space(cfg, 4, 2);
+  Simulator sim(7);
+  std::vector<AttemptInfo> infos;
+  std::vector<std::vector<AttemptInfo>> per_proc(4);
+  for (int p = 0; p < 4; ++p) {
+    sim.add_process([&, p] {
+      auto proc = space.register_process();
+      const std::uint32_t ids[] = {0, 1};
+      for (int a = 0; a < 20; ++a) {
+        AttemptInfo info;
+        space.try_locks(proc, ids, typename Space::Thunk{}, &info);
+        per_proc[static_cast<std::size_t>(p)].push_back(info);
+      }
+    });
+  }
+  UniformSchedule sched(4, 7);
+  ASSERT_TRUE(sim.run(sched, 100'000'000));
+  for (auto& v : per_proc) {
+    for (const AttemptInfo& i : v) {
+      EXPECT_LE(i.pre_reveal_work, cfg.t0_steps());
+      EXPECT_LE(i.post_reveal_work, cfg.t1_steps());
+      // Total own-steps is the fixed T0 + T1 plus the reveal store and a
+      // few boundary steps — the step bound of Theorem 6.1 in the flesh.
+      EXPECT_LE(i.total_steps, cfg.t0_steps() + cfg.t1_steps() + 4);
+    }
+  }
+  EXPECT_EQ(space.stats().t0_overruns, 0u);
+  EXPECT_EQ(space.stats().t1_overruns, 0u);
+}
+
+}  // namespace
+}  // namespace wfl

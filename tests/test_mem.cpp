@@ -1,0 +1,247 @@
+// Unit tests for the memory substrate: IndexPool and EbrDomain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "wfl/mem/arena.hpp"
+#include "wfl/mem/ebr.hpp"
+
+namespace wfl {
+namespace {
+
+TEST(IndexPool, AllocatesDistinctIndices) {
+  IndexPool<int> pool(16);
+  const std::uint32_t cap = pool.capacity();
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    const std::uint32_t idx = pool.alloc();
+    EXPECT_TRUE(seen.insert(idx).second);
+    pool.at(idx) = static_cast<int>(i);
+  }
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(IndexPool, FreeMakesSlotReusable) {
+  IndexPool<int> pool(2);
+  const std::uint32_t a = pool.alloc();
+  const std::uint32_t b = pool.alloc();
+  const std::uint32_t before = pool.free_count();
+  pool.free(a);
+  const std::uint32_t c = pool.alloc();
+  EXPECT_EQ(c, a);  // LIFO freelist
+  pool.free(b);
+  pool.free(c);
+  EXPECT_EQ(pool.free_count(), before + 2);
+}
+
+TEST(IndexPool, GrowsOnDemandWithStableAddresses) {
+  IndexPool<int> pool(256, /*max_capacity=*/4096);
+  std::vector<std::uint32_t> held;
+  std::vector<int*> addrs;
+  // Exhaust the initial capacity and keep going: the pool must grow, and
+  // previously handed-out addresses must not move.
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t idx = pool.alloc();
+    pool.at(idx) = i;
+    held.push_back(idx);
+    addrs.push_back(pool.ptr(idx));
+  }
+  EXPECT_GE(pool.capacity(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(pool.ptr(held[static_cast<std::size_t>(i)]),
+              addrs[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(pool.at(held[static_cast<std::size_t>(i)]), i);
+  }
+  for (const auto idx : held) pool.free(idx);
+}
+
+TEST(IndexPool, MaxCapacityIsALoudFailure) {
+  IndexPool<int> pool(256, /*max_capacity=*/256);
+  for (int i = 0; i < 256; ++i) (void)pool.alloc();
+  EXPECT_DEATH((void)pool.alloc(), "max_capacity");
+}
+
+TEST(IndexPool, ConcurrentAllocFreeKeepsSlotsUnique) {
+  // 4 threads churn alloc/free; at no instant may two threads hold the same
+  // index. Detected by stamping ownership into the slot.
+  IndexPool<std::atomic<int>> pool(64);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < 20000; ++i) {
+        const std::uint32_t idx = pool.alloc();
+        int expected = 0;
+        if (!pool.at(idx).compare_exchange_strong(expected, t + 1)) {
+          failed.store(true);
+        }
+        pool.at(idx).store(0);
+        pool.free(idx);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_FALSE(failed.load()) << "two threads held the same pool slot";
+  EXPECT_EQ(pool.free_count(), pool.capacity());
+}
+
+struct FreeLog {
+  std::vector<std::uint32_t> freed;
+  static void deleter(void* ctx, std::uint32_t h) {
+    static_cast<FreeLog*>(ctx)->freed.push_back(h);
+  }
+};
+
+// Regression: the constructor must pre-size to the requested capacity even
+// though each grown segment refills the freelist (an early-return on
+// "free slots exist" here once livelocked every LockSpace construction).
+TEST(IndexPool, ConstructorPreSizesPastOneSegment) {
+  IndexPool<int> pool(4096);  // many segments of 256
+  EXPECT_GE(pool.capacity(), 4096u);
+  EXPECT_GE(pool.free_count(), 4096u);
+}
+
+// Regression: allocation hands out *low* indices first. Applications use
+// pool indices as lock ids ("node i is protected by lock i") and size
+// their lock spaces accordingly; a pool that popped from the top of each
+// fresh segment would hand index 255 to the first caller.
+TEST(IndexPool, FreshPoolAllocatesLowIndicesFirst) {
+  IndexPool<int> pool(64);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(pool.alloc(), i);
+  }
+}
+
+// abandon() drops a guard on behalf of a participant that provably takes
+// no further steps, letting reclamation (and teardown) proceed.
+TEST(Ebr, AbandonReleasesACrashedParticipantsGuard) {
+  std::atomic<int> freed{0};
+  auto deleter = +[](void* ctx, std::uint32_t) {
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+  };
+  {
+    EbrDomain ebr(2);
+    const int crashed = ebr.register_participant();
+    const int live = ebr.register_participant();
+    ebr.enter(crashed);  // "crashes" here, never exits
+    ebr.retire(live, &freed, 1, deleter);
+    // The stuck guard pins the epoch: repeated collects free nothing.
+    for (int i = 0; i < 8; ++i) ebr.collect(live);
+    EXPECT_EQ(freed.load(), 0);
+    ebr.abandon(crashed);
+    for (int i = 0; i < 8; ++i) ebr.collect(live);
+    EXPECT_EQ(freed.load(), 1) << "reclamation still stalled after abandon";
+  }  // destructor must not fire the held-guard check either
+}
+
+TEST(Ebr, NothingFreedWhileGuardCouldHoldReference) {
+  EbrDomain dom(2);
+  const int p0 = dom.register_participant();
+  const int p1 = dom.register_participant();
+  FreeLog log;
+
+  dom.enter(p0);  // reader enters before the retire
+  dom.enter(p1);
+  dom.retire(p1, &log, 7, &FreeLog::deleter);
+  dom.exit(p1);
+  // p0 still inside: epoch can't advance twice; nothing may be freed.
+  for (int i = 0; i < 10; ++i) dom.collect(p1);
+  EXPECT_TRUE(log.freed.empty());
+  dom.exit(p0);
+  // Now quiescent: a few collects must advance twice and free.
+  for (int i = 0; i < 10; ++i) dom.collect(p1);
+  ASSERT_EQ(log.freed.size(), 1u);
+  EXPECT_EQ(log.freed[0], 7u);
+}
+
+TEST(Ebr, GuardRaiiEntersAndExits) {
+  EbrDomain dom(1);
+  const int p = dom.register_participant();
+  {
+    EbrDomain::Guard g(dom, p);
+    // Nested enter would abort (checked); we just verify scoping compiles
+    // and exits cleanly.
+  }
+  {
+    EbrDomain::Guard g(dom, p);
+  }
+}
+
+TEST(Ebr, DrainsOnDestruction) {
+  FreeLog log;
+  {
+    EbrDomain dom(1);
+    const int p = dom.register_participant();
+    dom.retire(p, &log, 1, &FreeLog::deleter);
+    dom.retire(p, &log, 2, &FreeLog::deleter);
+  }
+  EXPECT_EQ(log.freed.size(), 2u);
+}
+
+TEST(Ebr, EpochAdvancesWhenAllQuiescent) {
+  EbrDomain dom(3);
+  const int p0 = dom.register_participant();
+  (void)dom.register_participant();
+  const std::uint64_t before = dom.epoch();
+  dom.collect(p0);
+  dom.collect(p0);
+  EXPECT_GE(dom.epoch(), before + 2);
+}
+
+TEST(Ebr, ConcurrentChurnNeverFreesHeldObjects) {
+  // Writers retire tokens; a reader under guard records the tokens it can
+  // see; retired tokens must never be freed while the observing guard that
+  // could reach them is active. We model "reachability" with a shared slot.
+  // The pool must absorb the writer's entire churn: on a single core a
+  // preempted reader can pin the epoch for a full scheduling quantum, so no
+  // upper bound below "everything" is safe to assert here. The pool is
+  // declared before the domain because the domain's destructor drains
+  // retired objects back into it.
+  IndexPool<std::atomic<std::uint64_t>> pool(32768);
+  EbrDomain dom(4);
+  struct Ctx {
+    IndexPool<std::atomic<std::uint64_t>>* pool;
+    static void deleter(void* c, std::uint32_t h) {
+      auto* ctx = static_cast<Ctx*>(c);
+      ctx->pool->at(h).store(0xDEAD);  // poison on free
+      ctx->pool->free(h);
+    }
+  } ctx{&pool};
+
+  std::atomic<std::uint32_t> shared{pool.alloc()};
+  pool.at(shared.load()).store(1);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> bad{0};
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 2; ++t) {
+    ts.emplace_back([&, t] {
+      const int pid = dom.register_participant();
+      (void)t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        dom.enter(pid);
+        const std::uint32_t idx = shared.load(std::memory_order_seq_cst);
+        if (pool.at(idx).load() == 0xDEAD) bad.fetch_add(1);
+        dom.exit(pid);
+      }
+    });
+  }
+  ts.emplace_back([&] {
+    const int pid = dom.register_participant();
+    for (int i = 0; i < 30000; ++i) {
+      const std::uint32_t fresh = pool.alloc();
+      pool.at(fresh).store(1);
+      const std::uint32_t old = shared.exchange(fresh);
+      dom.retire(pid, &ctx, old, &Ctx::deleter);
+    }
+    stop.store(true);
+  });
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(bad.load(), 0u) << "a guarded reader saw a freed object";
+}
+
+}  // namespace
+}  // namespace wfl

@@ -1,0 +1,238 @@
+// TxnBuilder / PreparedTxn: static-transaction composition (lock-set
+// dedup, sequential sub-thunks over one shared log) and the
+// retry_until_success corollary helper.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "wfl/wfl.hpp"
+
+namespace wfl {
+namespace {
+
+LockConfig txn_cfg(int procs, std::uint32_t max_locks) {
+  LockConfig cfg;
+  cfg.kappa = static_cast<std::uint32_t>(procs) + 1;
+  cfg.max_locks = max_locks;
+  cfg.max_thunk_steps = 24;
+  cfg.delay_mode = DelayMode::kOff;
+  return cfg;
+}
+
+TEST(Txn, SingleOpRunsLikePlainTryLocks) {
+  LockSpace<RealPlat> space(txn_cfg(1, 2), 1, 8);
+  auto proc = space.register_process();
+  Cell<RealPlat> x{10};
+  const std::uint32_t ids[] = {3};
+  auto txn = [&] {
+    TxnBuilder<RealPlat> b;
+    b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, m.load(x) + 5); });
+    return std::move(b).build();
+  }();
+  EXPECT_EQ(txn.lock_set().size(), 1u);
+  const RetryStats rs = txn.run(space, proc);
+  EXPECT_TRUE(rs.success);
+  EXPECT_EQ(rs.attempts, 1u);  // uncontended first attempt must win
+  EXPECT_EQ(x.peek(), 15u);
+}
+
+TEST(Txn, LockSetsAreDedupedAndSorted) {
+  TxnBuilder<RealPlat> b;
+  Cell<RealPlat> x{0};
+  const std::uint32_t ids1[] = {5, 2};
+  const std::uint32_t ids2[] = {2, 7};
+  b.op(ids1, [&x](IdemCtx<RealPlat>& m) { m.store(x, 1); });
+  b.op(ids2, [&x](IdemCtx<RealPlat>& m) { m.store(x, 2); });
+  b.touch(5);
+  auto txn = std::move(b).build();
+  const auto ls = txn.lock_set();
+  ASSERT_EQ(ls.size(), 3u);
+  EXPECT_EQ(ls[0], 2u);
+  EXPECT_EQ(ls[1], 5u);
+  EXPECT_EQ(ls[2], 7u);
+  EXPECT_EQ(txn.op_count(), 2u);
+}
+
+TEST(Txn, SubThunksRunInOrderOverSharedLog) {
+  LockSpace<RealPlat> space(txn_cfg(1, 3), 1, 8);
+  auto proc = space.register_process();
+  Cell<RealPlat> x{0};
+  Cell<RealPlat> y{0};
+  TxnBuilder<RealPlat> b;
+  const std::uint32_t ids1[] = {0};
+  const std::uint32_t ids2[] = {1};
+  const std::uint32_t ids3[] = {2};
+  b.op(ids1, [&x](IdemCtx<RealPlat>& m) { m.store(x, 7); });
+  b.op(ids2, [&x, &y](IdemCtx<RealPlat>& m) {
+    m.store(y, m.load(x) * 2);  // sees the first op's write
+  });
+  b.op(ids3, [&x, &y](IdemCtx<RealPlat>& m) {
+    m.store(x, m.load(y) + 1);
+  });
+  auto txn = std::move(b).build();
+  EXPECT_TRUE(txn.run(space, proc).success);
+  EXPECT_EQ(y.peek(), 14u);
+  EXPECT_EQ(x.peek(), 15u);
+}
+
+TEST(Txn, IsReusableAndCopyable) {
+  LockSpace<RealPlat> space(txn_cfg(1, 1), 1, 4);
+  auto proc = space.register_process();
+  Cell<RealPlat> x{0};
+  TxnBuilder<RealPlat> b;
+  const std::uint32_t ids[] = {0};
+  b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, m.load(x) + 1); });
+  auto txn = std::move(b).build();
+  PreparedTxn<RealPlat> copy = txn;  // copies share the program
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(txn.run(space, proc).success);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(copy.run(space, proc).success);
+  EXPECT_EQ(x.peek(), 10u);
+}
+
+TEST(Txn, ComposedTransferPairAcrossFourAccounts) {
+  // Two transfers composed into one atomic transaction: either both legs
+  // happen or neither (here: both, uncontended).
+  LockSpace<RealPlat> space(txn_cfg(1, 4), 1, 8);
+  auto proc = space.register_process();
+  std::vector<std::unique_ptr<Cell<RealPlat>>> acct;
+  for (int i = 0; i < 4; ++i) {
+    acct.push_back(std::make_unique<Cell<RealPlat>>(100u));
+  }
+  TxnBuilder<RealPlat> b;
+  const std::uint32_t leg1[] = {0, 1};
+  const std::uint32_t leg2[] = {2, 3};
+  Cell<RealPlat>* a0 = acct[0].get();
+  Cell<RealPlat>* a1 = acct[1].get();
+  Cell<RealPlat>* a2 = acct[2].get();
+  Cell<RealPlat>* a3 = acct[3].get();
+  b.op(leg1, [a0, a1](IdemCtx<RealPlat>& m) {
+    const std::uint32_t v = m.load(*a0);
+    m.store(*a0, v - 30);
+    m.store(*a1, m.load(*a1) + 30);
+  });
+  b.op(leg2, [a2, a3](IdemCtx<RealPlat>& m) {
+    const std::uint32_t v = m.load(*a2);
+    m.store(*a2, v - 10);
+    m.store(*a3, m.load(*a3) + 10);
+  });
+  auto txn = std::move(b).build();
+  EXPECT_EQ(txn.lock_set().size(), 4u);
+  EXPECT_TRUE(txn.run(space, proc).success);
+  EXPECT_EQ(acct[0]->peek(), 70u);
+  EXPECT_EQ(acct[1]->peek(), 130u);
+  EXPECT_EQ(acct[2]->peek(), 90u);
+  EXPECT_EQ(acct[3]->peek(), 110u);
+}
+
+TEST(Txn, ConcurrentComposedTransfersConserveTotal) {
+  const int threads = 4;
+  const int accounts = 8;
+  LockSpace<RealPlat> space(txn_cfg(threads, 4), threads, accounts);
+  std::vector<std::unique_ptr<Cell<RealPlat>>> acct;
+  for (int i = 0; i < accounts; ++i) {
+    acct.push_back(std::make_unique<Cell<RealPlat>>(1000u));
+  }
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      RealPlat::seed_rng(401 + static_cast<std::uint64_t>(t));
+      auto proc = space.register_process();
+      Xoshiro256 rng(t * 3 + 7);
+      for (int i = 0; i < 250; ++i) {
+        std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(accounts));
+        std::uint32_t bIdx =
+            static_cast<std::uint32_t>(rng.next_below(accounts));
+        if (bIdx == a) bIdx = (bIdx + 1) % accounts;
+        Cell<RealPlat>* src = acct[a].get();
+        Cell<RealPlat>* dst = acct[bIdx].get();
+        TxnBuilder<RealPlat> b;
+        const std::uint32_t ids[] = {a, bIdx};
+        b.op(ids, [src, dst](IdemCtx<RealPlat>& m) {
+          const std::uint32_t v = m.load(*src);
+          if (v >= 5) {
+            m.store(*src, v - 5);
+            m.store(*dst, m.load(*dst) + 5);
+          }
+        });
+        std::move(b).build().run(space, proc);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  std::uint64_t total = 0;
+  for (auto& c : acct) total += c->peek();
+  EXPECT_EQ(total, static_cast<std::uint64_t>(accounts) * 1000u);
+}
+
+TEST(Retry, UncontendedSucceedsFirstAttempt) {
+  LockSpace<RealPlat> space(txn_cfg(1, 2), 1, 4);
+  auto proc = space.register_process();
+  Cell<RealPlat> x{0};
+  const std::uint32_t ids[] = {0, 1};
+  const RetryStats rs = retry_until_success<RealPlat>(
+      space, proc, ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, 1); });
+  EXPECT_TRUE(rs.success);
+  EXPECT_EQ(rs.attempts, 1u);
+  EXPECT_GT(rs.total_steps, 0u);
+  EXPECT_EQ(x.peek(), 1u);
+}
+
+TEST(Retry, MaxAttemptsBoundsTheLoop) {
+  // max_attempts = 3 with an uncontended lock still succeeds on attempt 1;
+  // the bound only matters under contention, but the accounting must be
+  // exact either way.
+  LockSpace<RealPlat> space(txn_cfg(1, 1), 1, 2);
+  auto proc = space.register_process();
+  Cell<RealPlat> x{0};
+  const std::uint32_t ids[] = {0};
+  const RetryStats rs = retry_until_success<RealPlat>(
+      space, proc, ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, 2); },
+      /*max_attempts=*/3);
+  EXPECT_TRUE(rs.success);
+  EXPECT_LE(rs.attempts, 3u);
+  EXPECT_EQ(x.peek(), 2u);
+}
+
+TEST(RetrySim, ContendedAttemptsFollowFairnessBound) {
+  // Under symmetric contention on one lock with κ processes, each attempt
+  // wins w.p. >= 1/κ, so mean attempts-to-success <= κ (with slack for
+  // small-sample noise). This is Corollary C1 in miniature; exp_retry
+  // does the full sweep.
+  const int procs = 4;
+  LockConfig cfg = txn_cfg(procs, 1);
+  cfg.delay_mode = DelayMode::kTheory;
+  cfg.c0 = 8.0;
+  cfg.c1 = 8.0;
+  LockSpace<SimPlat> space(cfg, procs, 1);
+  Simulator sim(21);
+  std::vector<std::uint64_t> attempts(procs, 0);
+  auto x_owner = std::make_unique<Cell<SimPlat>>(0u);
+  Cell<SimPlat>* x = x_owner.get();
+  for (int p = 0; p < procs; ++p) {
+    sim.add_process([&, p] {
+      auto proc = space.register_process();
+      const std::uint32_t ids[] = {0};
+      for (int i = 0; i < 20; ++i) {
+        const RetryStats rs = retry_until_success<SimPlat>(
+            space, proc, ids,
+            [x](IdemCtx<SimPlat>& m) { m.store(*x, m.load(*x) + 1); });
+        EXPECT_TRUE(rs.success);
+        attempts[static_cast<std::size_t>(p)] += rs.attempts;
+      }
+    });
+  }
+  UniformSchedule sched(procs, 55);
+  ASSERT_TRUE(sim.run(sched, 4'000'000'000ull));
+  EXPECT_EQ(x->peek(), static_cast<std::uint32_t>(procs) * 20u);
+  for (int p = 0; p < procs; ++p) {
+    const double mean =
+        static_cast<double>(attempts[static_cast<std::size_t>(p)]) / 20.0;
+    EXPECT_LE(mean, 4.0 * procs) << "process " << p
+                                 << " needed far more attempts than κ";
+  }
+}
+
+}  // namespace
+}  // namespace wfl
