@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "wfl/wfl.hpp"
 
 namespace {
@@ -220,4 +221,5 @@ BENCHMARK(BM_Txn_RunPrebuilt);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Machine-comparable wfl-bench-v1 JSON on stdout (see bench_json.hpp).
+WFL_BENCH_JSON_MAIN();

@@ -9,6 +9,7 @@
 
 #include <atomic>
 
+#include "bench_json.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/platform/real.hpp"
@@ -108,4 +109,5 @@ BENCHMARK(BM_RawCas);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Machine-comparable wfl-bench-v1 JSON on stdout (see bench_json.hpp).
+WFL_BENCH_JSON_MAIN();

@@ -1,0 +1,168 @@
+// One shared JSON schema for the Google-Benchmark-based microbenchmarks.
+//
+// Every bench binary that uses WFL_BENCH_JSON_MAIN() emits, on stdout, a
+// single JSON document:
+//
+//   {"schema": "wfl-bench-v1",
+//    "benchmarks": [
+//      {"name": "...", "threads": N, "ops_per_s": X, "p99_ns": Y}, ...]}
+//
+// so successive BENCH_*.json captures are directly comparable across
+// binaries and across commits (same keys, same units, no console noise on
+// stdout). Fields:
+//
+//   name      benchmark instance name (including /arg suffixes); one entry
+//             per name — repetitions are folded into that entry
+//   threads   benchmark-declared thread count
+//   ops_per_s items/s when the benchmark calls SetItemsProcessed, else
+//             iterations/s (mean across repetitions)
+//   p99_ns    99th percentile of per-iteration real time across
+//             repetitions (run with --benchmark_repetitions=N for a
+//             meaningful tail); with a single repetition it degrades to
+//             the mean, flagged by "p99_is_mean": true
+//
+// stdout carries only the JSON document, so
+//   ./bench_apps > BENCH_apps.json
+// captures a clean trajectory point. (Pass --benchmark_out=<file>
+// --benchmark_out_format=json for Google Benchmark's own verbose schema.)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace wfl_bench {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+class JsonSchemaReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonSchemaReporter(std::ostream& out = std::cout) : out_(&out) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run_failed(run)) continue;
+      // Aggregates (mean/median/...) are derivable from the folded
+      // repetition samples; only raw iteration runs are collected.
+      if (run.run_type == Run::RT_Aggregate) continue;
+      Entry& e = entry_for(run.benchmark_name(), run.threads);
+      const double ns = per_op_ns(run);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        e.ops_per_s_sum += it->second.value;
+      } else {
+        e.ops_per_s_sum += ns > 0 ? 1e9 / ns : 0.0;
+      }
+      e.per_op_ns_samples.push_back(ns);
+    }
+  }
+
+  void Finalize() override { emit(); }
+
+  // The runner only calls Finalize() when at least one benchmark ran; an
+  // empty filter match would otherwise leave stdout without a document.
+  // Idempotent, so calling it after RunSpecifiedBenchmarks is always safe.
+  void ensure_emitted() { emit(); }
+
+ private:
+  void emit() {
+    if (emitted_) return;
+    emitted_ = true;
+    std::ostream& o = *out_;
+    o << "{\"schema\": \"wfl-bench-v1\", \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      Entry& e = entries_[i];
+      const std::size_t n = e.per_op_ns_samples.size();
+      const double ops = n > 0 ? e.ops_per_s_sum / static_cast<double>(n) : 0;
+      double p99 = 0.0;
+      if (n > 0) {
+        std::sort(e.per_op_ns_samples.begin(), e.per_op_ns_samples.end());
+        const auto idx = static_cast<std::size_t>(
+            std::ceil(0.99 * static_cast<double>(n))) - 1;
+        p99 = e.per_op_ns_samples[idx < n ? idx : n - 1];
+      }
+      o << "  {\"name\": \"" << json_escape(e.name) << "\""
+        << ", \"threads\": " << e.threads
+        << ", \"ops_per_s\": " << ops
+        << ", \"p99_ns\": " << p99
+        << ", \"p99_is_mean\": " << (n > 1 ? "false" : "true") << "}"
+        << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    o << "]}\n";
+  }
+
+  struct Entry {
+    std::string name;
+    int threads = 1;
+    double ops_per_s_sum = 0.0;              // across repetitions
+    std::vector<double> per_op_ns_samples;   // one per repetition
+  };
+
+  Entry& entry_for(const std::string& name, int threads) {
+    for (Entry& e : entries_) {
+      if (e.name == name && e.threads == threads) return e;
+    }
+    entries_.push_back(Entry{name, threads, 0.0, {}});
+    return entries_.back();
+  }
+
+  // Run-failure check across Google Benchmark versions: 1.7 exposes
+  // `bool error_occurred`, 1.8+ replaced it with the `skipped` enum.
+  template <typename R>
+  static bool run_failed(const R& run) {
+    if constexpr (requires { run.error_occurred; }) {
+      return run.error_occurred;
+    } else if constexpr (requires { run.skipped; }) {
+      return static_cast<int>(run.skipped) != 0;
+    } else {
+      return false;
+    }
+  }
+
+  // Per-iteration wall time in nanoseconds, from the raw seconds counters
+  // (unit-independent).
+  static double per_op_ns(const Run& run) {
+    if (run.iterations == 0) return 0.0;
+    return run.real_accumulated_time * 1e9 /
+           static_cast<double>(run.iterations);
+  }
+
+  std::ostream* out_;
+  std::vector<Entry> entries_;
+  bool emitted_ = false;
+};
+
+inline int run_with_json_schema(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Sole display reporter: stdout carries exactly one JSON document. The
+  // runner invokes Finalize() when the last benchmark completes.
+  JsonSchemaReporter json(std::cout);
+  json.SetOutputStream(&std::cerr);  // runner's own notes go to stderr
+  json.SetErrorStream(&std::cerr);
+  benchmark::RunSpecifiedBenchmarks(&json);
+  json.ensure_emitted();  // zero matched benchmarks still emit "[]"
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace wfl_bench
+
+#define WFL_BENCH_JSON_MAIN()                                 \
+  int main(int argc, char** argv) {                           \
+    return ::wfl_bench::run_with_json_schema(argc, argv);     \
+  }

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -103,7 +104,8 @@ int main(int argc, char** argv) {
             }
           },
           [&] { return bank.total_balance(); }, expected);
-      t.cell("wflock").cell(threads).cell(format_si(out.ops_per_sec))
+      t.cell("wflock S" + std::to_string(space.num_shards()))
+          .cell(threads).cell(format_si(out.ops_per_sec))
           .cell(out.conserved ? "yes" : "NO");
       t.end_row();
     }
@@ -129,7 +131,8 @@ int main(int argc, char** argv) {
             }
           },
           [&] { return bank.total_balance(); }, expected);
-      t.cell("wflock(fair)").cell(threads).cell(format_si(out.ops_per_sec))
+      t.cell("wflock(fair) S" + std::to_string(space.num_shards()))
+          .cell(threads).cell(format_si(out.ops_per_sec))
           .cell(out.conserved ? "yes" : "NO");
       t.end_row();
     }

@@ -10,7 +10,7 @@
 #include <memory>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -19,7 +19,9 @@ namespace wfl {
 template <typename Plat>
 class Bank {
  public:
-  using Space = LockSpace<Plat>;
+  // The substrate talks to the lock-table layer directly; a LockSpace
+  // facade converts implicitly at the constructor.
+  using Space = LockTable<Plat>;
   using Process = typename Space::Process;
 
   // Account i is protected by lock id `i` of `space` (the space must have at

@@ -30,7 +30,7 @@
 #include <memory>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -44,7 +44,9 @@ inline constexpr std::uint32_t kBstInf = 0xFFFFFFF0u;
 template <typename Plat>
 class LockedBst {
  public:
-  using Space = LockSpace<Plat>;
+  // The substrate talks to the lock-table layer directly; a LockSpace
+  // facade converts implicitly at the constructor.
+  using Space = LockTable<Plat>;
   using Process = typename Space::Process;
 
   // Node index i is protected by lock id i; `space` must provide at least

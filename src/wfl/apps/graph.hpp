@@ -25,7 +25,7 @@
 #include <memory>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/util/assert.hpp"
 #include "wfl/util/rng.hpp"
@@ -35,7 +35,9 @@ namespace wfl {
 template <typename Plat>
 class LockedGraph {
  public:
-  using Space = LockSpace<Plat>;
+  // The substrate talks to the lock-table layer directly; a LockSpace
+  // facade converts implicitly at the constructor.
+  using Space = LockTable<Plat>;
   using Process = typename Space::Process;
 
   // Builds the graph from an adjacency list. Vertex v is protected by lock

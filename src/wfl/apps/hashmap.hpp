@@ -25,7 +25,7 @@
 #include <memory>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -47,7 +47,9 @@ enum : std::uint32_t {
 template <typename Plat>
 class LockedHashMap {
  public:
-  using Space = LockSpace<Plat>;
+  // The substrate talks to the lock-table layer directly; a LockSpace
+  // facade converts implicitly at the constructor.
+  using Space = LockTable<Plat>;
   using Process = typename Space::Process;
 
   // Bucket b is protected by lock id b; `space` needs >= nbuckets locks and

@@ -22,7 +22,7 @@
 #include <mutex>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -35,7 +35,9 @@ inline constexpr std::uint32_t kListTomb = 0xFFFFFFFEu;
 template <typename Plat>
 class LockedList {
  public:
-  using Space = LockSpace<Plat>;
+  // The substrate talks to the lock-table layer directly; a LockSpace
+  // facade converts implicitly at the constructor.
+  using Space = LockTable<Plat>;
   using Process = typename Space::Process;
 
   // Node index i is protected by lock id i; `space` must have at least

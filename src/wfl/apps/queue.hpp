@@ -24,7 +24,7 @@
 #include <memory>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -42,7 +42,9 @@ enum : std::uint32_t {
 template <typename Plat>
 class LockedQueue {
  public:
-  using Space = LockSpace<Plat>;
+  // The substrate talks to the lock-table layer directly; a LockSpace
+  // facade converts implicitly at the constructor.
+  using Space = LockTable<Plat>;
   using Process = typename Space::Process;
 
   // `head_lock` and `tail_lock` are lock ids in `space` (distinct; several

@@ -27,7 +27,7 @@
 #include <memory>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -42,7 +42,9 @@ inline constexpr std::uint32_t kSkipMaxLevel = 3;
 template <typename Plat>
 class LockedSkipList {
  public:
-  using Space = LockSpace<Plat>;
+  // The substrate talks to the lock-table layer directly; a LockSpace
+  // facade converts implicitly at the constructor.
+  using Space = LockTable<Plat>;
   using Process = typename Space::Process;
 
   // Node index i is protected by lock id i; `space` must have at least

@@ -42,13 +42,17 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "wfl/active/active_set.hpp"
 #include "wfl/active/multi_set.hpp"
+#include "wfl/core/attempt.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/descriptor.hpp"
+#include "wfl/core/lock_table.hpp"
+#include "wfl/core/process.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/mem/ebr.hpp"
@@ -104,6 +108,7 @@ class AdaptiveLockSpace {
   using Desc = AdaptiveDescriptor<Plat>;
   using Thunk = typename Desc::Thunk;
   using Set = ActiveSet<Plat, Desc*>;
+  using Handle = ProcessHandle<Plat, Desc>;
 
   struct Process {
     int ebr_pid = -1;
@@ -123,7 +128,9 @@ class AdaptiveLockSpace {
                              1024,
                              static_cast<std::uint32_t>(max_procs) * 128)),
         ebr_(max_procs),
-        mem_{snap_pool_, ebr_} {
+        mem_{snap_pool_, ebr_},
+        serial_block_(sizing.serial_block != 0 ? sizing.serial_block : 1024),
+        handles_(static_cast<std::size_t>(std::max(max_procs, 1))) {
     WFL_CHECK(max_procs > 0 && num_locks > 0);
     WFL_CHECK(static_cast<std::uint32_t>(max_procs) <= kMaxSetCap);
     locks_.reserve(static_cast<std::size_t>(num_locks));
@@ -133,30 +140,41 @@ class AdaptiveLockSpace {
     }
   }
 
-  Process register_process() { return Process{ebr_.register_participant()}; }
+  // Same handle scheme as LockTable (core/process.hpp), with one shard:
+  // striped stats and serial blocks, so this variant's hot path is also
+  // free of process-shared counter writes.
+  Process register_process() {
+    std::lock_guard<std::mutex> lk(reg_mutex_);
+    const int pid = ebr_.register_participant();
+    WFL_CHECK(pid >= 0 && pid < static_cast<int>(handles_.size()));
+    handles_[static_cast<std::size_t>(pid)] = std::make_unique<Handle>(
+        pid, /*num_shards=*/1, serial_hwm_, serial_block_);
+    registered_.store(pid + 1, std::memory_order_release);
+    return Process{pid};
+  }
 
   int num_locks() const { return static_cast<int>(locks_.size()); }
   int max_procs() const { return max_procs_; }
 
   bool try_locks(Process proc, std::span<const std::uint32_t> lock_ids,
                  Thunk thunk) {
-    WFL_CHECK(proc.ebr_pid >= 0);
+    Handle& h = handle(proc);
     WFL_CHECK(lock_ids.size() <= kMaxLocksPerAttempt);
-    attempts_.fetch_add(1, std::memory_order_relaxed);
+    h.stats().add_attempt();
     if (lock_ids.empty()) {
       if (thunk) {
         ThunkLog<Plat> local_log;
         IdemCtx<Plat> m(local_log, 0);
         thunk(m);
       }
-      wins_.fetch_add(1, std::memory_order_relaxed);
+      h.stats().add_win();
       return true;
     }
 
     const std::uint64_t start_steps = Plat::steps();
     const std::uint32_t didx = desc_pool_.alloc();
     Desc& d = desc_pool_.at(didx);
-    d.reinit(serial_.fetch_add(1, std::memory_order_relaxed));
+    d.reinit(h.next_serial());
     d.lock_count = static_cast<std::uint32_t>(lock_ids.size());
     for (std::size_t i = 0; i < lock_ids.size(); ++i) {
       WFL_CHECK(lock_ids[i] < locks_.size());
@@ -164,19 +182,21 @@ class AdaptiveLockSpace {
     }
     d.thunk = std::move(thunk);
 
+    AdaptiveCtx cx{*this, h};
+
     // Help phase: finish everyone already visible on our locks. A member
     // still in its TBD window has no revealed priority yet, so it is not a
     // "known-priority" threat and is skipped (run() would defer on it
     // anyway); everyone revealed is driven to a decision.
     ebr_.enter(proc.ebr_pid);
     {
-      MemberList<Desc*> members;
+      MemberList<Desc*>& members = h.help_scratch();
       for (std::uint32_t i = 0; i < d.lock_count; ++i) {
         multi_get_set<Plat>(*locks_[d.lock_ids[i]], members);
         for (Desc* q : members) {
           if (q->priority.load() > 0) {
-            helps_.fetch_add(1, std::memory_order_relaxed);
-            run(*q);
+            h.stats().add_help();
+            run(cx, *q);
           }
         }
       }
@@ -206,7 +226,7 @@ class AdaptiveLockSpace {
     const std::uint64_t reveal_steps = Plat::steps();
 
     ebr_.enter(proc.ebr_pid);
-    run(d);
+    run(cx, d);
     d.clear_flag();
     for (std::uint32_t i = 0; i < d.lock_count; ++i) {
       locks_[d.lock_ids[i]]->remove(d.slot_of_lock[i], proc.ebr_pid);
@@ -218,33 +238,61 @@ class AdaptiveLockSpace {
     pad_to_power_of_two(reveal_steps);
 
     const bool won = d.status.load() == kStatusWon;
-    if (won) wins_.fetch_add(1, std::memory_order_relaxed);
+    if (won) h.stats().add_win();
     ebr_.retire(proc.ebr_pid, this, didx, &free_descriptor);
     return won;
   }
 
+  // Aggregates the striped per-process slabs (see LockTable::stats()).
   LockStats stats() const {
     LockStats s;
-    s.attempts = attempts_.load(std::memory_order_relaxed);
-    s.wins = wins_.load(std::memory_order_relaxed);
-    s.helps = helps_.load(std::memory_order_relaxed);
-    s.eliminations = eliminations_.load(std::memory_order_relaxed);
-    s.thunk_runs = thunk_runs_.load(std::memory_order_relaxed);
+    const int n = registered_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      const auto& h = handles_[static_cast<std::size_t>(i)];
+      if (h != nullptr) h->stats().accumulate_into(s);
+    }
     return s;
   }
 
   std::uint64_t tbd_eliminations() const {
-    return tbd_eliminations_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    const int n = registered_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      const auto& h = handles_[static_cast<std::size_t>(i)];
+      if (h != nullptr) {
+        total += h->stats().tbd_eliminations.load(std::memory_order_relaxed);
+      }
+    }
+    return total;
   }
 
  private:
+  // The shared engine supplies decide/eliminate/celebrateIfWon (the
+  // snapshot-driven competition loop below stays local: it is the §6.2
+  // variant's difference from Algorithm 3, not a storage concern).
+  struct AdaptiveCtx {
+    AdaptiveLockSpace& s;
+    Handle& h;
+    using Desc = AdaptiveLockSpace::Desc;
+    StatsSlab& stats() { return h.stats(); }
+  };
+  friend struct AdaptiveCtx;
+  using Engine = AttemptEngine<Plat, AdaptiveCtx>;
+
+  Handle& handle(Process proc) {
+    WFL_CHECK(proc.ebr_pid >= 0 &&
+              proc.ebr_pid < static_cast<int>(handles_.size()) &&
+              handles_[static_cast<std::size_t>(proc.ebr_pid)] != nullptr);
+    return *handles_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+
   static void free_descriptor(void* ctx, std::uint32_t handle) {
     static_cast<AdaptiveLockSpace*>(ctx)->desc_pool_.free(handle);
   }
 
   // The competition, against the subject's frozen snapshots. Callable for
   // self (after priority-reveal) or as help for a revealed descriptor.
-  void run(Desc& p) {
+  void run(AdaptiveCtx& cx, Desc& p) {
     for (std::uint32_t i = 0; i < p.lock_count; ++i) {
       if (p.status.load() != kStatusActive) continue;
       const MemberList<Desc*>& snap = p.snaps[i];
@@ -261,36 +309,19 @@ class AdaptiveLockSpace {
             // priorityless; exactly one of {p,q} sees the other, so one of
             // the pair must act or both could win. Priorities of neither
             // are involved — no bias, only a measured success-rate cost.
-            tbd_eliminations_.fetch_add(1, std::memory_order_relaxed);
-            eliminate(*q);
+            cx.stats().add_tbd_elimination();
+            Engine::eliminate(cx, *q);
           } else if (pp > qp) {
-            eliminate(*q);
+            Engine::eliminate(cx, *q);
           } else {
-            eliminate(p);
+            Engine::eliminate(cx, p);
           }
         }
-        celebrate_if_won(*q);
+        Engine::celebrate_if_won(cx, *q);
       }
     }
-    decide(p);
-    celebrate_if_won(p);
-  }
-
-  void decide(Desc& p) { p.status.cas(kStatusActive, kStatusWon); }
-
-  void eliminate(Desc& p) {
-    if (p.status.cas(kStatusActive, kStatusLost)) {
-      eliminations_.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-
-  void celebrate_if_won(Desc& p) {
-    if (p.status.load() != kStatusWon) return;
-    thunk_runs_.fetch_add(1, std::memory_order_relaxed);
-    if (p.thunk) {
-      IdemCtx<Plat> ctx(p.log, p.tag_base);
-      p.thunk(ctx);
-    }
+    Engine::decide(p);
+    Engine::celebrate_if_won(cx, p);
   }
 
   void pad_to_power_of_two(std::uint64_t base) {
@@ -306,14 +337,12 @@ class AdaptiveLockSpace {
   EbrDomain ebr_;
   SetMem<Desc*> mem_;
   std::vector<std::unique_ptr<Set>> locks_;
-  std::atomic<std::uint64_t> serial_{1};
 
-  std::atomic<std::uint64_t> attempts_{0};
-  std::atomic<std::uint64_t> wins_{0};
-  std::atomic<std::uint64_t> helps_{0};
-  std::atomic<std::uint64_t> eliminations_{0};
-  std::atomic<std::uint64_t> thunk_runs_{0};
-  std::atomic<std::uint64_t> tbd_eliminations_{0};
+  std::atomic<std::uint64_t> serial_hwm_{1};
+  std::uint32_t serial_block_;
+  std::mutex reg_mutex_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+  std::atomic<int> registered_{0};
 };
 
 }  // namespace wfl

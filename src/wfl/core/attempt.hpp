@@ -1,0 +1,114 @@
+// The attempt engine: Algorithm 3's competition core, and nothing else.
+//
+// This header owns the pure per-attempt procedures — run / decide /
+// eliminate / celebrateIfWon (lines 26-37) and the fixed-delay spin
+// (lines 10-11, 24) — parameterized over a *context* that supplies memory
+// and accounting. The engine has no idea how locks are stored, how
+// descriptors are pooled, or how statistics are aggregated; that is the
+// LockTable's and ProcessHandle's business (core/lock_table.hpp,
+// core/process.hpp). Keeping the competition core free of storage policy is
+// what lets the same five procedures serve both the single-shard facade and
+// the sharded table, and is what the proofs actually constrain.
+//
+// Context requirements (duck-typed; LockTable::AttemptCtx is the model):
+//   using Desc = ...;                     // descriptor type (status/priority)
+//   SetT&       set(std::uint32_t id);    // lock id -> active set
+//   StatsT&     stats();                  // striped per-process counters
+//   MemberList<Desc*>& run_scratch();     // scratch for run()'s getSets
+//   GuardScopeT lock_guards(Desc& p);     // RAII: EBR guards covering every
+//                                         // shard p's lock set touches
+//
+// The stats object only needs add_elimination()/add_thunk_run(); it is the
+// caller's striped slab, so nothing the engine does writes a cacheline
+// shared between processes — the only shared-memory writes issued here are
+// the algorithm's own status CASes, priority loads and set reads.
+#pragma once
+
+#include <cstdint>
+
+#include "wfl/active/multi_set.hpp"
+#include "wfl/core/config.hpp"
+#include "wfl/core/descriptor.hpp"
+#include "wfl/idem/idem.hpp"
+
+namespace wfl {
+
+// Per-attempt measurements (own steps of the calling process), filled by
+// try_locks when requested. pre_reveal_work and post_reveal_work exclude
+// delay spinning — they are the quantities the T0/T1 budgets must dominate
+// for the fairness argument to hold (Observation 6.7).
+struct AttemptInfo {
+  bool won = false;
+  std::uint64_t pre_reveal_work = 0;   // help + multiInsert steps
+  std::uint64_t post_reveal_work = 0;  // run + multiRemove steps
+  std::uint64_t total_steps = 0;       // whole attempt, delays included
+};
+
+template <typename Plat, typename Ctx>
+struct AttemptEngine {
+  using Desc = typename Ctx::Desc;
+
+  // The core competition procedure (lines 26-37). `p` may be the caller's
+  // own descriptor or one being helped; the code cannot tell and must not.
+  // The guard scope covers every shard p's locks live in, so a helper that
+  // wandered into another shard's territory still reads its snapshots and
+  // descriptors under that shard's reclamation protection.
+  static void run(Ctx& cx, Desc& p) {
+    auto guards = cx.lock_guards(p);
+    auto& members = cx.run_scratch();
+    for (std::uint32_t i = 0; i < p.lock_count; ++i) {
+      multi_get_set<Plat>(cx.set(p.lock_ids[i]), members);
+      if (p.status.load() != kStatusActive) continue;
+      for (Desc* q : members) {
+        if (q->status.load() == kStatusActive && q != &p) {
+          const std::int64_t pp = p.priority.load();
+          const std::int64_t qp = q->priority.load();
+          if (pp > qp) {
+            eliminate(cx, *q);
+          } else {
+            eliminate(cx, p);  // covers qp > pp and the tie (self loses)
+          }
+        }
+        celebrate_if_won(cx, *q);
+      }
+    }
+    decide(p);
+    celebrate_if_won(cx, p);
+  }
+
+  static void decide(Desc& p) { p.status.cas(kStatusActive, kStatusWon); }
+
+  static void eliminate(Ctx& cx, Desc& p) {
+    if (p.status.cas(kStatusActive, kStatusLost)) {
+      cx.stats().add_elimination();
+    }
+  }
+
+  static void celebrate_if_won(Ctx& cx, Desc& p) {
+    if (p.status.load() != kStatusWon) return;
+    cx.stats().add_thunk_run();
+    if (p.thunk) {
+      IdemCtx<Plat> m(p.log, p.tag_base);
+      p.thunk(m);
+    }
+  }
+
+  // Spins own steps until exactly `base + delta` steps have been taken.
+  // Starting beyond the target is an overrun: the constants were too small
+  // for the workload — counted (through the caller's striped slab, via
+  // `on_overrun`), surfaced by exp_step_bound, asserted zero in tests with
+  // default constants.
+  template <typename OnOverrun>
+  static void delay_until(DelayMode mode, std::uint64_t base,
+                          std::uint64_t delta, OnOverrun&& on_overrun) {
+    if (mode == DelayMode::kOff) return;
+    const std::uint64_t target = base + delta;
+    if (Plat::steps() > target) {
+      on_overrun();
+      return;
+    }
+    while (Plat::steps() < target) Plat::step();
+  }
+};
+
+}  // namespace wfl

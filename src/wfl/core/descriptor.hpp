@@ -15,6 +15,7 @@
 // read it for the duration of its guard.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "wfl/idem/idem.hpp"
@@ -52,6 +53,14 @@ struct Descriptor {
   typename Plat::template Atomic<std::int64_t> priority;
   typename Plat::template Atomic<std::uint32_t> status;
   ThunkLog<Plat> log;
+
+  // --- reclamation bookkeeping (raw atomic: memory management is outside
+  // the step model, DESIGN.md substitution #2) ---
+  // A descriptor visible in k shards is retired into all k EBR domains;
+  // each expiring grace period drops one reference and the last frees the
+  // pool slot (see LockTable::release_descriptor). Set by the owner before
+  // the first retire; untouched by reinit.
+  std::atomic<std::uint32_t> retire_refs{0};
 
   // Multi-active-set flag interface (Algorithm 3 lines 7-13; the delay that
   // precedes the reveal lives in LockSpace, which owns the step counting).

@@ -1,323 +1,73 @@
-// Algorithm 3: fast and fair randomized wait-free locks (known bounds).
+// LockSpace: the user-facing facade over the layered lock architecture.
 //
-// A LockSpace owns a family of locks, each represented by one active set
-// (Algorithm 1); together they form the multi active set (Algorithm 2) the
-// attempts are inserted into. tryLocks(lockList, thunk) is Algorithm 3
-// line-for-line:
+// Since the decomposition, the machinery of Algorithm 3 lives in three
+// layers, each with one concern:
 //
-//   1. Help phase (lines 17–20): getSet every lock in the list; run() every
-//      revealed descriptor found. Any competitor whose priority the player
-//      adversary could have seen before starting us is forced to finish
-//      before we pick our own priority (Lemma 6.4).
-//   2. multiInsert (line 21): insert our descriptor into every lock's set;
-//      then the *reveal step* — after delaying until exactly T0 = c0·κ²L²·T
-//      of our own steps have elapsed since the attempt started, store a
-//      uniformly random priority. The fixed delay makes the reveal time a
-//      pure function of the start time (Observation 6.7), which is what
-//      denies the adversary any priority-dependent timing leverage.
-//   3. run(p) (lines 26–37): per lock, getSet; compare priorities against
-//      every active member, eliminating the lower one (ties: self loses, so
-//      symmetric ties lose on both sides — footnote 3); celebrate every won
-//      member met along the way; then decide (CAS active→won) and celebrate
-//      self. Celebrating competitors *before* deciding is the safety
-//      linchpin: by the time an attempt runs its own thunk, every earlier
-//      winner on its locks has a finished thunk run, so thunk intervals on
-//      overlapping lock sets never overlap (Definition 4.3).
-//   4. multiRemove (line 23) and the trailing delay to T1 = c1·κLT own
-//      steps after the reveal, fixing the attempt's end time as well.
+//   * core/attempt.hpp    — the attempt engine: the pure competition core
+//                           (run/decide/eliminate/celebrateIfWon) and the
+//                           fixed delays, parameterized over a context;
+//   * core/process.hpp    — ProcessHandle: per-process hot state (striped
+//                           stats slab, serial blocks, scratch lists,
+//                           re-entrant shard-guard depths);
+//   * core/lock_table.hpp — LockTable: sharded storage (per-shard pools +
+//                           EBR domains), attempt orchestration, routing.
 //
-// Wait-freedom is structural: every loop in this file is bounded by
-// κ, L, or T. There are no unbounded retries anywhere on the attempt path.
-//
-// EBR guards are held across the two *work* segments (help+insert, and
-// run+remove) and released across the delay segments, which dominate an
-// attempt's steps; this keeps reclamation flowing while a slow process
-// stalls in a delay. Releasing the guard there is safe: during a delay the
-// process holds no borrowed references (its own descriptor is not retired
-// until the end of the attempt).
+// LockSpace is a thin veneer that keeps the original construction-and-call
+// API stable for applications, examples and tests. It converts implicitly
+// to LockTable&, which is what the data-structure substrates (apps/*.hpp),
+// the retry helper and the transaction layer now take — so a LockSpace can
+// be handed to any of them unchanged.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstdint>
-#include <memory>
 #include <span>
-#include <vector>
 
-#include "wfl/active/active_set.hpp"
-#include "wfl/active/multi_set.hpp"
+#include "wfl/core/attempt.hpp"
 #include "wfl/core/config.hpp"
-#include "wfl/core/descriptor.hpp"
-#include "wfl/idem/idem.hpp"
-#include "wfl/mem/arena.hpp"
-#include "wfl/mem/ebr.hpp"
-#include "wfl/util/assert.hpp"
+#include "wfl/core/lock_table.hpp"
+#include "wfl/core/process.hpp"
 
 namespace wfl {
-
-// Pool capacity overrides; 0 means "auto from process count".
-struct SpaceSizing {
-  std::uint32_t snap_pool_capacity = 0;
-  std::uint32_t desc_pool_capacity = 0;
-};
-
-// Per-attempt measurements (own steps of the calling process), filled by
-// try_locks when requested. pre_reveal_work and post_reveal_work exclude
-// delay spinning — they are the quantities the T0/T1 budgets must dominate
-// for the fairness argument to hold (Observation 6.7).
-struct AttemptInfo {
-  bool won = false;
-  std::uint64_t pre_reveal_work = 0;   // help + multiInsert steps
-  std::uint64_t post_reveal_work = 0;  // run + multiRemove steps
-  std::uint64_t total_steps = 0;       // whole attempt, delays included
-};
 
 template <typename Plat>
 class LockSpace {
  public:
-  using Desc = Descriptor<Plat>;
-  using Thunk = typename Desc::Thunk;
-  using Set = ActiveSet<Plat, Desc*>;
-
-  // A per-logical-process handle (EBR participant id). Cheap value type;
-  // each OS thread / sim fiber registers once and passes it to try_locks.
-  struct Process {
-    int ebr_pid = -1;
-  };
+  using Table = LockTable<Plat>;
+  using Desc = typename Table::Desc;
+  using Thunk = typename Table::Thunk;
+  using Set = typename Table::Set;
+  using Process = typename Table::Process;
 
   LockSpace(const LockConfig& cfg, int max_procs, int num_locks,
             SpaceSizing sizing = {})
-      : cfg_(cfg),
-        max_procs_(max_procs),
-        snap_pool_(sizing.snap_pool_capacity != 0
-                       ? sizing.snap_pool_capacity
-                       : auto_snap_capacity(max_procs)),
-        desc_pool_(sizing.desc_pool_capacity != 0
-                       ? sizing.desc_pool_capacity
-                       : auto_desc_capacity(max_procs)),
-        ebr_(max_procs),
-        mem_{snap_pool_, ebr_} {
-    cfg_.validate();
-    WFL_CHECK(max_procs > 0 && num_locks > 0);
-    WFL_CHECK(cfg_.max_locks <= kMaxLocksPerAttempt);
-    WFL_CHECK(cfg_.max_thunk_steps <= kMaxThunkOps);
-    WFL_CHECK(cfg_.kappa <= kMaxSetCap);
-    locks_.reserve(static_cast<std::size_t>(num_locks));
-    for (int i = 0; i < num_locks; ++i) {
-      locks_.push_back(std::make_unique<Set>(cfg_.kappa, mem_));
-    }
-  }
+      : table_(cfg, max_procs, num_locks, sizing) {}
 
-  Process register_process() { return Process{ebr_.register_participant()}; }
+  // The facade IS its table; substrates and helpers take LockTable&.
+  Table& table() { return table_; }
+  const Table& table() const { return table_; }
+  operator Table&() { return table_; }  // NOLINT(google-explicit-constructor)
 
-  int num_locks() const { return static_cast<int>(locks_.size()); }
-  int max_procs() const { return max_procs_; }
-  const LockConfig& config() const { return cfg_; }
+  Process register_process() { return table_.register_process(); }
 
-  // One tryLock attempt on `lock_ids` running `thunk` if all locks are
-  // acquired. Returns success. Never blocks on other processes: completes
-  // in O(κ²L²T) of the caller's own steps regardless of the schedule.
+  int num_locks() const { return table_.num_locks(); }
+  int max_procs() const { return table_.max_procs(); }
+  std::uint32_t num_shards() const { return table_.num_shards(); }
+  const LockConfig& config() const { return table_.config(); }
+
   bool try_locks(Process proc, std::span<const std::uint32_t> lock_ids,
                  Thunk thunk, AttemptInfo* info = nullptr) {
-    WFL_CHECK(proc.ebr_pid >= 0);
-    WFL_CHECK_MSG(lock_ids.size() <= cfg_.max_locks,
-                  "lock set exceeds the configured L bound");
-    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
-      WFL_CHECK(lock_ids[i] < locks_.size());
-      for (std::size_t j = i + 1; j < lock_ids.size(); ++j) {
-        WFL_CHECK_MSG(lock_ids[i] != lock_ids[j],
-                      "duplicate lock in lock set");
-      }
-    }
-    attempts_.fetch_add(1, std::memory_order_relaxed);
-
-    if (lock_ids.empty()) {
-      // Degenerate attempt: nothing to contend on; run the thunk alone.
-      if (thunk) {
-        ThunkLog<Plat> local_log;
-        IdemCtx<Plat> ctx(local_log, 0);
-        thunk(ctx);
-        thunk_runs_.fetch_add(1, std::memory_order_relaxed);
-      }
-      wins_.fetch_add(1, std::memory_order_relaxed);
-      return true;
-    }
-
-    const std::uint64_t start_steps = Plat::steps();
-
-    const std::uint32_t didx = desc_pool_.alloc();
-    Desc& d = desc_pool_.at(didx);
-    d.reinit(serial_.fetch_add(1, std::memory_order_relaxed));
-    d.lock_count = static_cast<std::uint32_t>(lock_ids.size());
-    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
-      d.lock_ids[i] = lock_ids[i];
-    }
-    d.thunk = std::move(thunk);
-
-    // --- work segment 1: help phase + multiInsert (lines 17-21) ---
-    ebr_.enter(proc.ebr_pid);
-    if (cfg_.help_phase) {
-      MemberList<Desc*> members;
-      for (std::uint32_t i = 0; i < d.lock_count; ++i) {
-        multi_get_set<Plat>(*locks_[d.lock_ids[i]], members);
-        for (Desc* q : members) {
-          helps_.fetch_add(1, std::memory_order_relaxed);
-          run(*q);
-        }
-      }
-    }
-    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
-      d.slot_of_lock[i] = locks_[d.lock_ids[i]]->insert(&d, proc.ebr_pid);
-    }
-    ebr_.exit(proc.ebr_pid);
-    const std::uint64_t pre_reveal_work = Plat::steps() - start_steps;
-
-    // --- the reveal step, pinned to exactly T0 own steps (lines 10-11) ---
-    delay_until(start_steps, cfg_.t0_steps(), &t0_overruns_);
-    d.priority.store(draw_priority<Plat>());
-    const std::uint64_t reveal_steps = Plat::steps();
-
-    // --- work segment 2: compete, then multiRemove (lines 22-23) ---
-    ebr_.enter(proc.ebr_pid);
-    run(d);
-    d.clear_flag();
-    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
-      locks_[d.lock_ids[i]]->remove(d.slot_of_lock[i], proc.ebr_pid);
-    }
-    ebr_.exit(proc.ebr_pid);
-    const std::uint64_t post_reveal_work = Plat::steps() - reveal_steps;
-
-    // --- trailing delay pins the attempt's end time (line 24) ---
-    delay_until(reveal_steps, cfg_.t1_steps(), &t1_overruns_);
-
-    const bool won = d.status.load() == kStatusWon;
-    if (won) wins_.fetch_add(1, std::memory_order_relaxed);
-    ebr_.retire(proc.ebr_pid, this, didx, &free_descriptor);
-    if (info != nullptr) {
-      info->won = won;
-      info->pre_reveal_work = pre_reveal_work;
-      info->post_reveal_work = post_reveal_work;
-      info->total_steps = Plat::steps() - start_steps;
-    }
-    return won;
+    return table_.try_locks(proc, lock_ids, std::move(thunk), info);
   }
 
-  LockStats stats() const {
-    LockStats s;
-    s.attempts = attempts_.load(std::memory_order_relaxed);
-    s.wins = wins_.load(std::memory_order_relaxed);
-    s.helps = helps_.load(std::memory_order_relaxed);
-    s.eliminations = eliminations_.load(std::memory_order_relaxed);
-    s.thunk_runs = thunk_runs_.load(std::memory_order_relaxed);
-    s.t0_overruns = t0_overruns_.load(std::memory_order_relaxed);
-    s.t1_overruns = t1_overruns_.load(std::memory_order_relaxed);
-    return s;
-  }
+  LockStats stats() const { return table_.stats(); }
 
-  // Test/diagnostic access to a lock's active set. An inspector must hold
-  // an EBR guard (ebr_enter/ebr_exit) across get_set() and any use of the
-  // returned snapshot. The adversary harness in exp_ablation uses this to
-  // play the model's adaptive player, which may see all of history.
-  Set& lock_set(std::uint32_t id) { return *locks_[id]; }
-  void ebr_enter(Process p) { ebr_.enter(p.ebr_pid); }
-  void ebr_exit(Process p) { ebr_.exit(p.ebr_pid); }
-
-  // Crash-harness support: release `p`'s EBR guard on its behalf. Legal
-  // ONLY when the process provably takes no further steps (a fiber parked
-  // forever by a CrashSchedule). See EbrDomain::abandon.
-  void abandon_process(Process p) { ebr_.abandon(p.ebr_pid); }
+  Set& lock_set(std::uint32_t id) { return table_.lock_set(id); }
+  void ebr_enter(Process p) { table_.ebr_enter(p); }
+  void ebr_exit(Process p) { table_.ebr_exit(p); }
+  void abandon_process(Process p) { table_.abandon_process(p); }
 
  private:
-  // Initial sizes only: the pools grow on demand (reclamation can stall for
-  // as long as any process is preempted inside an EBR guard, so no static
-  // bound is safe — see arena.hpp).
-  static std::uint32_t auto_snap_capacity(int procs) {
-    return std::max<std::uint32_t>(4096,
-                                   static_cast<std::uint32_t>(procs) * 256);
-  }
-  static std::uint32_t auto_desc_capacity(int procs) {
-    return std::max<std::uint32_t>(512,
-                                   static_cast<std::uint32_t>(procs) * 32);
-  }
-
-  static void free_descriptor(void* ctx, std::uint32_t handle) {
-    static_cast<LockSpace*>(ctx)->desc_pool_.free(handle);
-  }
-
-  // The core competition procedure (lines 26-37). `p` may be the caller's
-  // own descriptor or one being helped; the code cannot tell and must not.
-  void run(Desc& p) {
-    for (std::uint32_t i = 0; i < p.lock_count; ++i) {
-      MemberList<Desc*> members;
-      multi_get_set<Plat>(*locks_[p.lock_ids[i]], members);
-      if (p.status.load() != kStatusActive) continue;
-      for (Desc* q : members) {
-        if (q->status.load() == kStatusActive && q != &p) {
-          const std::int64_t pp = p.priority.load();
-          const std::int64_t qp = q->priority.load();
-          if (pp > qp) {
-            eliminate(*q);
-          } else {
-            eliminate(p);  // covers qp > pp and the tie (self loses)
-          }
-        }
-        celebrate_if_won(*q);
-      }
-    }
-    decide(p);
-    celebrate_if_won(p);
-  }
-
-  void decide(Desc& p) { p.status.cas(kStatusActive, kStatusWon); }
-
-  void eliminate(Desc& p) {
-    if (p.status.cas(kStatusActive, kStatusLost)) {
-      eliminations_.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-
-  void celebrate_if_won(Desc& p) {
-    if (p.status.load() != kStatusWon) return;
-    thunk_runs_.fetch_add(1, std::memory_order_relaxed);
-    if (p.thunk) {
-      IdemCtx<Plat> ctx(p.log, p.tag_base);
-      p.thunk(ctx);
-    }
-  }
-
-  // Spins own steps until exactly `base + delta` steps have been taken.
-  // Starting beyond the target is an overrun: the constants were too small
-  // for the workload — counted, surfaced by exp_step_bound, asserted zero
-  // in tests with default constants.
-  void delay_until(std::uint64_t base, std::uint64_t delta,
-                   std::atomic<std::uint64_t>* overruns) {
-    if (cfg_.delay_mode == DelayMode::kOff) return;
-    const std::uint64_t target = base + delta;
-    if (Plat::steps() > target) {
-      overruns->fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    while (Plat::steps() < target) Plat::step();
-  }
-
-  LockConfig cfg_;
-  int max_procs_;
-  // Order matters: EbrDomain's destructor drains retired objects back into
-  // the pools, so the pools must outlive it (destroyed in reverse order).
-  IndexPool<SetSnap<Desc*>> snap_pool_;
-  IndexPool<Desc> desc_pool_;
-  EbrDomain ebr_;
-  SetMem<Desc*> mem_;
-  std::vector<std::unique_ptr<Set>> locks_;
-  std::atomic<std::uint64_t> serial_{1};
-
-  std::atomic<std::uint64_t> attempts_{0};
-  std::atomic<std::uint64_t> wins_{0};
-  std::atomic<std::uint64_t> helps_{0};
-  std::atomic<std::uint64_t> eliminations_{0};
-  std::atomic<std::uint64_t> thunk_runs_{0};
-  std::atomic<std::uint64_t> t0_overruns_{0};
-  std::atomic<std::uint64_t> t1_overruns_{0};
+  Table table_;
 };
 
 }  // namespace wfl

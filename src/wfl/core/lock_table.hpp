@@ -1,0 +1,482 @@
+// The lock table: sharded storage + orchestration for Algorithm 3.
+//
+// A LockTable owns a family of locks, each represented by one active set
+// (Algorithm 1); together they form the multi active set (Algorithm 2) the
+// attempts are inserted into. try_locks(lockList, thunk) is Algorithm 3
+// line-for-line:
+//
+//   1. Help phase (lines 17–20): getSet every lock in the list; run() every
+//      revealed descriptor found. Any competitor whose priority the player
+//      adversary could have seen before starting us is forced to finish
+//      before we pick our own priority (Lemma 6.4).
+//   2. multiInsert (line 21): insert our descriptor into every lock's set;
+//      then the *reveal step* — after delaying until exactly T0 = c0·κ²L²·T
+//      of our own steps have elapsed since the attempt started, store a
+//      uniformly random priority. The fixed delay makes the reveal time a
+//      pure function of the start time (Observation 6.7), which is what
+//      denies the adversary any priority-dependent timing leverage.
+//   3. run(p) (lines 26–37): the attempt engine's competition core — see
+//      core/attempt.hpp, which owns the safety-critical celebrate-before-
+//      decide ordering (Definition 4.3).
+//   4. multiRemove (line 23) and the trailing delay to T1 = c1·κLT own
+//      steps after the reveal, fixing the attempt's end time as well.
+//
+// Wait-freedom is structural: every loop on the attempt path is bounded by
+// κ, L, or T. There are no unbounded retries anywhere.
+//
+// --- Sharding -------------------------------------------------------------
+//
+// Locks are distributed over S = 2^k independent shards (lock id & (S-1)).
+// Each shard owns a descriptor pool, a snapshot pool, and an EBR domain of
+// its own, so the memory-management traffic of an attempt — pool freelist
+// CASes, snapshot churn, epoch advancement — stays inside the shards its
+// lock set touches. A single-lock attempt is routed entirely through its
+// home shard: it allocates, competes, and reclaims there and writes no
+// other shard's cachelines. The per-process counters that the monolith
+// shared globally (serial, stats) are striped into ProcessHandles
+// (core/process.hpp), so the only cross-shard communication left is the
+// algorithm's own descriptor CASes — which the competition semantics
+// require and the paper's step bounds already price in.
+//
+// A multi-lock attempt whose locks straddle shards works unchanged: the
+// descriptor (homed in the shard of its first lock) is inserted into every
+// lock's set, and the shared-descriptor competition proceeds exactly as in
+// the monolith. Two things make that safe:
+//
+//   * guard coverage — every read of a shard's snapshots/descriptors
+//     happens under *that shard's* EBR guard. The attempt enters the guards
+//     of all shards its lock set touches around each work segment, and the
+//     engine's run() (which may be helping a descriptor whose lock set
+//     touches other shards) re-enters whatever extra shards it needs
+//     through the handle's re-entrant depth counters.
+//   * refcounted retire — a descriptor that was visible in k shards is
+//     retired into all k domains with a k-valued refcount; the pool slot is
+//     freed by the last domain whose grace period expires, so a helper
+//     parked inside any one shard's guard keeps the descriptor alive.
+//
+// EBR guards are held across the two *work* segments (help+insert, and
+// run+remove) and released across the delay segments, which dominate an
+// attempt's steps; this keeps reclamation flowing while a slow process
+// stalls in a delay. Releasing the guard there is safe: during a delay the
+// process holds no borrowed references (its own descriptor is not retired
+// until the end of the attempt).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "wfl/active/active_set.hpp"
+#include "wfl/active/multi_set.hpp"
+#include "wfl/core/attempt.hpp"
+#include "wfl/core/config.hpp"
+#include "wfl/core/descriptor.hpp"
+#include "wfl/core/process.hpp"
+#include "wfl/idem/idem.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/mem/ebr.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+// Capacity/layout overrides; 0 means "auto from process count".
+struct SpaceSizing {
+  std::uint32_t snap_pool_capacity = 0;  // initial snapshots per shard
+  std::uint32_t desc_pool_capacity = 0;  // initial descriptors per shard
+  std::uint32_t shards = 0;              // shard count (power of two)
+  std::uint32_t serial_block = 0;        // serials per per-process block
+};
+
+inline constexpr std::uint32_t kMaxShards = 16;
+
+template <typename Plat>
+class LockTable {
+ public:
+  using Desc = Descriptor<Plat>;
+  using Thunk = typename Desc::Thunk;
+  using Set = ActiveSet<Plat, Desc*>;
+  using Handle = ProcessHandle<Plat, Desc>;
+
+  // A per-logical-process name (dense id; also the participant id in every
+  // shard's EBR domain). Cheap value type; each OS thread / sim fiber
+  // registers once and passes it to try_locks.
+  struct Process {
+    int ebr_pid = -1;
+  };
+
+  LockTable(const LockConfig& cfg, int max_procs, int num_locks,
+            SpaceSizing sizing = {})
+      : cfg_(cfg),
+        max_procs_(max_procs),
+        num_shards_(sizing.shards != 0 ? sizing.shards
+                                       : auto_shards(max_procs, num_locks)),
+        serial_block_(sizing.serial_block != 0 ? sizing.serial_block
+                                               : kDefaultSerialBlock),
+        handles_(static_cast<std::size_t>(std::max(max_procs, 1))) {
+    cfg_.validate();
+    WFL_CHECK(max_procs > 0 && num_locks > 0);
+    WFL_CHECK(cfg_.max_locks <= kMaxLocksPerAttempt);
+    WFL_CHECK(cfg_.max_thunk_steps <= kMaxThunkOps);
+    WFL_CHECK(cfg_.kappa <= kMaxSetCap);
+    WFL_CHECK_MSG(num_shards_ >= 1 && num_shards_ <= kMaxShards &&
+                      (num_shards_ & (num_shards_ - 1)) == 0,
+                  "shard count must be a power of two in [1, kMaxShards]");
+
+    const std::uint32_t snap_cap =
+        sizing.snap_pool_capacity != 0
+            ? sizing.snap_pool_capacity
+            : per_shard(auto_snap_capacity(max_procs), 512);
+    const std::uint32_t desc_cap =
+        sizing.desc_pool_capacity != 0
+            ? sizing.desc_pool_capacity
+            : per_shard(auto_desc_capacity(max_procs), 128);
+
+    mem_.reserve(num_shards_);
+    ebr_.reserve(num_shards_);
+    set_mem_.reserve(num_shards_);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      mem_.push_back(std::make_unique<ShardMem>(snap_cap, desc_cap));
+      ebr_.push_back(std::make_unique<EbrDomain>(max_procs));
+      set_mem_.push_back(SetMem<Desc*>{mem_[s]->snap_pool, *ebr_[s]});
+    }
+    locks_.reserve(static_cast<std::size_t>(num_locks));
+    for (int i = 0; i < num_locks; ++i) {
+      locks_.push_back(std::make_unique<Set>(
+          cfg_.kappa, set_mem_[shard_of(static_cast<std::uint32_t>(i))]));
+    }
+  }
+
+  // Registers the calling logical process: one participant slot in every
+  // shard's EBR domain (all under one id) plus a ProcessHandle carrying its
+  // striped hot state. Not on the attempt path; serialized by a mutex so
+  // the per-shard participant ids stay aligned.
+  Process register_process() {
+    std::lock_guard<std::mutex> lk(reg_mutex_);
+    int pid = -1;
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      const int p = ebr_[s]->register_participant();
+      WFL_CHECK_MSG(s == 0 || p == pid,
+                    "shard EBR domains disagree on participant id");
+      pid = p;
+    }
+    WFL_CHECK(pid >= 0 && pid < static_cast<int>(handles_.size()));
+    handles_[static_cast<std::size_t>(pid)] = std::make_unique<Handle>(
+        pid, num_shards_, serial_hwm_, serial_block_);
+    registered_.store(pid + 1, std::memory_order_release);
+    return Process{pid};
+  }
+
+  int num_locks() const { return static_cast<int>(locks_.size()); }
+  int max_procs() const { return max_procs_; }
+  std::uint32_t num_shards() const { return num_shards_; }
+  const LockConfig& config() const { return cfg_; }
+
+  std::uint32_t shard_of(std::uint32_t lock_id) const {
+    return lock_id & (num_shards_ - 1);
+  }
+
+  Handle& handle(Process proc) {
+    WFL_CHECK(proc.ebr_pid >= 0 &&
+              proc.ebr_pid < static_cast<int>(handles_.size()) &&
+              handles_[static_cast<std::size_t>(proc.ebr_pid)] != nullptr);
+    return *handles_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+
+  // One tryLock attempt on `lock_ids` running `thunk` if all locks are
+  // acquired. Returns success. Never blocks on other processes: completes
+  // in O(κ²L²T) of the caller's own steps regardless of the schedule.
+  bool try_locks(Process proc, std::span<const std::uint32_t> lock_ids,
+                 Thunk thunk, AttemptInfo* info = nullptr) {
+    Handle& h = handle(proc);
+    WFL_CHECK_MSG(lock_ids.size() <= cfg_.max_locks,
+                  "lock set exceeds the configured L bound");
+    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
+      WFL_CHECK(lock_ids[i] < locks_.size());
+      for (std::size_t j = i + 1; j < lock_ids.size(); ++j) {
+        WFL_CHECK_MSG(lock_ids[i] != lock_ids[j],
+                      "duplicate lock in lock set");
+      }
+    }
+    h.stats().add_attempt();
+
+    if (lock_ids.empty()) {
+      // Degenerate attempt: nothing to contend on; run the thunk alone.
+      if (thunk) {
+        ThunkLog<Plat> local_log;
+        IdemCtx<Plat> ctx(local_log, 0);
+        thunk(ctx);
+        h.stats().add_thunk_run();
+      }
+      h.stats().add_win();
+      return true;
+    }
+
+    const std::uint64_t start_steps = Plat::steps();
+
+    // The attempt's shard footprint. `home` (the first lock's shard) hosts
+    // the descriptor; for a single-lock attempt the footprint is exactly
+    // {home} and nothing below touches any other shard.
+    std::uint32_t att_shards[kMaxLocksPerAttempt];
+    const std::uint32_t n_att_shards = shard_footprint(lock_ids, att_shards);
+    const std::uint32_t home = shard_of(lock_ids[0]);
+    ShardMem& hm = *mem_[home];
+
+    const std::uint32_t didx = hm.desc_pool.alloc();
+    Desc& d = hm.desc_pool.at(didx);
+    d.reinit(h.next_serial());
+    d.lock_count = static_cast<std::uint32_t>(lock_ids.size());
+    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
+      d.lock_ids[i] = lock_ids[i];
+    }
+    d.thunk = std::move(thunk);
+    d.retire_refs.store(n_att_shards, std::memory_order_relaxed);
+
+    AttemptCtx cx{*this, h};
+
+    // --- work segment 1: help phase + multiInsert (lines 17-21) ---
+    enter_shards(h, att_shards, n_att_shards);
+    if (cfg_.help_phase) {
+      MemberList<Desc*>& members = h.help_scratch();
+      for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+        multi_get_set<Plat>(*locks_[d.lock_ids[i]], members);
+        for (Desc* q : members) {
+          h.stats().add_help();
+          Engine::run(cx, *q);
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+      d.slot_of_lock[i] = locks_[d.lock_ids[i]]->insert(&d, h.pid());
+    }
+    exit_shards(h, att_shards, n_att_shards);
+    const std::uint64_t pre_reveal_work = Plat::steps() - start_steps;
+
+    // --- the reveal step, pinned to exactly T0 own steps (lines 10-11) ---
+    Engine::delay_until(cfg_.delay_mode, start_steps, cfg_.t0_steps(),
+                        [&h] { h.stats().add_t0_overrun(); });
+    d.priority.store(draw_priority<Plat>());
+    const std::uint64_t reveal_steps = Plat::steps();
+
+    // --- work segment 2: compete, then multiRemove (lines 22-23) ---
+    enter_shards(h, att_shards, n_att_shards);
+    Engine::run(cx, d);
+    d.clear_flag();
+    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+      locks_[d.lock_ids[i]]->remove(d.slot_of_lock[i], h.pid());
+    }
+    exit_shards(h, att_shards, n_att_shards);
+    const std::uint64_t post_reveal_work = Plat::steps() - reveal_steps;
+
+    // --- trailing delay pins the attempt's end time (line 24) ---
+    Engine::delay_until(cfg_.delay_mode, reveal_steps, cfg_.t1_steps(),
+                        [&h] { h.stats().add_t1_overrun(); });
+
+    const bool won = d.status.load() == kStatusWon;
+    if (won) h.stats().add_win();
+    // Retire into every shard the descriptor was visible in; the slot is
+    // recycled by the last grace period to expire (see retire_refs).
+    for (std::uint32_t s = 0; s < n_att_shards; ++s) {
+      ebr_[att_shards[s]]->retire(h.pid(), &hm, didx, &release_descriptor);
+    }
+    if (info != nullptr) {
+      info->won = won;
+      info->pre_reveal_work = pre_reveal_work;
+      info->post_reveal_work = post_reveal_work;
+      info->total_steps = Plat::steps() - start_steps;
+    }
+    return won;
+  }
+
+  // Aggregates the striped per-process slabs. Exact whenever the processes
+  // are quiescent (the only time the tests compare totals); otherwise a
+  // racy-but-monotone snapshot.
+  LockStats stats() const {
+    LockStats s;
+    const int n = registered_.load(std::memory_order_acquire);
+    for (int i = 0; i < n; ++i) {
+      const auto& h = handles_[static_cast<std::size_t>(i)];
+      if (h != nullptr) h->stats().accumulate_into(s);
+    }
+    return s;
+  }
+
+  // Test/diagnostic visibility into per-shard pool occupancy: a shard no
+  // attempt touched has every slot free, which is how test_lock_table
+  // checks that single-lock attempts stay shard-local.
+  std::uint32_t shard_desc_capacity(std::uint32_t s) const {
+    return mem_[s]->desc_pool.capacity();
+  }
+  std::uint32_t shard_desc_free(std::uint32_t s) const {
+    return mem_[s]->desc_pool.free_count();
+  }
+  std::uint32_t shard_snap_capacity(std::uint32_t s) const {
+    return mem_[s]->snap_pool.capacity();
+  }
+  std::uint32_t shard_snap_free(std::uint32_t s) const {
+    return mem_[s]->snap_pool.free_count();
+  }
+
+  // Test/diagnostic access to a lock's active set. An inspector must hold
+  // an EBR guard (ebr_enter/ebr_exit) across get_set() and any use of the
+  // returned snapshot. The adversary harness in exp_ablation uses this to
+  // play the model's adaptive player, which may see all of history.
+  Set& lock_set(std::uint32_t id) { return *locks_[id]; }
+
+  // Inspector guard over the whole table (all shards): the player adversary
+  // may look at any lock, so it gets reclamation protection everywhere.
+  void ebr_enter(Process p) {
+    Handle& h = handle(p);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) shard_guard_enter(h, s);
+  }
+  void ebr_exit(Process p) {
+    Handle& h = handle(p);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) shard_guard_exit(h, s);
+  }
+
+  // Crash-harness support: release `p`'s EBR guards on its behalf. Legal
+  // ONLY when the process provably takes no further steps (a fiber parked
+  // forever by a CrashSchedule). See EbrDomain::abandon.
+  void abandon_process(Process p) {
+    WFL_CHECK(p.ebr_pid >= 0);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      ebr_[s]->abandon(p.ebr_pid);
+    }
+  }
+
+ private:
+  struct AttemptCtx;
+  using Engine = AttemptEngine<Plat, AttemptCtx>;
+  static constexpr std::uint32_t kDefaultSerialBlock = 1024;
+
+  struct ShardMem {
+    IndexPool<SetSnap<Desc*>> snap_pool;
+    IndexPool<Desc> desc_pool;
+    ShardMem(std::uint32_t snap_cap, std::uint32_t desc_cap)
+        : snap_pool(snap_cap), desc_pool(desc_cap) {}
+  };
+
+  // RAII guard coverage for one descriptor's shard footprint, on top of the
+  // handle's re-entrant depth counters. Returned by value from
+  // AttemptCtx::lock_guards (guaranteed elision); neither copyable nor
+  // movable.
+  class GuardScope {
+   public:
+    GuardScope(LockTable& t, Handle& h, const Desc& p) : t_(t), h_(h) {
+      n_ = t_.shard_footprint({p.lock_ids, p.lock_count}, shards_);
+      t_.enter_shards(h_, shards_, n_);
+    }
+    ~GuardScope() { t_.exit_shards(h_, shards_, n_); }
+    GuardScope(const GuardScope&) = delete;
+    GuardScope& operator=(const GuardScope&) = delete;
+
+   private:
+    LockTable& t_;
+    Handle& h_;
+    std::uint32_t shards_[kMaxLocksPerAttempt];
+    std::uint32_t n_ = 0;
+  };
+
+  // The engine's memory/stats context (see core/attempt.hpp).
+  struct AttemptCtx {
+    LockTable& t;
+    Handle& h;
+    using Desc = LockTable::Desc;
+
+    Set& set(std::uint32_t lock_id) { return *t.locks_[lock_id]; }
+    StatsSlab& stats() { return h.stats(); }
+    MemberList<Desc*>& run_scratch() { return h.run_scratch(); }
+    GuardScope lock_guards(Desc& p) { return GuardScope(t, h, p); }
+  };
+  friend struct AttemptCtx;
+
+  // Initial sizes only: the pools grow on demand (reclamation can stall for
+  // as long as any process is preempted inside an EBR guard, so no static
+  // bound is safe — see arena.hpp).
+  static std::uint32_t auto_snap_capacity(int procs) {
+    return std::max<std::uint32_t>(4096,
+                                   static_cast<std::uint32_t>(procs) * 256);
+  }
+  static std::uint32_t auto_desc_capacity(int procs) {
+    return std::max<std::uint32_t>(512,
+                                   static_cast<std::uint32_t>(procs) * 32);
+  }
+  std::uint32_t per_shard(std::uint32_t total, std::uint32_t floor) const {
+    return std::max(floor, total / num_shards_);
+  }
+
+  // Largest power of two <= min(max_procs, num_locks, kMaxShards): enough
+  // shards that processes spread out, never more shards than locks (a
+  // shard without locks is pure overhead), and 1 for the single-process
+  // spaces the unit tests build by the hundreds.
+  static std::uint32_t auto_shards(int max_procs, int num_locks) {
+    std::uint32_t s = 1;
+    while (s * 2 <= kMaxShards && static_cast<int>(s * 2) <= max_procs &&
+           static_cast<int>(s * 2) <= num_locks) {
+      s *= 2;
+    }
+    return s;
+  }
+
+  // Distinct shards of an attempt's lock set, home shard first. At most
+  // L <= kMaxLocksPerAttempt entries.
+  std::uint32_t shard_footprint(std::span<const std::uint32_t> lock_ids,
+                                std::uint32_t* out) const {
+    std::uint32_t n = 0;
+    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
+      const std::uint32_t s = shard_of(lock_ids[i]);
+      bool seen = false;
+      for (std::uint32_t j = 0; j < n; ++j) seen = seen || out[j] == s;
+      if (!seen) out[n++] = s;
+    }
+    return n;
+  }
+
+  void shard_guard_enter(Handle& h, std::uint32_t s) {
+    if (h.guard_depth(s)++ == 0) ebr_[s]->enter(h.pid());
+  }
+  void shard_guard_exit(Handle& h, std::uint32_t s) {
+    WFL_DASSERT(h.guard_depth(s) > 0);
+    if (--h.guard_depth(s) == 0) ebr_[s]->exit(h.pid());
+  }
+  void enter_shards(Handle& h, const std::uint32_t* shards, std::uint32_t n) {
+    for (std::uint32_t j = 0; j < n; ++j) shard_guard_enter(h, shards[j]);
+  }
+  void exit_shards(Handle& h, const std::uint32_t* shards, std::uint32_t n) {
+    for (std::uint32_t j = 0; j < n; ++j) shard_guard_exit(h, shards[j]);
+  }
+
+  // EBR deleter for descriptors: drop one shard's reference; the last one
+  // frees the pool slot. ctx is the home ShardMem.
+  static void release_descriptor(void* ctx, std::uint32_t handle) {
+    auto* m = static_cast<ShardMem*>(ctx);
+    Desc& d = m->desc_pool.at(handle);
+    if (d.retire_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      m->desc_pool.free(handle);
+    }
+  }
+
+  LockConfig cfg_;
+  int max_procs_;
+  std::uint32_t num_shards_;
+  std::uint32_t serial_block_;
+  // Order matters: each EbrDomain's destructor drains retired objects back
+  // into the pools — possibly pools of *other* shards (cross-shard
+  // descriptors) — so every pool must outlive every domain: mem_ is
+  // declared before ebr_ (members are destroyed in reverse order), and
+  // locks_/set_mem_ (which reference both) come after.
+  std::vector<std::unique_ptr<ShardMem>> mem_;
+  std::vector<std::unique_ptr<EbrDomain>> ebr_;
+  std::vector<SetMem<Desc*>> set_mem_;
+  std::vector<std::unique_ptr<Set>> locks_;
+
+  std::atomic<std::uint64_t> serial_hwm_{1};
+  std::mutex reg_mutex_;
+  std::vector<std::unique_ptr<Handle>> handles_;  // indexed by pid; fixed size
+  std::atomic<int> registered_{0};
+};
+
+}  // namespace wfl

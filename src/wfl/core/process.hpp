@@ -1,0 +1,154 @@
+// Per-process hot state for the lock table.
+//
+// Every mutable word a tryLock attempt touches outside the algorithm's own
+// shared CASes lives here, on cachelines owned by exactly one process:
+//
+//   * StatsSlab — the striped statistics counters. The monolithic LockSpace
+//     kept seven process-shared std::atomic counters that every attempt
+//     fetch_add-ed; under contention those seven words were the hottest
+//     cachelines in the system and had nothing to do with the algorithm.
+//     Each process now bumps its own padded slab and LockTable::stats()
+//     aggregates on demand (reads are racy-by-design snapshots, exact once
+//     the workload quiesces — which is when the tests read them).
+//   * serial block allocator — descriptor serials (which feed the
+//     idempotence tag space) come from a per-process block carved off a
+//     shared high-water mark once every kSerialBlock attempts, instead of a
+//     global fetch_add on every attempt.
+//   * scratch MemberLists — getSet results for the help phase and the
+//     competition loop; fixed-capacity, reused across attempts.
+//   * per-shard EBR guard depths — the table's shards have independent
+//     reclamation domains; the depth counters make guard acquisition
+//     re-entrant so a helper can pick up whatever extra shards a helped
+//     descriptor's lock set needs without tracking what it already holds.
+//   * an auxiliary RNG, seeded from the pid — for harness-side choices
+//     (workload generators, shard-aware benches). The *algorithm's*
+//     priority draws stay on Plat::rand_u64(), which is already
+//     per-process on both platforms (a thread_local under RealPlat, the
+//     per-fiber stream under SimPlat) and owns simulator determinism.
+//
+// Handles are created by LockTable::register_process and owned by the
+// table; the cheap `Process` value (an index) is what travels through
+// application code, exactly as before the decomposition.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "wfl/active/multi_set.hpp"
+#include "wfl/core/config.hpp"
+#include "wfl/util/align.hpp"
+#include "wfl/util/assert.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl {
+
+// One process's stripe of the lock-space statistics. Single writer (the
+// owning process); concurrent readers (stats aggregation) see a relaxed
+// snapshot. The unsynchronized load-then-store is deliberate: with one
+// writer it is exact, and it keeps the hot path free of lock-prefixed
+// read-modify-writes entirely.
+struct StatsSlab {
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> wins{0};
+  std::atomic<std::uint64_t> helps{0};
+  std::atomic<std::uint64_t> eliminations{0};
+  std::atomic<std::uint64_t> thunk_runs{0};
+  std::atomic<std::uint64_t> t0_overruns{0};
+  std::atomic<std::uint64_t> t1_overruns{0};
+  // Adaptive variant only (§6.2 seer-eliminates rule); unused by the
+  // known-bounds table but striped the same way.
+  std::atomic<std::uint64_t> tbd_eliminations{0};
+
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  void add_attempt() { bump(attempts); }
+  void add_win() { bump(wins); }
+  void add_help() { bump(helps); }
+  void add_elimination() { bump(eliminations); }
+  void add_thunk_run() { bump(thunk_runs); }
+  void add_t0_overrun() { bump(t0_overruns); }
+  void add_t1_overrun() { bump(t1_overruns); }
+  void add_tbd_elimination() { bump(tbd_eliminations); }
+
+  void accumulate_into(LockStats& s) const {
+    s.attempts += attempts.load(std::memory_order_relaxed);
+    s.wins += wins.load(std::memory_order_relaxed);
+    s.helps += helps.load(std::memory_order_relaxed);
+    s.eliminations += eliminations.load(std::memory_order_relaxed);
+    s.thunk_runs += thunk_runs.load(std::memory_order_relaxed);
+    s.t0_overruns += t0_overruns.load(std::memory_order_relaxed);
+    s.t1_overruns += t1_overruns.load(std::memory_order_relaxed);
+  }
+};
+
+// Per-process handle; DescT is the descriptor type whose pointers the
+// scratch lists carry (Descriptor<Plat> for the known-bounds table,
+// AdaptiveDescriptor<Plat> for the adaptive space).
+template <typename Plat, typename DescT>
+class ProcessHandle {
+ public:
+  ProcessHandle(int pid, std::uint32_t num_shards,
+                std::atomic<std::uint64_t>& serial_hwm,
+                std::uint32_t serial_block)
+      : pid_(pid),
+        serial_block_(serial_block),
+        serial_hwm_(&serial_hwm),
+        guard_depth_(num_shards, 0),
+        rng_(0x5EEDF00Du + static_cast<std::uint64_t>(pid) * 0x9E3779B9ULL) {
+    WFL_CHECK(pid >= 0 && num_shards > 0 && serial_block > 0);
+  }
+
+  ProcessHandle(const ProcessHandle&) = delete;
+  ProcessHandle& operator=(const ProcessHandle&) = delete;
+
+  int pid() const { return pid_; }
+
+  // Next descriptor serial, from the process's private block; refills from
+  // the shared high-water mark once per `serial_block` attempts (the only
+  // process-shared write on this path, amortized to ~nothing).
+  std::uint64_t next_serial() {
+    if (serial_next_ == serial_end_) {
+      serial_next_ = serial_hwm_->fetch_add(serial_block_,
+                                            std::memory_order_relaxed);
+      serial_end_ = serial_next_ + serial_block_;
+    }
+    return serial_next_++;
+  }
+
+  StatsSlab& stats() { return *stats_; }
+  const StatsSlab& stats() const { return *stats_; }
+
+  // Scratch getSet results. Two distinct lists because the help phase
+  // iterates one while the engine's run() (called per helped descriptor)
+  // refills the other; run() is never reentered, so two suffice.
+  MemberList<DescT*>& help_scratch() { return help_scratch_; }
+  MemberList<DescT*>& run_scratch() { return run_scratch_; }
+
+  // Re-entrancy depth of this process's EBR guard on `shard`. The table
+  // enters the shard's domain when the depth rises from 0 and exits when it
+  // returns to 0; everything in between is a plain private increment.
+  std::uint32_t& guard_depth(std::uint32_t shard) {
+    WFL_DASSERT(shard < guard_depth_.size());
+    return guard_depth_[shard];
+  }
+
+  // Harness-side randomness (workload generation, shard picking). NOT the
+  // priority stream — see the header comment.
+  Xoshiro256& rng() { return rng_; }
+
+ private:
+  int pid_;
+  std::uint32_t serial_block_;
+  std::uint64_t serial_next_ = 0;
+  std::uint64_t serial_end_ = 0;
+  std::atomic<std::uint64_t>* serial_hwm_;
+  CachePadded<StatsSlab> stats_;
+  MemberList<DescT*> help_scratch_;
+  MemberList<DescT*> run_scratch_;
+  std::vector<std::uint32_t> guard_depth_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace wfl

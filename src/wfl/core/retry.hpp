@@ -17,7 +17,7 @@
 #include <cstdint>
 #include <span>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 
 namespace wfl {
 
@@ -37,15 +37,15 @@ struct RetryStats {
 // after this call returns, so capturing locals of the calling frame by
 // reference is a use-after-free.
 template <typename Plat, typename F>
-RetryStats retry_until_success(LockSpace<Plat>& space,
-                               typename LockSpace<Plat>::Process proc,
+RetryStats retry_until_success(LockTable<Plat>& table,
+                               typename LockTable<Plat>::Process proc,
                                std::span<const std::uint32_t> lock_ids,
                                const F& f, std::uint64_t max_attempts = 0) {
   RetryStats rs;
   for (;;) {
     AttemptInfo info;
-    typename LockSpace<Plat>::Thunk attempt_thunk{F(f)};
-    const bool won = space.try_locks(proc, lock_ids,
+    typename LockTable<Plat>::Thunk attempt_thunk{F(f)};
+    const bool won = table.try_locks(proc, lock_ids,
                                      std::move(attempt_thunk), &info);
     ++rs.attempts;
     rs.total_steps += info.total_steps;

@@ -29,7 +29,7 @@
 #include <span>
 #include <vector>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/core/retry.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -89,15 +89,16 @@ class TxnBuilder {
 template <typename Plat>
 class PreparedTxn {
  public:
-  using Space = LockSpace<Plat>;
-  using Process = typename Space::Process;
+  using Table = LockTable<Plat>;
+  using Process = typename Table::Process;
   using Program = typename TxnBuilder<Plat>::Program;
 
-  // One tryLock attempt at the whole transaction.
-  bool try_run(Space& space, Process proc, AttemptInfo* info = nullptr) {
-    check_budgets(space);
+  // One tryLock attempt at the whole transaction. Takes the lock table
+  // layer directly; a LockSpace converts implicitly.
+  bool try_run(Table& table, Process proc, AttemptInfo* info = nullptr) {
+    check_budgets(table);
     std::shared_ptr<const Program> prog = prog_;  // captured by value
-    return space.try_locks(
+    return table.try_locks(
         proc, locks_,
         [prog](IdemCtx<Plat>& m) {
           for (const auto& op : prog->ops) op(m);
@@ -106,11 +107,11 @@ class PreparedTxn {
   }
 
   // Retry-until-success (Corollary of Thm 1.1); returns the accounting.
-  RetryStats run(Space& space, Process proc, std::uint64_t max_attempts = 0) {
-    check_budgets(space);
+  RetryStats run(Table& table, Process proc, std::uint64_t max_attempts = 0) {
+    check_budgets(table);
     std::shared_ptr<const Program> prog = prog_;
     return retry_until_success<Plat>(
-        space, proc, locks_,
+        table, proc, locks_,
         [prog](IdemCtx<Plat>& m) {
           for (const auto& op : prog->ops) op(m);
         },
@@ -126,8 +127,8 @@ class PreparedTxn {
               std::shared_ptr<const Program> prog)
       : locks_(std::move(locks)), prog_(std::move(prog)) {}
 
-  void check_budgets(const Space& space) const {
-    WFL_CHECK_MSG(locks_.size() <= space.config().max_locks,
+  void check_budgets(const Table& table) const {
+    WFL_CHECK_MSG(locks_.size() <= table.config().max_locks,
                   "combined txn lock set exceeds the configured L bound");
   }
 

@@ -18,7 +18,7 @@
 
 #include <cstdint>
 
-#include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
 #include "wfl/platform/sim.hpp"
 
 namespace wfl {
@@ -30,14 +30,15 @@ struct FieldView {
   int revealed_members = 0;              // priority > 0
 };
 
-// Adversary-side observer over a LockSpace's active sets.
+// Adversary-side observer over a lock table's active sets (a LockSpace
+// converts implicitly).
 template <typename Plat>
 class PlayerObserver {
  public:
-  using Space = LockSpace<Plat>;
-  using Process = typename Space::Process;
+  using Table = LockTable<Plat>;
+  using Process = typename Table::Process;
 
-  PlayerObserver(Space& space, Process proc) : space_(&space), proc_(proc) {}
+  PlayerObserver(Table& table, Process proc) : space_(&table), proc_(proc) {}
 
   // Snapshot the competition on lock `id`. Takes steps (getSet + scan) —
   // the player pays for its spying like any other code.
@@ -72,7 +73,7 @@ class PlayerObserver {
   }
 
  private:
-  Space* space_;
+  Table* space_;
   Process proc_;
 };
 

@@ -31,9 +31,12 @@
 #include "wfl/baseline/spin2pl.hpp"
 #include "wfl/baseline/turek.hpp"
 #include "wfl/core/adaptive.hpp"
+#include "wfl/core/attempt.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/descriptor.hpp"
 #include "wfl/core/lock_space.hpp"
+#include "wfl/core/lock_table.hpp"
+#include "wfl/core/process.hpp"
 #include "wfl/core/retry.hpp"
 #include "wfl/core/txn.hpp"
 #include "wfl/idem/cell.hpp"

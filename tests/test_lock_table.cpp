@@ -1,0 +1,258 @@
+// The sharded LockTable layer: shard routing, striped statistics, and
+// process-handle behaviour across shards.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "wfl/wfl.hpp"
+
+namespace wfl {
+namespace {
+
+using Table = LockTable<RealPlat>;
+
+LockConfig cfg_for(int procs, std::uint32_t max_locks = 2,
+                   std::uint32_t thunk_steps = 8) {
+  LockConfig cfg;
+  cfg.kappa = static_cast<std::uint32_t>(procs);
+  cfg.max_locks = max_locks;
+  cfg.max_thunk_steps = thunk_steps;
+  cfg.delay_mode = DelayMode::kOff;
+  return cfg;
+}
+
+TEST(LockTable, AutoShardHeuristics) {
+  // Never more shards than processes or locks; capped at kMaxShards.
+  EXPECT_EQ(Table(cfg_for(1), 1, 64).num_shards(), 1u);
+  EXPECT_EQ(Table(cfg_for(2), 2, 64).num_shards(), 2u);
+  EXPECT_EQ(Table(cfg_for(8), 8, 64).num_shards(), 8u);
+  EXPECT_EQ(Table(cfg_for(8), 8, 3).num_shards(), 2u);   // lock-bound
+  EXPECT_EQ(Table(cfg_for(64), 64, 1024).num_shards(), kMaxShards);
+}
+
+TEST(LockTable, ShardOfIsMaskRouting) {
+  Table t(cfg_for(4), 4, 64, SpaceSizing{.shards = 4});
+  ASSERT_EQ(t.num_shards(), 4u);
+  for (std::uint32_t id = 0; id < 64; ++id) {
+    EXPECT_EQ(t.shard_of(id), id % 4);
+  }
+}
+
+// A workload of exclusively single-lock attempts on shard 0's locks must
+// leave every other shard's pools untouched: all their slots stay free and
+// no growth happens. This is the observable face of "a single-lock attempt
+// performs no writes to another shard's cachelines".
+TEST(LockTable, SingleLockAttemptsStayShardLocal) {
+  Table t(cfg_for(2, 1), 2, 16, SpaceSizing{.shards = 4});
+  ASSERT_EQ(t.num_shards(), 4u);
+  auto proc = t.register_process();
+  Cell<RealPlat> c{0};
+  std::uint32_t wins = 0;
+  for (int a = 0; a < 500; ++a) {
+    // Locks 0, 4, 8, 12 — all shard 0 under mask routing.
+    const std::uint32_t ids[] = {static_cast<std::uint32_t>((a % 4) * 4)};
+    wins += t.try_locks(proc, ids, [&c](IdemCtx<RealPlat>& m) {
+      m.store(c, m.load(c) + 1);
+    });
+  }
+  EXPECT_EQ(wins, 500u);  // uncontended: every attempt wins
+  for (std::uint32_t s = 1; s < 4; ++s) {
+    EXPECT_EQ(t.shard_desc_free(s), t.shard_desc_capacity(s))
+        << "shard " << s << " descriptor pool was touched";
+    EXPECT_EQ(t.shard_snap_free(s), t.shard_snap_capacity(s))
+        << "shard " << s << " snapshot pool was touched";
+  }
+  // ... while shard 0 clearly worked.
+  EXPECT_EQ(t.stats().wins, 500u);
+}
+
+// Cross-shard multi-lock attempts must still mutually exclude: the same
+// lost-update + in-CS-flag detectors as the monolith stress tests, with the
+// lock pair deliberately straddling two shards.
+TEST(LockTable, CrossShardMultiLockMutualExclusion) {
+  const int threads = 4;
+  const int attempts = 300;
+  auto t = std::make_unique<Table>(cfg_for(threads), threads, 8,
+                                   SpaceSizing{.shards = 4});
+  ASSERT_EQ(t->num_shards(), 4u);
+  Cell<RealPlat> flag{0};
+  Cell<RealPlat> count{0};
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> ts;
+  for (int k = 0; k < threads; ++k) {
+    ts.emplace_back([&, k] {
+      RealPlat::seed_rng(0xFACE + static_cast<std::uint64_t>(k));
+      auto proc = t->register_process();
+      // Locks 1 and 2 live in shards 1 and 2.
+      const std::uint32_t ids[] = {1, 2};
+      for (int a = 0; a < attempts; ++a) {
+        const bool won =
+            t->try_locks(proc, ids, [&](IdemCtx<RealPlat>& m) {
+              if (m.load(flag) != 0) {
+                violations.fetch_add(1, std::memory_order_relaxed);
+              }
+              m.store(flag, 1);
+              m.store(count, m.load(count) + 1);
+              m.store(flag, 0);
+            });
+        if (won) wins.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(violations.load(), 0u) << "overlapping critical sections";
+  EXPECT_EQ(count.peek(), wins.load()) << "lost updates across shards";
+  EXPECT_GT(wins.load(), 0u);
+}
+
+// stats() must aggregate the striped per-process slabs to the same totals
+// the callers observed first-hand.
+TEST(LockTable, StripedStatsMatchPerAttemptGroundTruth) {
+  const int threads = 4;
+  const int attempts = 250;
+  auto t = std::make_unique<Table>(cfg_for(threads), threads, 16,
+                                   SpaceSizing{.shards = 4});
+  Cell<RealPlat> c{0};
+  std::atomic<std::uint64_t> true_attempts{0};
+  std::atomic<std::uint64_t> true_wins{0};
+  std::vector<std::thread> ts;
+  for (int k = 0; k < threads; ++k) {
+    ts.emplace_back([&, k] {
+      RealPlat::seed_rng(0xD00D + static_cast<std::uint64_t>(k));
+      auto proc = t->register_process();
+      Xoshiro256 rng(991 + static_cast<std::uint64_t>(k));
+      for (int a = 0; a < attempts; ++a) {
+        const auto r = static_cast<std::uint32_t>(rng.next_below(15));
+        const std::uint32_t ids[] = {r, r + 1};
+        true_attempts.fetch_add(1, std::memory_order_relaxed);
+        if (t->try_locks(proc, ids, [&c](IdemCtx<RealPlat>& m) {
+              m.store(c, m.load(c) + 1);
+            })) {
+          true_wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : ts) th.join();
+  const LockStats s = t->stats();
+  EXPECT_EQ(s.attempts, true_attempts.load());
+  EXPECT_EQ(s.wins, true_wins.load());
+  // Every win was celebrated at least once (possibly more, by helpers).
+  EXPECT_GE(s.thunk_runs, s.wins);
+  // Delays are off, so the overrun counters must never fire.
+  EXPECT_EQ(s.t0_overruns, 0u);
+  EXPECT_EQ(s.t1_overruns, 0u);
+  // The won thunks all executed exactly once logically.
+  EXPECT_EQ(c.peek(), true_wins.load());
+}
+
+// One registered handle serves locks in every shard, its serial blocks keep
+// tag spaces disjoint between processes, and the inspector guard is
+// re-entrant (depth-counted) across the whole table.
+TEST(LockTable, HandleWorksAcrossShardsAndGuardsAreReentrant) {
+  Table t(cfg_for(2, 1), 2, 8, SpaceSizing{.shards = 4});
+  auto p0 = t.register_process();
+  auto p1 = t.register_process();
+  EXPECT_EQ(p0.ebr_pid, 0);
+  EXPECT_EQ(p1.ebr_pid, 1);
+
+  Cell<RealPlat> c{0};
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    const std::uint32_t ids[] = {id};
+    EXPECT_TRUE(t.try_locks(p0, ids, [&c](IdemCtx<RealPlat>& m) {
+      m.store(c, m.load(c) + 1);
+    }));
+    EXPECT_TRUE(t.try_locks(p1, ids, [&c](IdemCtx<RealPlat>& m) {
+      m.store(c, m.load(c) + 1);
+    }));
+  }
+  EXPECT_EQ(c.peek(), 16u);
+  EXPECT_EQ(t.stats().attempts, 16u);
+  EXPECT_EQ(t.stats().wins, 16u);
+
+  // Nested inspector guards: the raw EbrDomain forbids re-entry, the
+  // table's depth counters allow it (the engine relies on this when a
+  // helped descriptor's lock set overlaps shards the helper already holds).
+  t.ebr_enter(p0);
+  t.ebr_enter(p0);
+  const auto* snap = t.lock_set(3).get_set();
+  EXPECT_EQ(snap->count, 0u);  // quiescent: nothing inserted
+  t.ebr_exit(p0);
+  t.ebr_exit(p0);
+}
+
+// The facade still composes with everything that now takes the table layer:
+// a LockSpace flows into substrate constructors, txn and retry unchanged.
+TEST(LockTable, FacadeConvertsToTable) {
+  LockSpace<RealPlat> space(cfg_for(1, 2, 24), 1, 8);
+  EXPECT_EQ(space.num_shards(), 1u);
+  Table& t = space;  // implicit conversion
+  EXPECT_EQ(t.num_locks(), 8);
+
+  auto proc = space.register_process();
+  auto cell = std::make_unique<Cell<RealPlat>>(0u);
+  Cell<RealPlat>* cp = cell.get();
+  TxnBuilder<RealPlat> b;
+  const std::uint32_t ids[] = {0, 1};
+  b.op(ids, [cp](IdemCtx<RealPlat>& m) { m.store(*cp, m.load(*cp) + 1); });
+  auto txn = std::move(b).build();
+  const RetryStats rs = txn.run(space, proc);
+  EXPECT_TRUE(rs.success);
+  EXPECT_EQ(cell->peek(), 1u);
+
+  const std::uint32_t one[] = {2};
+  const RetryStats rr = retry_until_success<RealPlat>(
+      space, proc, one, [cp](IdemCtx<RealPlat>& m) {
+        m.store(*cp, m.load(*cp) + 1);
+      });
+  EXPECT_TRUE(rr.success);
+  EXPECT_EQ(cell->peek(), 2u);
+}
+
+// Sharding must not perturb the simulator's determinism: identical seeds
+// give identical outcomes with a multi-shard table.
+TEST(LockTable, DeterministicUnderSimWithShards) {
+  auto once = [] {
+    LockConfig cfg;
+    cfg.kappa = 4;
+    cfg.max_locks = 2;
+    cfg.max_thunk_steps = 8;
+    cfg.c0 = 8.0;
+    cfg.c1 = 8.0;
+    auto space = std::make_unique<LockTable<SimPlat>>(
+        cfg, 4, 4, SpaceSizing{.shards = 4});
+    auto counter = std::make_unique<Cell<SimPlat>>(0u);
+    Cell<SimPlat>* cp = counter.get();
+    std::uint64_t wins = 0;
+    Simulator sim(42);
+    for (int p = 0; p < 4; ++p) {
+      sim.add_process([&, p] {
+        auto proc = space->register_process();
+        for (int a = 0; a < 12; ++a) {
+          const std::uint32_t ids[] = {static_cast<std::uint32_t>(p % 4),
+                                       static_cast<std::uint32_t>((p + 1) % 4)};
+          if (space->try_locks(proc, ids, [cp](IdemCtx<SimPlat>& m) {
+                m.store(*cp, m.load(*cp) + 1);
+              })) {
+            ++wins;
+          }
+        }
+      });
+    }
+    UniformSchedule sched(4, 42);
+    EXPECT_TRUE(sim.run(sched, 200'000'000));
+    return std::make_pair(wins, counter->peek());
+  };
+  const auto a = once();
+  const auto b = once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_EQ(a.first, a.second);  // exactly-once
+}
+
+}  // namespace
+}  // namespace wfl
