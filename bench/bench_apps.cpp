@@ -35,16 +35,22 @@ LockConfig practical_cfg(std::uint32_t max_locks,
 void BM_List_WflInsertErase(benchmark::State& state) {
   LockSpace<RealPlat> space(practical_cfg(2, 8), 1, 512);
   LockedList<RealPlat> list(space, 512);
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   for (std::uint32_t k = 2; k <= 64; k += 2) list.insert(proc, k);
+  std::uint64_t attempts = 0;  // unified Outcome accounting, 2 ops/iter
   for (auto _ : state) {
-    list.insert(proc, 33);
-    list.erase(proc, 33);
+    list.insert(proc, 33, &attempts);
+    list.erase(proc, 33, &attempts);
     // Steady state includes reclamation (single-threaded here, so every
     // iteration is a quiescent point); without it the bounded pool is
     // exhausted after ~500 erases.
     list.quiescent_recycle();
   }
+  const double ops = 2.0 * static_cast<double>(state.iterations());
+  state.counters["attempts_per_op"] =
+      ops > 0 ? static_cast<double>(attempts) / ops : 0.0;
+  state.counters["win_rate"] =
+      attempts > 0 ? ops / static_cast<double>(attempts) : 0.0;
 }
 BENCHMARK(BM_List_WflInsertErase);
 
@@ -90,7 +96,7 @@ BENCHMARK(BM_List_SpinInsertErase);
 void BM_Bst_WflInsertErase(benchmark::State& state) {
   LockSpace<RealPlat> space(practical_cfg(3, 16), 1, 1024);
   LockedBst<RealPlat> bst(space, 1024);
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   for (std::uint32_t k = 10; k <= 300; k += 10) bst.insert(proc, k);
   for (auto _ : state) {
     bst.insert(proc, 155);
@@ -108,7 +114,7 @@ void BM_Map_WflPutGetErase(benchmark::State& state) {
       practical_cfg(2, LockedHashMap<RealPlat>::thunk_step_budget()), 1,
       64);
   LockedHashMap<RealPlat> map(space, 64, 512);
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   for (std::uint64_t k = 1; k <= 100; ++k) {
     map.put(proc, k, static_cast<std::uint32_t>(k));
   }
@@ -127,12 +133,18 @@ void BM_Map_WflSwap(benchmark::State& state) {
       practical_cfg(2, LockedHashMap<RealPlat>::thunk_step_budget()), 1,
       64);
   LockedHashMap<RealPlat> map(space, 64, 128);
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   map.put(proc, 1, 10);
   map.put(proc, 2, 20);
+  std::uint64_t attempts = 0;  // unified Outcome accounting
   for (auto _ : state) {
-    map.swap(proc, 1, 2);
+    map.swap(proc, 1, 2, &attempts);
   }
+  const double ops = static_cast<double>(state.iterations());
+  state.counters["attempts_per_op"] =
+      ops > 0 ? static_cast<double>(attempts) / ops : 0.0;
+  state.counters["win_rate"] =
+      attempts > 0 ? ops / static_cast<double>(attempts) : 0.0;
 }
 BENCHMARK(BM_Map_WflSwap);
 
@@ -140,7 +152,7 @@ BENCHMARK(BM_Map_WflSwap);
 
 void BM_Queue_WflEnqDeq(benchmark::State& state) {
   LockSpace<RealPlat> space(practical_cfg(2, 16), 1, 2);
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   // Pool must cover total enqueues in the bench run (nodes are retired,
   // not recycled); size generously and reset via fresh queue per chunk.
   for (auto _ : state) {
@@ -165,7 +177,7 @@ void BM_Graph_WflColourRing(benchmark::State& state) {
       practical_cfg(3, LockedGraph<RealPlat>::thunk_step_budget(2)), 1,
       static_cast<int>(n));
   LockedGraph<RealPlat> g(space, LockedGraph<RealPlat>::ring(n));
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   std::uint32_t v = 0;
   for (auto _ : state) {
     g.colour_vertex(proc, v);
@@ -178,7 +190,7 @@ BENCHMARK(BM_Graph_WflColourRing);
 
 void BM_Txn_BuildAndRunTwoLegs(benchmark::State& state) {
   LockSpace<RealPlat> space(practical_cfg(4, 24), 1, 8);
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   std::vector<std::unique_ptr<Cell<RealPlat>>> acct;
   for (int i = 0; i < 4; ++i) {
     acct.push_back(std::make_unique<Cell<RealPlat>>(1000u));
@@ -199,14 +211,14 @@ void BM_Txn_BuildAndRunTwoLegs(benchmark::State& state) {
       m.store(*a2, m.load(*a2) - 1);
       m.store(*a3, m.load(*a3) + 1);
     });
-    benchmark::DoNotOptimize(std::move(b).build().run(space, proc));
+    benchmark::DoNotOptimize(std::move(b).build().submit(proc, Policy::retry()));
   }
 }
 BENCHMARK(BM_Txn_BuildAndRunTwoLegs);
 
 void BM_Txn_RunPrebuilt(benchmark::State& state) {
   LockSpace<RealPlat> space(practical_cfg(4, 24), 1, 8);
-  auto proc = space.register_process();
+  Session<RealPlat> proc(space);
   auto cell = std::make_unique<Cell<RealPlat>>(0u);
   Cell<RealPlat>* cp = cell.get();
   TxnBuilder<RealPlat> b;
@@ -214,7 +226,7 @@ void BM_Txn_RunPrebuilt(benchmark::State& state) {
   b.op(ids, [cp](IdemCtx<RealPlat>& m) { m.store(*cp, m.load(*cp) + 1); });
   auto txn = std::move(b).build();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(txn.run(space, proc));
+    benchmark::DoNotOptimize(txn.submit(proc, Policy::retry()));
   }
 }
 BENCHMARK(BM_Txn_RunPrebuilt);

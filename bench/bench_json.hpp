@@ -21,6 +21,13 @@
 //             meaningful tail); with a single repetition it degrades to
 //             the mean, flagged by "p99_is_mean": true
 //
+// Additive (v1-compatible — consumers must ignore unknown keys): any
+// user counter a benchmark registers through state.counters is emitted
+// as an extra key on its entry (mean across repetitions). The wflock
+// benches use this to surface the executor's unified Outcome accounting:
+// "attempts_per_op" (tryLock attempts per logical operation, the
+// executor's Outcome::attempts) and "win_rate" (1/attempts_per_op).
+//
 // stdout carries only the JSON document, so
 //   ./bench_apps > BENCH_apps.json
 // captures a clean trajectory point. (Pass --benchmark_out=<file>
@@ -32,7 +39,9 @@
 #include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace wfl_bench {
@@ -68,6 +77,14 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
         e.ops_per_s_sum += ns > 0 ? 1e9 / ns : 0.0;
       }
       e.per_op_ns_samples.push_back(ns);
+      // Fold user counters (executor Outcome fields and friends) into
+      // additive per-entry keys; items_per_second already feeds ops_per_s.
+      for (const auto& [cname, counter] : run.counters) {
+        if (cname == "items_per_second") continue;
+        auto& agg = e.counters[cname];
+        agg.first += counter.value;
+        agg.second += 1;
+      }
     }
   }
 
@@ -99,8 +116,13 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
         << ", \"threads\": " << e.threads
         << ", \"ops_per_s\": " << ops
         << ", \"p99_ns\": " << p99
-        << ", \"p99_is_mean\": " << (n > 1 ? "false" : "true") << "}"
-        << (i + 1 < entries_.size() ? "," : "") << "\n";
+        << ", \"p99_is_mean\": " << (n > 1 ? "false" : "true");
+      for (const auto& [cname, agg] : e.counters) {
+        if (agg.second == 0) continue;
+        o << ", \"" << json_escape(cname)
+          << "\": " << agg.first / static_cast<double>(agg.second);
+      }
+      o << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }
     o << "]}\n";
   }
@@ -110,6 +132,8 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
     int threads = 1;
     double ops_per_s_sum = 0.0;              // across repetitions
     std::vector<double> per_op_ns_samples;   // one per repetition
+    // user counter -> (value sum, sample count); emitted as mean
+    std::map<std::string, std::pair<double, int>> counters;
   };
 
   Entry& entry_for(const std::string& name, int threads) {

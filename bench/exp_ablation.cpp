@@ -78,8 +78,9 @@ ArmResult run_arm(bool help_on, bool delays_on, bool stretch, int episodes,
   // the duration of its run(), so the attack must race into that window,
   // and every poll spent on an already-seen value wastes it).
   sim.add_process([&] {
-    auto proc = space->register_process();
-    PlayerObserver<SimPlat> spy(*space, proc);
+    Session<SimPlat> session(space->table());
+    auto proc = session.process();
+    PlayerObserver<SimPlat> spy(session);
     const std::uint32_t ids[] = {0};
     std::int64_t last_strong = -1;
     for (int e = 0; e < episodes; ++e) {

@@ -42,7 +42,7 @@ using namespace wfl;
 constexpr int kProcs = 4;
 constexpr int kVictim = kProcs - 1;
 
-struct Outcome {
+struct CrashOutcome {
   std::uint64_t pre_crash_successes = 0;   // survivors, slots <= crash
   std::uint64_t post_crash_successes = 0;  // survivors, slots > crash
   bool survivors_finished = false;
@@ -56,7 +56,7 @@ struct Outcome {
 // availability ratio that is meaningful even though the disciplines'
 // attempts cost wildly different step counts.
 template <typename AttemptFn>
-Outcome drive(Simulator& sim, Schedule& sched, std::uint64_t crash_slot,
+CrashOutcome drive(Simulator& sim, Schedule& sched, std::uint64_t crash_slot,
               AttemptFn attempt_of) {
   const std::uint64_t end_slot = 2 * crash_slot;
   std::vector<std::uint64_t> pre(kProcs, 0), post(kProcs, 0);
@@ -75,7 +75,7 @@ Outcome drive(Simulator& sim, Schedule& sched, std::uint64_t crash_slot,
       }
     });
   }
-  Outcome out;
+  CrashOutcome out;
   out.survivors_finished = true;
   for (;;) {
     bool done = true;
@@ -96,7 +96,7 @@ Outcome drive(Simulator& sim, Schedule& sched, std::uint64_t crash_slot,
   return out;
 }
 
-Outcome run_wflock(std::uint64_t seed, std::uint64_t crash_slot) {
+CrashOutcome run_wflock(std::uint64_t seed, std::uint64_t crash_slot) {
   LockConfig cfg;
   cfg.kappa = kProcs;
   cfg.max_locks = 2;
@@ -111,7 +111,7 @@ Outcome run_wflock(std::uint64_t seed, std::uint64_t crash_slot) {
   CrashSchedule sched(inner, kProcs, {{kVictim, crash_slot}}, seed ^ 0xE14);
   Cell<SimPlat>* cnt = counter.get();
   LockSpace<SimPlat>::Process victim_proc{};
-  Outcome out = drive(sim, sched, crash_slot, [&](int p) {
+  CrashOutcome out = drive(sim, sched, crash_slot, [&](int p) {
     auto proc = space->register_process();
     if (p == kVictim) victim_proc = proc;
     const std::uint32_t ids[2] = {0, 1};
@@ -130,7 +130,7 @@ Outcome run_wflock(std::uint64_t seed, std::uint64_t crash_slot) {
   return out;
 }
 
-Outcome run_spin2pl(std::uint64_t seed, std::uint64_t crash_slot) {
+CrashOutcome run_spin2pl(std::uint64_t seed, std::uint64_t crash_slot) {
   auto locks = std::make_unique<Spin2PL<SimPlat>>(2);
   auto counter = std::make_unique<std::uint64_t>(0);
 
@@ -139,7 +139,7 @@ Outcome run_spin2pl(std::uint64_t seed, std::uint64_t crash_slot) {
   CrashSchedule sched(inner, kProcs, {{kVictim, crash_slot}}, seed ^ 0xE14);
   std::uint64_t* cnt = counter.get();
   Spin2PL<SimPlat>* l = locks.get();
-  Outcome out = drive(sim, sched, crash_slot, [&](int) {
+  CrashOutcome out = drive(sim, sched, crash_slot, [&](int) {
     const std::uint32_t ids[2] = {0, 1};
     return [ids, cnt, l] {
       // A short critical section with a few shared steps, so a crash can
@@ -157,7 +157,7 @@ Outcome run_spin2pl(std::uint64_t seed, std::uint64_t crash_slot) {
   return out;
 }
 
-Outcome run_turek(std::uint64_t seed, std::uint64_t crash_slot) {
+CrashOutcome run_turek(std::uint64_t seed, std::uint64_t crash_slot) {
   auto space = std::make_unique<TurekLockSpace<SimPlat>>(kProcs, 2);
   auto counter = std::make_unique<Cell<SimPlat>>(0u);
 
@@ -166,7 +166,7 @@ Outcome run_turek(std::uint64_t seed, std::uint64_t crash_slot) {
   CrashSchedule sched(inner, kProcs, {{kVictim, crash_slot}}, seed ^ 0xE14);
   Cell<SimPlat>* cnt = counter.get();
   TurekLockSpace<SimPlat>::Process victim_proc{};
-  Outcome out = drive(sim, sched, crash_slot, [&](int p) {
+  CrashOutcome out = drive(sim, sched, crash_slot, [&](int p) {
     auto proc = space->register_process();
     if (p == kVictim) victim_proc = proc;
     const std::uint32_t ids[2] = {0, 1};
@@ -205,7 +205,7 @@ int main(int argc, char** argv) {
 
   struct Row {
     const char* name;
-    Outcome (*run)(std::uint64_t, std::uint64_t);
+    CrashOutcome (*run)(std::uint64_t, std::uint64_t);
     bool expect_progress;
   };
   const Row rows[] = {
@@ -219,7 +219,7 @@ int main(int argc, char** argv) {
     int finished = 0, wedged = 0;
     std::uint64_t pre = 0, post = 0, post_when_wedged = 0;
     for (int s = 0; s < seeds; ++s) {
-      const Outcome o = row.run(static_cast<std::uint64_t>(s) + 1, crash_slot);
+      const CrashOutcome o = row.run(static_cast<std::uint64_t>(s) + 1, crash_slot);
       finished += o.survivors_finished ? 1 : 0;
       wedged += o.wedged ? 1 : 0;
       pre += o.pre_crash_successes;

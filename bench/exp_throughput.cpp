@@ -92,14 +92,14 @@ int main(int argc, char** argv) {
       cfg.delay_mode = DelayMode::kOff;
       LockSpace<Plat> space(cfg, threads, kAccounts);
       Bank<Plat> bank(space, kAccounts, kInitial);
-      std::vector<typename LockSpace<Plat>::Process> procs;
+      std::vector<Session<Plat>> sessions;
       for (int i = 0; i < threads; ++i) {
-        procs.push_back(space.register_process());
+        sessions.emplace_back(space);
       }
       auto out = drive(
           threads, secs,
           [&](int tt, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
-            while (!bank.try_transfer(procs[static_cast<std::size_t>(tt)], a,
+            while (!bank.try_transfer(sessions[static_cast<std::size_t>(tt)], a,
                                       b, amt)) {
             }
           },
@@ -119,14 +119,14 @@ int main(int argc, char** argv) {
       cfg.c1 = 4.0;
       LockSpace<Plat> space(cfg, threads, kAccounts);
       Bank<Plat> bank(space, kAccounts, kInitial);
-      std::vector<typename LockSpace<Plat>::Process> procs;
+      std::vector<Session<Plat>> sessions;
       for (int i = 0; i < threads; ++i) {
-        procs.push_back(space.register_process());
+        sessions.emplace_back(space);
       }
       auto out = drive(
           threads, secs,
           [&](int tt, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
-            while (!bank.try_transfer(procs[static_cast<std::size_t>(tt)], a,
+            while (!bank.try_transfer(sessions[static_cast<std::size_t>(tt)], a,
                                       b, amt)) {
             }
           },

@@ -33,8 +33,12 @@ struct RunResult {
   std::vector<bool> finished;
 };
 
-// One dinner party: philosopher i tryLocks chopsticks {i, (i+1)%n}. A
-// `victim_out` lets crash harnesses abandon the victim's EBR guard.
+// One dinner party: philosopher i tryLocks chopsticks {i, (i+1)%n}.
+// Sessions are owned by this frame (registration happens off the fibers —
+// it is not on the attempt path), so a philosopher crash-parked mid-run
+// needs no manual cleanup: the Session destructor drops the victim's EBR
+// guards on its behalf when the party ends, exactly the abandon semantics
+// the crash model requires.
 RunResult dine(wfl::Simulator& sim, wfl::Schedule& sched, Space& space,
                int crash_victim = -1) {
   const int n = kPhilosophers;
@@ -42,22 +46,22 @@ RunResult dine(wfl::Simulator& sim, wfl::Schedule& sched, Space& space,
   res.meals.assign(n, 0);
   res.attempts.assign(n, 0);
   res.finished.assign(n, false);
-  std::vector<Space::Process> procs(n);
+  std::vector<wfl::Session<Plat>> sessions;
+  for (int p = 0; p < n; ++p) sessions.emplace_back(space);
 
   for (int p = 0; p < n; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
-      procs[static_cast<std::size_t>(p)] = proc;
+      wfl::Session<Plat>& session = sessions[static_cast<std::size_t>(p)];
       const auto left = static_cast<std::uint32_t>(p);
       const auto right = static_cast<std::uint32_t>((p + 1) % n);
-      const std::uint32_t chopsticks[] = {left, right};
+      const wfl::StaticLockSet<2> chopsticks{left, right};
       for (int a = 0; a < kAttemptsEach; ++a) {
-        // "Eating" is the critical section; an empty thunk keeps the demo
+        // "Eating" is the critical section; a no-op thunk keeps the demo
         // focused on the lock dynamics.
-        const bool ate =
-            space.try_locks(proc, chopsticks, typename Space::Thunk{});
+        const wfl::Outcome o =
+            wfl::submit(session, chopsticks, [](wfl::IdemCtx<Plat>&) {});
         ++res.attempts[static_cast<std::size_t>(p)];
-        if (ate) ++res.meals[static_cast<std::size_t>(p)];
+        if (o.won) ++res.meals[static_cast<std::size_t>(p)];
       }
     });
   }
@@ -73,10 +77,6 @@ RunResult dine(wfl::Simulator& sim, wfl::Schedule& sched, Space& space,
   }
   for (int p = 0; p < n; ++p) {
     res.finished[static_cast<std::size_t>(p)] = sim.is_finished(p);
-  }
-  if (crash_victim >= 0 && !sim.is_finished(crash_victim) &&
-      procs[static_cast<std::size_t>(crash_victim)].ebr_pid >= 0) {
-    space.abandon_process(procs[static_cast<std::size_t>(crash_victim)]);
   }
   return res;
 }

@@ -68,12 +68,12 @@ int main() {
     cfg.delay_mode = wfl::DelayMode::kOff;
     wfl::LockSpace<Plat> space(cfg, kThreads, kAccounts);
     wfl::Bank<Plat> bank(space, kAccounts, kInitial);
-    std::vector<typename wfl::LockSpace<Plat>::Process> procs;
-    for (int t = 0; t < kThreads; ++t) procs.push_back(space.register_process());
+    std::vector<wfl::Session<Plat>> sessions;
+    for (int t = 0; t < kThreads; ++t) sessions.emplace_back(space);
     run_workload(
         "wflock",
         [&](int t, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
-          while (!bank.try_transfer(procs[t], a, b, amt)) {
+          while (!bank.try_transfer(sessions[t], a, b, amt)) {
           }
         },
         expected, [&] { return bank.total_balance(); });
@@ -88,12 +88,12 @@ int main() {
     cfg.c1 = 4.0;
     wfl::LockSpace<Plat> space(cfg, kThreads, kAccounts);
     wfl::Bank<Plat> bank(space, kAccounts, kInitial);
-    std::vector<typename wfl::LockSpace<Plat>::Process> procs;
-    for (int t = 0; t < kThreads; ++t) procs.push_back(space.register_process());
+    std::vector<wfl::Session<Plat>> sessions;
+    for (int t = 0; t < kThreads; ++t) sessions.emplace_back(space);
     run_workload(
         "wflock(fair)",
         [&](int t, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
-          while (!bank.try_transfer(procs[t], a, b, amt)) {
+          while (!bank.try_transfer(sessions[t], a, b, amt)) {
           }
         },
         expected, [&] { return bank.total_balance(); });
@@ -104,15 +104,15 @@ int main() {
     for (int i = 0; i < kAccounts; ++i) {
       accounts.push_back(std::make_unique<wfl::Cell<Plat>>(kInitial));
     }
-    std::vector<typename wfl::TurekLockSpace<Plat>::Process> procs;
-    for (int t = 0; t < kThreads; ++t) procs.push_back(space.register_process());
+    std::vector<wfl::BasicSession<wfl::TurekLockSpace<Plat>>> sessions;
+    for (int t = 0; t < kThreads; ++t) sessions.emplace_back(space);
     run_workload(
         "turek",
         [&](int t, std::uint32_t a, std::uint32_t b, std::uint32_t amt) {
           wfl::Cell<Plat>& src = *accounts[a];
           wfl::Cell<Plat>& dst = *accounts[b];
           const std::uint32_t ids[] = {a, b};
-          space.apply(procs[t], ids,
+          space.apply(sessions[t].process(), ids,
                       [&src, &dst, amt](wfl::IdemCtx<Plat>& m) {
                         const std::uint32_t s = m.load(src);
                         if (s >= amt) {

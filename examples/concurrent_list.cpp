@@ -40,16 +40,16 @@ int main() {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       Plat::seed_rng(42 + t);
-      auto proc = space.register_process();
+      wfl::Session<Plat> session(space);  // RAII: registered for the scope
       wfl::Xoshiro256 rng(77 + t);
       std::uint64_t attempts = 0;
       for (int i = 0; i < kOpsPerThread; ++i) {
         const std::uint32_t key =
             static_cast<std::uint32_t>(1 + rng.next_below(kKeys));
         if (rng.next_below(2) == 0) {
-          if (list.insert(proc, key, &attempts)) ++net[key - 1];
+          if (list.insert(session, key, &attempts)) ++net[key - 1];
         } else {
-          if (list.erase(proc, key, &attempts)) --net[key - 1];
+          if (list.erase(session, key, &attempts)) --net[key - 1];
         }
       }
       total_attempts.fetch_add(attempts);

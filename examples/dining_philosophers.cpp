@@ -38,17 +38,18 @@ int main(int argc, char** argv) {
   wfl::Simulator sim(2024);
   for (int p = 0; p < n; ++p) {
     sim.add_process([&, p] {
-      auto proc = space->register_process();
+      wfl::Session<Plat> session(*space);  // RAII: one per fiber
       const auto [left, right] = wfl::forks_of(p, n);
       wfl::Cell<Plat>& my_meals = *meals_eaten[p];
+      const wfl::StaticLockSet<2> forks{left, right};
       wfl::run_philosopher_episodes<Plat>(
           p, meals, /*think_max=*/64, /*rng_seed=*/7000 + p,
           [&](int) {
-            const std::uint32_t ids[] = {left, right};
-            return space->try_locks(proc, ids,
-                                    [&my_meals](wfl::IdemCtx<Plat>& m) {
-                                      m.store(my_meals, m.load(my_meals) + 1);
-                                    });
+            return wfl::submit(session, forks,
+                               [&my_meals](wfl::IdemCtx<Plat>& m) {
+                                 m.store(my_meals, m.load(my_meals) + 1);
+                               })
+                .won;
           },
           reports[p]);
     });

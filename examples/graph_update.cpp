@@ -72,7 +72,7 @@ int main() {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       Plat::seed_rng(100 + t);
-      auto proc = space.register_process();
+      wfl::Session<Plat> session(space);
       wfl::Xoshiro256 rng(7 + t);
       // Each thread sweeps vertices until every vertex it sees is properly
       // colored (greedy coloring converges: each atomic step fixes one
@@ -82,9 +82,8 @@ int main() {
           const std::uint32_t v =
               (v0 + static_cast<std::uint32_t>(rng.next_below(kVertices))) %
               kVertices;
-          std::vector<std::uint32_t> ids = {v};
-          for (auto u : adj[v]) ids.push_back(u);
-          std::sort(ids.begin(), ids.end());
+          wfl::StaticLockSet<1 + kMaxDegree> locks{v};
+          for (auto u : adj[v]) locks.insert(u);
           // Captured BY VALUE: helpers may replay the thunk after this
           // iteration's locals are gone, so the capture must be
           // self-contained (see README thunk rule #2).
@@ -98,25 +97,24 @@ int main() {
           for (std::uint32_t i = 0; i < hood.n; ++i) {
             hood.nbr[i] = color[adj[v][i]].get();
           }
-          for (;;) {
-            attempts.fetch_add(1, std::memory_order_relaxed);
-            const bool won = space.try_locks(
-                proc, ids, [hood](wfl::IdemCtx<Plat>& m) {
-                  // Smallest color not used in the neighborhood.
-                  std::uint32_t used = 0;  // bitmask of colors 1..31
-                  for (std::uint32_t i = 0; i < hood.n; ++i) {
-                    const std::uint32_t c = m.load(*hood.nbr[i]);
-                    if (c > 0 && c < 32) used |= 1u << c;
-                  }
-                  std::uint32_t pick = 1;
-                  while (used & (1u << pick)) ++pick;
-                  if (m.load(*hood.self) != pick) m.store(*hood.self, pick);
-                });
-            if (won) {
-              recolors.fetch_add(1, std::memory_order_relaxed);
-              break;
-            }
-          }
+          // One submission, retry policy: the executor owns the loop and
+          // reports the attempts it spent.
+          const wfl::Outcome o = wfl::submit(
+              session, locks,
+              [hood](wfl::IdemCtx<Plat>& m) {
+                // Smallest color not used in the neighborhood.
+                std::uint32_t used = 0;  // bitmask of colors 1..31
+                for (std::uint32_t i = 0; i < hood.n; ++i) {
+                  const std::uint32_t c = m.load(*hood.nbr[i]);
+                  if (c > 0 && c < 32) used |= 1u << c;
+                }
+                std::uint32_t pick = 1;
+                while (used & (1u << pick)) ++pick;
+                if (m.load(*hood.self) != pick) m.store(*hood.self, pick);
+              },
+              wfl::Policy::retry());
+          attempts.fetch_add(o.attempts, std::memory_order_relaxed);
+          recolors.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
@@ -128,14 +126,13 @@ int main() {
   // sweeps through the same locked path until a full sweep changes
   // nothing, then audit.
   {
-    auto proc = space.register_process();
+    wfl::Session<Plat> session(space);
     wfl::Cell<Plat> changed_cell{0};
     for (int sweep = 0; sweep < 20; ++sweep) {
       bool changed = false;
       for (std::uint32_t v = 0; v < kVertices; ++v) {
-        std::vector<std::uint32_t> ids = {v};
-        for (auto u : adj[v]) ids.push_back(u);
-        std::sort(ids.begin(), ids.end());
+        wfl::StaticLockSet<1 + kMaxDegree> locks{v};
+        for (auto u : adj[v]) locks.insert(u);
         struct Hood {
           wfl::Cell<Plat>* self;
           wfl::Cell<Plat>* nbr[kMaxDegree];
@@ -148,20 +145,22 @@ int main() {
         for (std::uint32_t i = 0; i < hood.n; ++i) {
           hood.nbr[i] = color[adj[v][i]].get();
         }
-        while (!space.try_locks(proc, ids, [hood](wfl::IdemCtx<Plat>& m) {
-          std::uint32_t used = 0;
-          for (std::uint32_t i = 0; i < hood.n; ++i) {
-            const std::uint32_t c = m.load(*hood.nbr[i]);
-            if (c > 0 && c < 32) used |= 1u << c;
-          }
-          std::uint32_t pick = 1;
-          while (used & (1u << pick)) ++pick;
-          if (m.load(*hood.self) != pick) {
-            m.store(*hood.self, pick);
-            m.store(*hood.changed, 1);
-          }
-        })) {
-        }
+        wfl::submit(
+            session, locks,
+            [hood](wfl::IdemCtx<Plat>& m) {
+              std::uint32_t used = 0;
+              for (std::uint32_t i = 0; i < hood.n; ++i) {
+                const std::uint32_t c = m.load(*hood.nbr[i]);
+                if (c > 0 && c < 32) used |= 1u << c;
+              }
+              std::uint32_t pick = 1;
+              while (used & (1u << pick)) ++pick;
+              if (m.load(*hood.self) != pick) {
+                m.store(*hood.self, pick);
+                m.store(*hood.changed, 1);
+              }
+            },
+            wfl::Policy::retry());
         if (changed_cell.peek() == 1) {
           changed = true;
           changed_cell.init(0);

@@ -35,11 +35,13 @@ int main() {
   wfl::LockSpace<Plat> space(cfg, kThreads + 1, 256);
   wfl::LockedHashMap<Plat> store(space, 256, 4096);
 
-  // Populate: inventory slot i holds value 1000 + i.
+  // Populate: inventory slot i holds value 1000 + i. The scoped session
+  // releases its process slot at the end of the block, so the populator's
+  // slot is reused by the first worker thread.
   {
-    auto proc = space.register_process();
+    wfl::Session<Plat> session(space);
     for (std::uint64_t k = 1; k <= kInventoryKeys; ++k) {
-      if (store.put(proc, k, static_cast<std::uint32_t>(1000 + k)) !=
+      if (store.put(session, k, static_cast<std::uint32_t>(1000 + k)) !=
           wfl::kMapOk) {
         std::fprintf(stderr, "populate failed\n");
         return 1;
@@ -56,7 +58,7 @@ int main() {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       Plat::seed_rng(42 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      wfl::Session<Plat> session(space);
       wfl::Xoshiro256 rng(7 + static_cast<std::uint64_t>(t));
       const std::uint64_t scratch_base = 1000 + 100 * t;
       for (int i = 0; i < kOpsPerThread; ++i) {
@@ -65,20 +67,20 @@ int main() {
             const std::uint64_t a = 1 + rng.next_below(kInventoryKeys);
             std::uint64_t b = 1 + rng.next_below(kInventoryKeys);
             if (b == a) b = 1 + (b % kInventoryKeys);
-            if (store.swap(proc, a, b) == wfl::kMapOk) {
+            if (store.swap(session, a, b) == wfl::kMapOk) {
               ++swaps_done[static_cast<std::size_t>(t)];
             }
             break;
           }
           case 1: {  // scratch put
             const std::uint64_t k = scratch_base + rng.next_below(50);
-            const auto r = store.put(proc, k, static_cast<std::uint32_t>(i));
+            const auto r = store.put(session, k, static_cast<std::uint32_t>(i));
             if (r == wfl::kMapOk) ++scratch_net[static_cast<std::size_t>(t)];
             break;
           }
           case 2: {  // scratch erase
             const std::uint64_t k = scratch_base + rng.next_below(50);
-            if (store.erase(proc, k) == wfl::kMapOk) {
+            if (store.erase(session, k) == wfl::kMapOk) {
               --scratch_net[static_cast<std::size_t>(t)];
             }
             break;
@@ -86,7 +88,7 @@ int main() {
           default: {  // lookup (locked, so it linearizes with updates)
             const std::uint64_t k = 1 + rng.next_below(kInventoryKeys);
             std::uint32_t v = 0;
-            if (store.get_locked(proc, k, &v) != wfl::kMapOk) {
+            if (store.get_locked(session, k, &v) != wfl::kMapOk) {
               std::fprintf(stderr, "inventory key %llu vanished!\n",
                            static_cast<unsigned long long>(k));
               std::exit(1);

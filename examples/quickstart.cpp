@@ -1,8 +1,13 @@
 // Quickstart: the one-pager for wflock.
 //
 //   * create a LockSpace (a family of locks with configured κ/L/T bounds),
-//   * register each thread once,
-//   * tryLocks(lock set, thunk): the thunk runs iff every lock was won.
+//   * open a Session per thread — RAII: registration on construction,
+//     automatic release of the process slot on destruction,
+//   * build a StaticLockSet — sorted, deduplicated and budget-checked at
+//     construction, not deep inside the lock path,
+//   * submit(session, locks, thunk, Policy) — one entry point for
+//     one-shot, capped and retry-until-success acquisition, returning the
+//     unified Outcome accounting (won / attempts / own steps).
 //
 // The thunk is a *critical section in idempotent memory*: it reads/writes
 // Cell values through the IdemCtx handle, because under the hood other
@@ -19,6 +24,7 @@ int main() {
   using Plat = wfl::RealPlat;
   constexpr int kThreads = 4;
   constexpr int kLocks = 8;
+  constexpr std::uint32_t kOps = 10000;
 
   wfl::LockConfig cfg;
   cfg.kappa = kThreads;       // promise: <= 4 concurrent attempts per lock
@@ -36,37 +42,39 @@ int main() {
   for (int t = 0; t < kThreads; ++t) {
     workers.emplace_back([&, t] {
       Plat::seed_rng(1000 + t);
-      auto proc = space.register_process();  // once per thread
-      int wins = 0, attempts = 0;
-      for (int i = 0; i < 10000; ++i) {
-        const std::uint32_t ids[] = {0, 1};  // both counters' locks
-        ++attempts;
-        const bool won = space.try_locks(
-            proc, ids, [&](wfl::IdemCtx<Plat>& m) {
+      wfl::Session<Plat> session(space);  // RAII: one per thread
+      const wfl::StaticLockSet<2> locks({0, 1}, cfg);  // both counters
+      std::uint64_t attempts = 0;
+      for (std::uint32_t i = 0; i < kOps; ++i) {
+        // Retry-until-success: each attempt is wait-free, and a failed
+        // attempt is retried with fresh randomness (attempts win
+        // independently with probability >= 1/(κL)).
+        const wfl::Outcome o = wfl::submit(
+            session, locks,
+            [&](wfl::IdemCtx<Plat>& m) {
               // Critical section: atomic across BOTH counters.
               const auto e = m.load(even_count);
-              const auto o = m.load(odd_count);
+              const auto o_ = m.load(odd_count);
               m.store(even_count, e + 2);
-              m.store(odd_count, o + 1);
-            });
-        if (won) ++wins;
-        // tryLocks may fail under contention — that's the deal that buys
-        // the per-attempt step bound. Retry (attempts are independent).
-        if (!won) --i;
+              m.store(odd_count, o_ + 1);
+            },
+            wfl::Policy::retry());
+        attempts += o.attempts;
       }
-      std::printf("thread %d: %d wins / %d attempts (%.1f%% win rate)\n", t,
-                  wins, attempts, 100.0 * wins / attempts);
+      std::printf("thread %d: %u wins / %llu attempts (%.1f%% win rate)\n",
+                  t, kOps, static_cast<unsigned long long>(attempts),
+                  100.0 * kOps / static_cast<double>(attempts));
     });
   }
   for (auto& w : workers) w.join();
 
   // Every increment happened exactly once, atomically across both cells.
   std::printf("even_count = %u (expected %u)\n", even_count.peek(),
-              2 * kThreads * 10000);
+              2 * kThreads * kOps);
   std::printf("odd_count  = %u (expected %u)\n", odd_count.peek(),
-              kThreads * 10000);
-  const bool ok = even_count.peek() == 2u * kThreads * 10000 &&
-                  odd_count.peek() == 1u * kThreads * 10000;
+              kThreads * kOps);
+  const bool ok = even_count.peek() == 2u * kThreads * kOps &&
+                  odd_count.peek() == 1u * kThreads * kOps;
   std::printf("%s\n", ok ? "OK" : "MISMATCH");
   return ok ? 0 : 1;
 }

@@ -10,7 +10,9 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -20,9 +22,10 @@ template <typename Plat>
 class Bank {
  public:
   // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor.
+  // facade converts implicitly at the constructor. Operations take the
+  // caller's RAII Session (which must be registered on the same table).
   using Space = LockTable<Plat>;
-  using Process = typename Space::Process;
+  using Sess = Session<Plat>;
 
   // Account i is protected by lock id `i` of `space` (the space must have at
   // least n_accounts locks).
@@ -52,15 +55,16 @@ class Bank {
   // Returns the attempt's outcome; *insufficient funds* still counts as a
   // successful attempt (the critical section ran and decided not to move
   // money — recorded in `denied` when provided).
-  bool try_transfer(Process proc, std::uint32_t from, std::uint32_t to,
+  bool try_transfer(Sess& session, std::uint32_t from, std::uint32_t to,
                     std::uint32_t amount, bool* denied = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(from < accounts_.size() && to < accounts_.size() && from != to);
     Cell<Plat>& src = *accounts_[from];
     Cell<Plat>& dst = *accounts_[to];
-    Cell<Plat>& result = *results_[static_cast<std::size_t>(proc.ebr_pid)];
-    const std::uint32_t ids[2] = {from, to};
-    const bool won = space_.try_locks(
-        proc, ids, [&src, &dst, amount, &result](IdemCtx<Plat>& m) {
+    Cell<Plat>& result = *results_[static_cast<std::size_t>(session.pid())];
+    const StaticLockSet<2> locks{from, to};
+    const Outcome o = submit(
+        session, locks, [&src, &dst, amount, &result](IdemCtx<Plat>& m) {
           const std::uint32_t s = m.load(src);
           if (s >= amount) {
             m.store(src, s - amount);
@@ -70,8 +74,8 @@ class Bank {
             m.store(result, 2);
           }
         });
-    if (denied != nullptr) *denied = won && result.peek() == 2;
-    return won;
+    if (denied != nullptr) *denied = o.won && result.peek() == 2;
+    return o.won;
   }
 
   // Quiescent-only audit.

@@ -30,7 +30,9 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -45,9 +47,10 @@ template <typename Plat>
 class LockedBst {
  public:
   // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor.
+  // facade converts implicitly at the constructor. Operations take the
+  // caller's RAII Session (registered on the same table).
   using Space = LockTable<Plat>;
-  using Process = typename Space::Process;
+  using Sess = Session<Plat>;
 
   // Node index i is protected by lock id i; `space` must provide at least
   // `capacity` locks. Capacity counts *all* nodes: a set of n keys needs
@@ -71,8 +74,9 @@ class LockedBst {
 
   // Inserts `key` (must be > 0 and < kBstInf). Returns false if present.
   // `attempts`, if given, accumulates tryLock attempts spent.
-  bool insert(Process proc, std::uint32_t key,
+  bool insert(Sess& session, std::uint32_t key,
               std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(key > 0 && key < kBstInf);
     std::uint32_t router = kBstNil;  // reused across failed attempts
     std::uint32_t leaf = kBstNil;
@@ -104,16 +108,16 @@ class LockedBst {
         r.right.init(leaf);
       }
 
-      Cell<Plat>& res = result_of(proc);
+      Cell<Plat>& res = result_of(session);
       Node& p = pool_.at(sp.parent);
       Cell<Plat>& p_child = sp.leaf_is_left ? p.left : p.right;
       Cell<Plat>& p_dead = p.dead;
       Cell<Plat>& l_dead = pool_.at(sp.leaf).dead;
       const std::uint32_t expect_leaf = sp.leaf;
       const std::uint32_t router_idx = router;
-      const std::uint32_t ids[2] = {sp.parent, sp.leaf};
-      const bool won = space_.try_locks(
-          proc, ids,
+      const StaticLockSet<2> locks{sp.parent, sp.leaf};
+      const Outcome o = submit(
+          session, locks,
           [&p_child, &p_dead, &l_dead, &res, expect_leaf,
            router_idx](IdemCtx<Plat>& m) {
             if (m.load(p_dead) == 0 && m.load(l_dead) == 0 &&
@@ -124,15 +128,16 @@ class LockedBst {
               m.store(res, kStale);
             }
           });
-      if (attempts != nullptr) ++*attempts;
-      if (won && res.peek() == kOk) return true;
+      if (attempts != nullptr) *attempts += o.attempts;
+      if (o.won && res.peek() == kOk) return true;
       // Lost the attempt or the neighbourhood moved: retry from the top.
     }
   }
 
   // Erases `key`. Returns false if absent.
-  bool erase(Process proc, std::uint32_t key,
+  bool erase(Sess& session, std::uint32_t key,
              std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(key > 0 && key < kBstInf);
     for (;;) {
       const SearchPath sp = search(key);
@@ -140,7 +145,7 @@ class LockedBst {
       WFL_CHECK_MSG(sp.gparent != kBstNil,
                     "real leaf must sit at depth >= 2 under the sentinels");
 
-      Cell<Plat>& res = result_of(proc);
+      Cell<Plat>& res = result_of(session);
       Node& g = pool_.at(sp.gparent);
       Node& p = pool_.at(sp.parent);
       Cell<Plat>& g_child = sp.parent_is_left ? g.left : g.right;
@@ -151,9 +156,9 @@ class LockedBst {
       Cell<Plat>& l_dead = pool_.at(sp.leaf).dead;
       const std::uint32_t expect_parent = sp.parent;
       const std::uint32_t expect_leaf = sp.leaf;
-      const std::uint32_t ids[3] = {sp.gparent, sp.parent, sp.leaf};
-      const bool won = space_.try_locks(
-          proc, ids,
+      const StaticLockSet<3> locks{sp.gparent, sp.parent, sp.leaf};
+      const Outcome o = submit(
+          session, locks,
           [&g_child, &p_child, &sibling, &g_dead, &p_dead, &l_dead, &res,
            expect_parent, expect_leaf](IdemCtx<Plat>& m) {
             // p_child must still be the leaf: a racing insert interposes a
@@ -171,8 +176,8 @@ class LockedBst {
               m.store(res, kStale);
             }
           });
-      if (attempts != nullptr) ++*attempts;
-      if (won && res.peek() == kOk) {
+      if (attempts != nullptr) *attempts += o.attempts;
+      if (o.won && res.peek() == kOk) {
         retired_.fetch_add(2, std::memory_order_relaxed);
         return true;
       }
@@ -240,8 +245,8 @@ class LockedBst {
     return idx;
   }
 
-  Cell<Plat>& result_of(Process proc) {
-    return *results_[static_cast<std::size_t>(proc.ebr_pid)];
+  Cell<Plat>& result_of(Sess& session) {
+    return *results_[static_cast<std::size_t>(session.pid())];
   }
 
   // Optimistic root-to-leaf walk; no locks, no validation (the thunks

@@ -25,7 +25,9 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/util/assert.hpp"
 #include "wfl/util/rng.hpp"
@@ -36,9 +38,10 @@ template <typename Plat>
 class LockedGraph {
  public:
   // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor.
+  // facade converts implicitly at the constructor. Operations take the
+  // caller's RAII Session (registered on the same table).
   using Space = LockTable<Plat>;
-  using Process = typename Space::Process;
+  using Sess = Session<Plat>;
 
   // Builds the graph from an adjacency list. Vertex v is protected by lock
   // id v; `space` must have >= n locks, max_locks >= max_degree+1 and
@@ -159,29 +162,39 @@ class LockedGraph {
   // tryLock semantics; callers own the retry policy). F must be capture-
   // light: it is copied into the descriptor's FixedFunction.
   template <typename F>
-  bool try_apply(Process proc, std::uint32_t v, F&& f,
+  bool try_apply(Sess& session, std::uint32_t v, F&& f,
                  AttemptInfo* info = nullptr) {
-    WFL_CHECK(v < adj_.size());
-    std::uint32_t ids[kMaxLocksPerAttempt];
-    std::uint32_t nids = 0;
-    ids[nids++] = v;
-    for (std::uint32_t u : adj_[v]) ids[nids++] = u;
-    std::sort(ids, ids + nids);
-    LockedGraph* self = this;
-    auto fn = std::forward<F>(f);
-    return space_.try_locks(
-        proc, {ids, nids},
-        [self, v, fn](IdemCtx<Plat>& m) { fn(m, self->view(v)); }, info);
+    const Outcome o =
+        submit_apply(session, v, std::forward<F>(f), Policy::one_shot());
+    if (info != nullptr) {
+      info->won = o.won;
+      info->pre_reveal_work = o.pre_reveal_work;
+      info->post_reveal_work = o.post_reveal_work;
+      info->total_steps = o.total_steps;
+    }
+    return o.won;
   }
 
   // Retry-until-success wrapper; returns the number of attempts used.
   template <typename F>
-  std::uint64_t apply(Process proc, std::uint32_t v, F&& f) {
-    std::uint64_t attempts = 0;
-    for (;;) {
-      ++attempts;
-      if (try_apply(proc, v, f)) return attempts;
-    }
+  std::uint64_t apply(Sess& session, std::uint32_t v, F&& f) {
+    return submit_apply(session, v, std::forward<F>(f), Policy::retry())
+        .attempts;
+  }
+
+  // The general form: one local update on v's neighbourhood under an
+  // arbitrary executor Policy, with the unified Outcome accounting.
+  template <typename F>
+  Outcome submit_apply(Sess& session, std::uint32_t v, F&& f, Policy policy) {
+    WFL_DASSERT(&session.space() == &space_);
+    WFL_CHECK(v < adj_.size());
+    StaticLockSet<kMaxLocksPerAttempt> locks{v};
+    for (std::uint32_t u : adj_[v]) locks.insert(u);
+    LockedGraph* self = this;
+    auto fn = std::forward<F>(f);
+    return submit(
+        session, locks,
+        [self, v, fn](IdemCtx<Plat>& m) { fn(m, self->view(v)); }, policy);
   }
 
   // Neighbourhood view handed to update functors.
@@ -200,8 +213,8 @@ class LockedGraph {
 
   // Greedy colouring step: set centre to the smallest colour (1-based) not
   // used by any neighbour. Colour 0 means "uncoloured".
-  std::uint64_t colour_vertex(Process proc, std::uint32_t v) {
-    return apply(proc, v, [](IdemCtx<Plat>& m, View nb) {
+  std::uint64_t colour_vertex(Sess& session, std::uint32_t v) {
+    return apply(session, v, [](IdemCtx<Plat>& m, View nb) {
       std::uint32_t used = 0;  // bitmask over colours 1..deg+1
       for (std::uint32_t i = 0; i < nb.degree; ++i) {
         const std::uint32_t c = m.load(*nb.neighbours[i]);
@@ -214,8 +227,8 @@ class LockedGraph {
   }
 
   // Averaging step (integer): centre := floor(mean of neighbourhood).
-  std::uint64_t average_vertex(Process proc, std::uint32_t v) {
-    return apply(proc, v, [](IdemCtx<Plat>& m, View nb) {
+  std::uint64_t average_vertex(Sess& session, std::uint32_t v) {
+    return apply(session, v, [](IdemCtx<Plat>& m, View nb) {
       std::uint64_t sum = m.load(*nb.centre);
       for (std::uint32_t i = 0; i < nb.degree; ++i) {
         sum += m.load(*nb.neighbours[i]);

@@ -25,7 +25,9 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -48,9 +50,12 @@ template <typename Plat>
 class LockedHashMap {
  public:
   // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor.
+  // facade converts implicitly at the constructor. Operations take the
+  // caller's RAII Session (registered on the same table); mutators that
+  // never give up route a Policy::retry() submission through the unified
+  // executor instead of hand-rolling the loop.
   using Space = LockTable<Plat>;
-  using Process = typename Space::Process;
+  using Sess = Session<Plat>;
 
   // Bucket b is protected by lock id b; `space` needs >= nbuckets locks and
   // max_thunk_steps >= thunk_step_budget().
@@ -80,8 +85,9 @@ class LockedHashMap {
 
   // Upsert. Returns kMapOk (inserted), kMapExists (value replaced) or
   // kMapFull. Retries internally until an attempt wins its locks.
-  std::uint32_t put(Process proc, std::uint64_t key, std::uint32_t value,
+  std::uint32_t put(Sess& session, std::uint64_t key, std::uint32_t value,
                     std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     const std::uint32_t b = bucket_of(key);
     const std::uint32_t fresh = pool_.alloc();
     {
@@ -91,113 +97,108 @@ class LockedHashMap {
       n.next.init(kMapNil);
       n.dead.init(0);
     }
-    Cell<Plat>& res = result_of(proc);
-    for (;;) {
-      Cell<Plat>* res_ptr = &res;
-      const std::uint32_t ids[1] = {b};
-      const bool won = space_.try_locks(
-          proc, ids, [this, b, key, value, fresh, res_ptr](IdemCtx<Plat>& m) {
-            Cell<Plat>& head = *heads_[b];
-            std::uint32_t len = 0;
-            std::uint32_t cur = m.load(head);
-            while (cur != kMapNil) {
-              Node& n = pool_.at(cur);
-              if (n.key == key) {  // keys immutable: plain read is safe
-                m.store(n.val, value);
-                m.store(*res_ptr, kMapExists);
-                return;
-              }
-              ++len;
-              cur = m.load(n.next);
-            }
-            if (len >= kMaxChain) {
-              m.store(*res_ptr, kMapFull);
+    Cell<Plat>& res = result_of(session);
+    Cell<Plat>* res_ptr = &res;
+    const StaticLockSet<1> locks{b};
+    const Outcome o = submit(
+        session, locks,
+        [this, b, key, value, fresh, res_ptr](IdemCtx<Plat>& m) {
+          Cell<Plat>& head = *heads_[b];
+          std::uint32_t len = 0;
+          std::uint32_t cur = m.load(head);
+          while (cur != kMapNil) {
+            Node& n = pool_.at(cur);
+            if (n.key == key) {  // keys immutable: plain read is safe
+              m.store(n.val, value);
+              m.store(*res_ptr, kMapExists);
               return;
             }
-            // Link at head. `fresh` is private to this thunk instance; all
-            // runs agree on this branch, so it is touched iff it is linked.
-            Node& f = pool_.at(fresh);
-            m.store(f.next, m.load(head));
-            m.store(head, fresh);
-            m.store(*res_ptr, kMapOk);
-          });
-      if (attempts != nullptr) ++*attempts;
-      if (!won) continue;
-      const std::uint32_t r = res.peek();
-      if (r != kMapOk) pool_.free(fresh);  // thunk never touched it
-      return r;
-    }
+            ++len;
+            cur = m.load(n.next);
+          }
+          if (len >= kMaxChain) {
+            m.store(*res_ptr, kMapFull);
+            return;
+          }
+          // Link at head. `fresh` is private to this thunk instance; all
+          // runs agree on this branch, so it is touched iff it is linked.
+          Node& f = pool_.at(fresh);
+          m.store(f.next, m.load(head));
+          m.store(head, fresh);
+          m.store(*res_ptr, kMapOk);
+        },
+        Policy::retry());
+    if (attempts != nullptr) *attempts += o.attempts;
+    const std::uint32_t r = res.peek();
+    if (r != kMapOk) pool_.free(fresh);  // thunk never touched it
+    return r;
   }
 
   // Removes `key`. Returns kMapOk or kMapAbsent.
-  std::uint32_t erase(Process proc, std::uint64_t key,
+  std::uint32_t erase(Sess& session, std::uint64_t key,
                       std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     const std::uint32_t b = bucket_of(key);
-    Cell<Plat>& res = result_of(proc);
-    for (;;) {
-      Cell<Plat>* res_ptr = &res;
-      const std::uint32_t ids[1] = {b};
-      const bool won = space_.try_locks(
-          proc, ids, [this, b, key, res_ptr](IdemCtx<Plat>& m) {
-            Cell<Plat>* prev = heads_[b].get();
-            std::uint32_t cur = m.load(*prev);
-            while (cur != kMapNil) {
-              Node& n = pool_.at(cur);
-              if (n.key == key) {
-                m.store(n.dead, 1);  // mark, then unlink (order documented)
-                m.store(*prev, m.load(n.next));
-                m.store(*res_ptr, kMapOk);
-                return;
-              }
-              prev = &n.next;
-              cur = m.load(n.next);
+    Cell<Plat>& res = result_of(session);
+    Cell<Plat>* res_ptr = &res;
+    const StaticLockSet<1> locks{b};
+    const Outcome o = submit(
+        session, locks, [this, b, key, res_ptr](IdemCtx<Plat>& m) {
+          Cell<Plat>* prev = heads_[b].get();
+          std::uint32_t cur = m.load(*prev);
+          while (cur != kMapNil) {
+            Node& n = pool_.at(cur);
+            if (n.key == key) {
+              m.store(n.dead, 1);  // mark, then unlink (order documented)
+              m.store(*prev, m.load(n.next));
+              m.store(*res_ptr, kMapOk);
+              return;
             }
-            m.store(*res_ptr, kMapAbsent);
-          });
-      if (attempts != nullptr) ++*attempts;
-      if (won) {
-        const std::uint32_t r = res.peek();
-        if (r == kMapOk) retired_.fetch_add(1, std::memory_order_relaxed);
-        return r;
-      }
-    }
+            prev = &n.next;
+            cur = m.load(n.next);
+          }
+          m.store(*res_ptr, kMapAbsent);
+        },
+        Policy::retry());
+    if (attempts != nullptr) *attempts += o.attempts;
+    const std::uint32_t r = res.peek();
+    if (r == kMapOk) retired_.fetch_add(1, std::memory_order_relaxed);
+    return r;
   }
 
   // Linearizable read: walks the chain under the bucket lock. Returns
   // kMapOk with *out filled, or kMapAbsent.
-  std::uint32_t get_locked(Process proc, std::uint64_t key,
+  std::uint32_t get_locked(Sess& session, std::uint64_t key,
                            std::uint32_t* out,
                            std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     const std::uint32_t b = bucket_of(key);
-    Cell<Plat>& res = result_of(proc);
-    Cell<Plat>& oval = out_val_of(proc);
-    for (;;) {
-      Cell<Plat>* res_ptr = &res;
-      Cell<Plat>* out_ptr = &oval;
-      const std::uint32_t ids[1] = {b};
-      const bool won = space_.try_locks(
-          proc, ids, [this, b, key, res_ptr, out_ptr](IdemCtx<Plat>& m) {
-            std::uint32_t cur = m.load(*heads_[b]);
-            while (cur != kMapNil) {
-              Node& n = pool_.at(cur);
-              if (n.key == key) {
-                m.store(*out_ptr, m.load(n.val));
-                m.store(*res_ptr, kMapOk);
-                return;
-              }
-              cur = m.load(n.next);
+    Cell<Plat>& res = result_of(session);
+    Cell<Plat>& oval = out_val_of(session);
+    Cell<Plat>* res_ptr = &res;
+    Cell<Plat>* out_ptr = &oval;
+    const StaticLockSet<1> locks{b};
+    const Outcome o = submit(
+        session, locks, [this, b, key, res_ptr, out_ptr](IdemCtx<Plat>& m) {
+          std::uint32_t cur = m.load(*heads_[b]);
+          while (cur != kMapNil) {
+            Node& n = pool_.at(cur);
+            if (n.key == key) {
+              m.store(*out_ptr, m.load(n.val));
+              m.store(*res_ptr, kMapOk);
+              return;
             }
-            m.store(*res_ptr, kMapAbsent);
-          });
-      if (attempts != nullptr) ++*attempts;
-      if (won) {
-        if (res.peek() == kMapOk) {
-          *out = oval.peek();
-          return kMapOk;
-        }
-        return kMapAbsent;
-      }
+            cur = m.load(n.next);
+          }
+          m.store(*res_ptr, kMapAbsent);
+        },
+        Policy::retry());
+    if (attempts != nullptr) *attempts += o.attempts;
+    if (res.peek() == kMapOk) {
+      *out = oval.peek();
+      return kMapOk;
     }
+    return kMapAbsent;
   }
 
   // Weakly consistent unlocked probe (may race with unlinking).
@@ -217,35 +218,34 @@ class LockedHashMap {
   // Atomically exchanges the values of k1 and k2 (both must exist).
   // Returns kMapOk or kMapAbsent. L = 2 when the keys hash to different
   // buckets — the experiment-grade multi-lock operation of this substrate.
-  std::uint32_t swap(Process proc, std::uint64_t k1, std::uint64_t k2,
+  std::uint32_t swap(Sess& session, std::uint64_t k1, std::uint64_t k2,
                      std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     const std::uint32_t b1 = bucket_of(k1);
     const std::uint32_t b2 = bucket_of(k2);
-    Cell<Plat>& res = result_of(proc);
-    for (;;) {
-      std::uint32_t ids[2] = {b1 < b2 ? b1 : b2, b1 < b2 ? b2 : b1};
-      const std::uint32_t nids = (b1 == b2) ? 1 : 2;
-      Cell<Plat>* res_ptr = &res;
-      const bool won = space_.try_locks(
-          proc, {ids, nids},
-          [this, b1, b2, k1, k2, res_ptr](IdemCtx<Plat>& m) {
-            const std::uint32_t n1 = find_in_chain(m, b1, k1);
-            const std::uint32_t n2 = find_in_chain(m, b2, k2);
-            if (n1 == kMapNil || n2 == kMapNil || n1 == n2) {
-              m.store(*res_ptr, kMapAbsent);
-              return;
-            }
-            Cell<Plat>& v1 = pool_.at(n1).val;
-            Cell<Plat>& v2 = pool_.at(n2).val;
-            const std::uint32_t a = m.load(v1);
-            const std::uint32_t bval = m.load(v2);
-            m.store(v1, bval);
-            m.store(v2, a);
-            m.store(*res_ptr, kMapOk);
-          });
-      if (attempts != nullptr) ++*attempts;
-      if (won) return res.peek();
-    }
+    Cell<Plat>& res = result_of(session);
+    const StaticLockSet<2> locks{b1, b2};  // dedups when b1 == b2
+    Cell<Plat>* res_ptr = &res;
+    const Outcome o = submit(
+        session, locks,
+        [this, b1, b2, k1, k2, res_ptr](IdemCtx<Plat>& m) {
+          const std::uint32_t n1 = find_in_chain(m, b1, k1);
+          const std::uint32_t n2 = find_in_chain(m, b2, k2);
+          if (n1 == kMapNil || n2 == kMapNil || n1 == n2) {
+            m.store(*res_ptr, kMapAbsent);
+            return;
+          }
+          Cell<Plat>& v1 = pool_.at(n1).val;
+          Cell<Plat>& v2 = pool_.at(n2).val;
+          const std::uint32_t a = m.load(v1);
+          const std::uint32_t bval = m.load(v2);
+          m.store(v1, bval);
+          m.store(v2, a);
+          m.store(*res_ptr, kMapOk);
+        },
+        Policy::retry());
+    if (attempts != nullptr) *attempts += o.attempts;
+    return res.peek();
   }
 
   std::uint32_t nbuckets() const { return nbuckets_; }
@@ -300,11 +300,11 @@ class LockedHashMap {
   // Each process owns one result cell and one out-value cell; thunks
   // capture the owner's cells by pointer (helpers then write the *owner's*
   // cells, which is the point — the owner reads them after the attempt).
-  Cell<Plat>& result_of(Process proc) {
-    return *results_[static_cast<std::size_t>(proc.ebr_pid)];
+  Cell<Plat>& result_of(Sess& session) {
+    return *results_[static_cast<std::size_t>(session.pid())];
   }
-  Cell<Plat>& out_val_of(Process proc) {
-    return *out_vals_[static_cast<std::size_t>(proc.ebr_pid)];
+  Cell<Plat>& out_val_of(Sess& session) {
+    return *out_vals_[static_cast<std::size_t>(session.pid())];
   }
 
   Space& space_;

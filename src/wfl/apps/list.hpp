@@ -22,7 +22,9 @@
 #include <mutex>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -36,9 +38,10 @@ template <typename Plat>
 class LockedList {
  public:
   // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor.
+  // facade converts implicitly at the constructor. Operations take the
+  // caller's RAII Session (registered on the same table).
   using Space = LockTable<Plat>;
-  using Process = typename Space::Process;
+  using Sess = Session<Plat>;
 
   // Node index i is protected by lock id i; `space` must have at least
   // `capacity` locks. Keys must be < kListTomb.
@@ -57,7 +60,9 @@ class LockedList {
 
   // Inserts `key` (must be > 0). Returns false if already present.
   // `attempts` (optional) accumulates the number of tryLock attempts spent.
-  bool insert(Process proc, std::uint32_t key, std::uint64_t* attempts = nullptr) {
+  bool insert(Sess& session, std::uint32_t key,
+              std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(key > 0 && key < kListTomb);
     std::uint32_t fresh = kListNil;
     for (;;) {
@@ -72,14 +77,16 @@ class LockedList {
       }
       pool_.at(fresh).next.init(curr);  // private until linked
 
-      Cell<Plat>& presult = *results_[static_cast<std::size_t>(proc.ebr_pid)];
+      Cell<Plat>& presult = *results_[static_cast<std::size_t>(session.pid())];
       Cell<Plat>& pred_next = pool_.at(pred).next;
-      std::uint32_t ids[2] = {pred, curr};
-      const std::uint32_t nids = curr == kListNil ? 1 : 2;
+      StaticLockSet<2> locks{pred};
+      if (curr != kListNil) locks.insert(curr);
       const std::uint32_t fresh_idx = fresh;
       const std::uint32_t expect_curr = curr;
-      const bool won = space_.try_locks(
-          proc, {ids, nids},
+      // One-shot per traversal: a lost attempt (or failed validation) must
+      // re-locate before re-arming the thunk.
+      const Outcome o = submit(
+          session, locks,
           [&pred_next, &presult, fresh_idx, expect_curr](IdemCtx<Plat>& m) {
             if (m.load(pred_next) == expect_curr) {
               m.store(pred_next, fresh_idx);
@@ -88,26 +95,28 @@ class LockedList {
               m.store(presult, 2);
             }
           });
-      if (attempts != nullptr) ++*attempts;
-      if (won && presult.peek() == 1) return true;
+      if (attempts != nullptr) *attempts += o.attempts;
+      if (o.won && presult.peek() == 1) return true;
       // Lost the attempt or failed validation: re-traverse and retry.
     }
   }
 
   // Erases `key`. Returns false if absent.
-  bool erase(Process proc, std::uint32_t key, std::uint64_t* attempts = nullptr) {
+  bool erase(Sess& session, std::uint32_t key,
+             std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(key > 0 && key < kListTomb);
     for (;;) {
       auto [pred, curr] = locate(key);
       if (curr == kListNil || pool_.at(curr).key != key) return false;
 
-      Cell<Plat>& presult = *results_[static_cast<std::size_t>(proc.ebr_pid)];
+      Cell<Plat>& presult = *results_[static_cast<std::size_t>(session.pid())];
       Cell<Plat>& pred_next = pool_.at(pred).next;
       Cell<Plat>& curr_next = pool_.at(curr).next;
       const std::uint32_t expect_curr = curr;
-      const std::uint32_t ids[2] = {pred, curr};
-      const bool won = space_.try_locks(
-          proc, ids,
+      const StaticLockSet<2> locks{pred, curr};
+      const Outcome o = submit(
+          session, locks,
           [&pred_next, &curr_next, &presult, expect_curr](IdemCtx<Plat>& m) {
             if (m.load(pred_next) == expect_curr) {
               const std::uint32_t succ = m.load(curr_next);
@@ -118,8 +127,8 @@ class LockedList {
               m.store(presult, 2);
             }
           });
-      if (attempts != nullptr) ++*attempts;
-      if (won && presult.peek() == 1) {
+      if (attempts != nullptr) *attempts += o.attempts;
+      if (o.won && presult.peek() == 1) {
         // The unlinked node is exactly `curr` (the thunk validated it);
         // park it for quiescent_recycle. Raw mutex: reclamation is outside
         // the step model (DESIGN.md substitution #2).

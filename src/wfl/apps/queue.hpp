@@ -24,7 +24,9 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -43,9 +45,11 @@ template <typename Plat>
 class LockedQueue {
  public:
   // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor.
+  // facade converts implicitly at the constructor. Operations take the
+  // caller's RAII Session and run retry-until-success through the unified
+  // executor (no validation loop: the locked region is the validation).
   using Space = LockTable<Plat>;
-  using Process = typename Space::Process;
+  using Sess = Session<Plat>;
 
   // `head_lock` and `tail_lock` are lock ids in `space` (distinct; several
   // queues may live in one space on disjoint ids so transfers compose).
@@ -71,66 +75,66 @@ class LockedQueue {
 
   // Appends `value`. Retries lost attempts internally; never fails (the
   // pool aborts loudly if capacity is exceeded, per the arena contract).
-  void enqueue(Process proc, std::uint32_t value,
+  void enqueue(Sess& session, std::uint32_t value,
                std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     const std::uint32_t fresh = pool_.alloc();
     pool_.at(fresh).value.init(value);
     pool_.at(fresh).next.init(kQueueNil);
     Cell<Plat>* tail_ptr = &tail_;
     LockedQueue* self = this;
-    for (;;) {
-      const std::uint32_t ids[1] = {tail_lock_};
-      const bool won = space_.try_locks(
-          proc, ids, [self, tail_ptr, fresh](IdemCtx<Plat>& m) {
-            const std::uint32_t last = m.load(*tail_ptr);
-            m.store(self->pool_.at(last).next, fresh);
-            m.store(*tail_ptr, fresh);
-          });
-      if (attempts != nullptr) ++*attempts;
-      if (won) return;
-    }
+    const StaticLockSet<1> locks{tail_lock_};
+    const Outcome o = submit(
+        session, locks,
+        [self, tail_ptr, fresh](IdemCtx<Plat>& m) {
+          const std::uint32_t last = m.load(*tail_ptr);
+          m.store(self->pool_.at(last).next, fresh);
+          m.store(*tail_ptr, fresh);
+        },
+        Policy::retry());
+    if (attempts != nullptr) *attempts += o.attempts;
   }
 
   // Removes the front element into *out. Returns kQueueOk or kQueueEmpty.
-  std::uint32_t dequeue(Process proc, std::uint32_t* out,
+  std::uint32_t dequeue(Sess& session, std::uint32_t* out,
                         std::uint64_t* attempts = nullptr) {
-    Cell<Plat>& res = result_of(proc);
-    Cell<Plat>& oval = out_val_of(proc);
+    WFL_DASSERT(&session.space() == &space_);
+    Cell<Plat>& res = result_of(session);
+    Cell<Plat>& oval = out_val_of(session);
     Cell<Plat>* res_ptr = &res;
     Cell<Plat>* out_ptr = &oval;
     Cell<Plat>* head_ptr = &head_;
     LockedQueue* self = this;
-    for (;;) {
-      const std::uint32_t ids[1] = {head_lock_};
-      const bool won = space_.try_locks(
-          proc, ids, [self, head_ptr, res_ptr, out_ptr](IdemCtx<Plat>& m) {
-            const std::uint32_t dummy = m.load(*head_ptr);
-            const std::uint32_t first = m.load(self->pool_.at(dummy).next);
-            if (first == kQueueNil) {
-              m.store(*res_ptr, kQueueEmpty);
-              return;
-            }
-            m.store(*out_ptr, m.load(self->pool_.at(first).value));
-            m.store(*head_ptr, first);  // `first` becomes the new dummy
-            m.store(*res_ptr, kQueueOk);
-          });
-      if (attempts != nullptr) ++*attempts;
-      if (won) {
-        if (res.peek() == kQueueOk) {
-          *out = oval.peek();
-          retired_.fetch_add(1, std::memory_order_relaxed);
-          return kQueueOk;
-        }
-        return kQueueEmpty;
-      }
+    const StaticLockSet<1> locks{head_lock_};
+    const Outcome o = submit(
+        session, locks,
+        [self, head_ptr, res_ptr, out_ptr](IdemCtx<Plat>& m) {
+          const std::uint32_t dummy = m.load(*head_ptr);
+          const std::uint32_t first = m.load(self->pool_.at(dummy).next);
+          if (first == kQueueNil) {
+            m.store(*res_ptr, kQueueEmpty);
+            return;
+          }
+          m.store(*out_ptr, m.load(self->pool_.at(first).value));
+          m.store(*head_ptr, first);  // `first` becomes the new dummy
+          m.store(*res_ptr, kQueueOk);
+        },
+        Policy::retry());
+    if (attempts != nullptr) *attempts += o.attempts;
+    if (res.peek() == kQueueOk) {
+      *out = oval.peek();
+      retired_.fetch_add(1, std::memory_order_relaxed);
+      return kQueueOk;
     }
+    return kQueueEmpty;
   }
 
   // Atomically moves the front of `src` to the back of `dst`: either both
   // happen or (src empty) neither. One critical section over two queues.
-  static std::uint32_t transfer(Process proc, LockedQueue& src,
+  static std::uint32_t transfer(Sess& session, LockedQueue& src,
                                 LockedQueue& dst,
                                 std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &src.space_);
     WFL_CHECK(&src.space_ == &dst.space_);
     WFL_CHECK(&src != &dst);
     // A node moved from src to dst keeps its pool slot: both queues must
@@ -139,39 +143,35 @@ class LockedQueue {
     const std::uint32_t fresh = dst.pool_.alloc();
     dst.pool_.at(fresh).value.init(0);
     dst.pool_.at(fresh).next.init(kQueueNil);
-    Cell<Plat>& res = src.result_of(proc);
+    Cell<Plat>& res = src.result_of(session);
     Cell<Plat>* res_ptr = &res;
     LockedQueue* s = &src;
     LockedQueue* d = &dst;
-    for (;;) {
-      std::uint32_t ids[2] = {src.head_lock_, dst.tail_lock_};
-      std::sort(ids, ids + 2);
-      const bool won = src.space_.try_locks(
-          proc, ids, [s, d, fresh, res_ptr](IdemCtx<Plat>& m) {
-            const std::uint32_t dummy = m.load(s->head_);
-            const std::uint32_t first = m.load(s->pool_.at(dummy).next);
-            if (first == kQueueNil) {
-              m.store(*res_ptr, kQueueEmpty);
-              return;
-            }
-            // Pop from src ...
-            const std::uint32_t v = m.load(s->pool_.at(first).value);
-            m.store(s->head_, first);
-            // ... and push into dst within the same critical section.
-            m.store(d->pool_.at(fresh).value, v);
-            const std::uint32_t last = m.load(d->tail_);
-            m.store(d->pool_.at(last).next, fresh);
-            m.store(d->tail_, fresh);
-            m.store(*res_ptr, kQueueOk);
-          });
-      if (attempts != nullptr) ++*attempts;
-      if (won) {
-        const std::uint32_t r = res.peek();
-        if (r != kQueueOk) dst.pool_.free(fresh);  // thunk never touched it
-        if (r == kQueueOk) src.retired_.fetch_add(1, std::memory_order_relaxed);
-        return r;
-      }
-    }
+    const StaticLockSet<2> locks{src.head_lock_, dst.tail_lock_};
+    const Outcome o = submit(
+        session, locks, [s, d, fresh, res_ptr](IdemCtx<Plat>& m) {
+          const std::uint32_t dummy = m.load(s->head_);
+          const std::uint32_t first = m.load(s->pool_.at(dummy).next);
+          if (first == kQueueNil) {
+            m.store(*res_ptr, kQueueEmpty);
+            return;
+          }
+          // Pop from src ...
+          const std::uint32_t v = m.load(s->pool_.at(first).value);
+          m.store(s->head_, first);
+          // ... and push into dst within the same critical section.
+          m.store(d->pool_.at(fresh).value, v);
+          const std::uint32_t last = m.load(d->tail_);
+          m.store(d->pool_.at(last).next, fresh);
+          m.store(d->tail_, fresh);
+          m.store(*res_ptr, kQueueOk);
+        },
+        Policy::retry());
+    if (attempts != nullptr) *attempts += o.attempts;
+    const std::uint32_t r = res.peek();
+    if (r != kQueueOk) dst.pool_.free(fresh);  // thunk never touched it
+    if (r == kQueueOk) src.retired_.fetch_add(1, std::memory_order_relaxed);
+    return r;
   }
 
   // Quiescent-only: walk the queue, validating linkage; returns contents.
@@ -199,11 +199,11 @@ class LockedQueue {
     Cell<Plat> next;
   };
 
-  Cell<Plat>& result_of(Process proc) {
-    return *results_[static_cast<std::size_t>(proc.ebr_pid)];
+  Cell<Plat>& result_of(Sess& session) {
+    return *results_[static_cast<std::size_t>(session.pid())];
   }
-  Cell<Plat>& out_val_of(Process proc) {
-    return *out_vals_[static_cast<std::size_t>(proc.ebr_pid)];
+  Cell<Plat>& out_val_of(Sess& session) {
+    return *out_vals_[static_cast<std::size_t>(session.pid())];
   }
 
   Space& space_;

@@ -27,7 +27,9 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/util/assert.hpp"
@@ -43,9 +45,10 @@ template <typename Plat>
 class LockedSkipList {
  public:
   // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor.
+  // facade converts implicitly at the constructor. Operations take the
+  // caller's RAII Session (registered on the same table).
   using Space = LockTable<Plat>;
-  using Process = typename Space::Process;
+  using Sess = Session<Plat>;
 
   // Node index i is protected by lock id i; `space` must have at least
   // `capacity` locks and max_locks >= kSkipMaxLevel + 1. Keys must be in
@@ -73,8 +76,9 @@ class LockedSkipList {
   }
 
   // Inserts `key` with the given tower height. Returns false if present.
-  bool insert(Process proc, std::uint32_t key, std::uint32_t level,
+  bool insert(Sess& session, std::uint32_t key, std::uint32_t level,
               std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(key > 0 && key < kSkipTomb);
     WFL_CHECK(level >= 1 && level <= kSkipMaxLevel);
     std::uint32_t fresh = kSkipNil;
@@ -110,12 +114,12 @@ class LockedSkipList {
       }
       plan.fresh = fresh;
       plan.levels = level;
-      plan.result = results_[static_cast<std::size_t>(proc.ebr_pid)].get();
+      plan.result = results_[static_cast<std::size_t>(session.pid())].get();
 
-      std::array<std::uint32_t, kSkipMaxLevel> ids{};
-      const std::uint32_t nids = dedupe_preds(loc, level, ids);
-      const bool won = space_.try_locks(
-          proc, {ids.data(), nids}, [plan](IdemCtx<Plat>& m) {
+      StaticLockSet<kSkipMaxLevel> locks;
+      for (std::uint32_t l = 0; l < level; ++l) locks.insert(loc.preds[l]);
+      const Outcome o = submit(
+          session, locks, [plan](IdemCtx<Plat>& m) {
             for (std::uint32_t l = 0; l < plan.levels; ++l) {
               if (m.load(*plan.pred_next[l]) != plan.expect[l]) {
                 m.store(*plan.result, 2);
@@ -129,14 +133,15 @@ class LockedSkipList {
             }
             m.store(*plan.result, 1);
           });
-      if (attempts != nullptr) ++*attempts;
-      if (won && plan.result->peek() == 1) return true;
+      if (attempts != nullptr) *attempts += o.attempts;
+      if (o.won && plan.result->peek() == 1) return true;
     }
   }
 
   // Erases `key`. Returns false if absent.
-  bool erase(Process proc, std::uint32_t key,
+  bool erase(Sess& session, std::uint32_t key,
              std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(key > 0 && key < kSkipTomb);
     for (;;) {
       Locate loc = locate(key);
@@ -153,18 +158,18 @@ class LockedSkipList {
       plan.victim = &victim;
       plan.victim_idx = loc.found;
       plan.levels = victim.levels;
-      plan.result = results_[static_cast<std::size_t>(proc.ebr_pid)].get();
+      plan.result = results_[static_cast<std::size_t>(session.pid())].get();
       for (std::uint32_t l = 0; l < victim.levels; ++l) {
         plan.pred_next[l] = &pool_.at(loc.preds[l]).next[l];
       }
 
-      std::array<std::uint32_t, kSkipMaxLevel + 1> ids{};
-      std::array<std::uint32_t, kSkipMaxLevel> pred_ids{};
-      const std::uint32_t npred = dedupe_preds(loc, victim.levels, pred_ids);
-      for (std::uint32_t i = 0; i < npred; ++i) ids[i] = pred_ids[i];
-      ids[npred] = loc.found;  // victim's lock serializes with its erasure
-      const bool won = space_.try_locks(
-          proc, {ids.data(), npred + 1}, [plan](IdemCtx<Plat>& m) {
+      StaticLockSet<kSkipMaxLevel + 1> locks;
+      for (std::uint32_t l = 0; l < victim.levels; ++l) {
+        locks.insert(loc.preds[l]);
+      }
+      locks.insert(loc.found);  // victim's lock serializes with its erasure
+      const Outcome o = submit(
+          session, locks, [plan](IdemCtx<Plat>& m) {
             for (std::uint32_t l = 0; l < plan.levels; ++l) {
               if (m.load(*plan.pred_next[l]) != plan.victim_idx) {
                 m.store(*plan.result, 2);
@@ -182,8 +187,8 @@ class LockedSkipList {
             }
             m.store(*plan.result, 1);
           });
-      if (attempts != nullptr) ++*attempts;
-      if (won && plan.result->peek() == 1) return true;
+      if (attempts != nullptr) *attempts += o.attempts;
+      if (o.won && plan.result->peek() == 1) return true;
     }
   }
 
@@ -258,29 +263,6 @@ class LockedSkipList {
     }
   }
 
-  // Distinct predecessor ids over the bottom `level` levels, sorted.
-  static std::uint32_t dedupe_preds(
-      const Locate& loc, std::uint32_t level,
-      std::array<std::uint32_t, kSkipMaxLevel>& out) {
-    std::uint32_t n = 0;
-    for (std::uint32_t l = 0; l < level; ++l) {
-      bool seen = false;
-      for (std::uint32_t i = 0; i < n; ++i) {
-        if (out[i] == loc.preds[l]) seen = true;
-      }
-      if (!seen) out[n++] = loc.preds[l];
-    }
-    for (std::uint32_t i = 1; i < n; ++i) {  // insertion sort, n <= 3
-      const std::uint32_t v = out[i];
-      std::uint32_t j = i;
-      while (j > 0 && out[j - 1] > v) {
-        out[j] = out[j - 1];
-        --j;
-      }
-      out[j] = v;
-    }
-    return n;
-  }
 
   Space& space_;
   IndexPool<Node> pool_;

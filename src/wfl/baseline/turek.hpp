@@ -102,6 +102,10 @@ class TurekLockSpace {
   // EbrDomain::abandon.
   void abandon_process(Process p) { ebr_.abandon(p.ebr_pid); }
 
+  // Orderly end-of-session (BasicSession's destructor). Turek pids are not
+  // recycled; releasing just drops any guard held at teardown.
+  void release_process(Process p) { ebr_.abandon(p.ebr_pid); }
+
  private:
   struct OwnerCell {
     typename Plat::template Atomic<Desc*> owner{nullptr};

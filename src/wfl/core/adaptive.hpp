@@ -53,6 +53,7 @@
 #include "wfl/core/descriptor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/process.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/mem/ebr.hpp"
@@ -105,6 +106,7 @@ struct AdaptiveDescriptor {
 template <typename Plat>
 class AdaptiveLockSpace {
  public:
+  using Platform = Plat;
   using Desc = AdaptiveDescriptor<Plat>;
   using Thunk = typename Desc::Thunk;
   using Set = ActiveSet<Plat, Desc*>;
@@ -142,9 +144,15 @@ class AdaptiveLockSpace {
 
   // Same handle scheme as LockTable (core/process.hpp), with one shard:
   // striped stats and serial blocks, so this variant's hot path is also
-  // free of process-shared counter writes.
+  // free of process-shared counter writes. Slots released by destroyed
+  // sessions are reused, handle and all (see LockTable::register_process).
   Process register_process() {
     std::lock_guard<std::mutex> lk(reg_mutex_);
+    if (!free_pids_.empty()) {
+      const int pid = free_pids_.back();
+      free_pids_.pop_back();
+      return Process{pid};
+    }
     const int pid = ebr_.register_participant();
     WFL_CHECK(pid >= 0 && pid < static_cast<int>(handles_.size()));
     handles_[static_cast<std::size_t>(pid)] = std::make_unique<Handle>(
@@ -153,11 +161,34 @@ class AdaptiveLockSpace {
     return Process{pid};
   }
 
+  // Inspector guard (re-entrant through the handle's depth counter) and the
+  // session lifecycle hooks — the same surface LockTable exposes, so
+  // BasicSession serves both spaces.
+  void ebr_enter(Process p) { guard_enter(handle(p)); }
+  void ebr_exit(Process p) { guard_exit(handle(p)); }
+
+  void abandon_process(Process p) {
+    WFL_CHECK(p.ebr_pid >= 0);
+    ebr_.abandon(p.ebr_pid);
+  }
+
+  // See LockTable::release_process: orderly ends recycle the slot; a
+  // crash-parked process (nonzero guard depth) is abandoned and retired.
+  void release_process(Process p) {
+    WFL_CHECK(p.ebr_pid >= 0);
+    Handle& h = handle(p);
+    const bool parked_in_guard = h.guard_depth(0) != 0;
+    ebr_.abandon(p.ebr_pid);
+    if (parked_in_guard) return;
+    std::lock_guard<std::mutex> lk(reg_mutex_);
+    free_pids_.push_back(p.ebr_pid);
+  }
+
   int num_locks() const { return static_cast<int>(locks_.size()); }
   int max_procs() const { return max_procs_; }
 
   bool try_locks(Process proc, std::span<const std::uint32_t> lock_ids,
-                 Thunk thunk) {
+                 Thunk thunk, AttemptInfo* info = nullptr) {
     Handle& h = handle(proc);
     WFL_CHECK(lock_ids.size() <= kMaxLocksPerAttempt);
     h.stats().add_attempt();
@@ -168,6 +199,7 @@ class AdaptiveLockSpace {
         thunk(m);
       }
       h.stats().add_win();
+      if (info != nullptr) *info = AttemptInfo{true, 0, 0, 0};
       return true;
     }
 
@@ -188,7 +220,7 @@ class AdaptiveLockSpace {
     // still in its TBD window has no revealed priority yet, so it is not a
     // "known-priority" threat and is skipped (run() would defer on it
     // anyway); everyone revealed is driven to a decision.
-    ebr_.enter(proc.ebr_pid);
+    guard_enter(h);
     {
       MemberList<Desc*>& members = h.help_scratch();
       for (std::uint32_t i = 0; i < d.lock_count; ++i) {
@@ -205,7 +237,8 @@ class AdaptiveLockSpace {
     for (std::uint32_t i = 0; i < d.lock_count; ++i) {
       d.slot_of_lock[i] = locks_[d.lock_ids[i]]->insert(&d, proc.ebr_pid);
     }
-    ebr_.exit(proc.ebr_pid);
+    guard_exit(h);
+    const std::uint64_t pre_reveal_work = Plat::steps() - start_steps;
 
     // Guess-and-double: pad the variable-length pre-participation work to
     // the next power of two of our own steps, making the participation-
@@ -216,22 +249,23 @@ class AdaptiveLockSpace {
     // Freeze the competition: snapshot every lock's membership. These
     // snapshots fix the potential-threatener set *before* our priority
     // exists anywhere.
-    ebr_.enter(proc.ebr_pid);
+    guard_enter(h);
     for (std::uint32_t i = 0; i < d.lock_count; ++i) {
       multi_get_set<Plat>(*locks_[d.lock_ids[i]], d.snaps[i]);
     }
-    ebr_.exit(proc.ebr_pid);
+    guard_exit(h);
 
     d.priority.store(draw_priority<Plat>());  // priority-reveal
     const std::uint64_t reveal_steps = Plat::steps();
 
-    ebr_.enter(proc.ebr_pid);
+    guard_enter(h);
     run(cx, d);
     d.clear_flag();
     for (std::uint32_t i = 0; i < d.lock_count; ++i) {
       locks_[d.lock_ids[i]]->remove(d.slot_of_lock[i], proc.ebr_pid);
     }
-    ebr_.exit(proc.ebr_pid);
+    guard_exit(h);
+    const std::uint64_t post_reveal_work = Plat::steps() - reveal_steps;
 
     // Pad the post-reveal segment the same way, fixing the attempt's end
     // time to one of log-many offsets from the reveal.
@@ -240,6 +274,15 @@ class AdaptiveLockSpace {
     const bool won = d.status.load() == kStatusWon;
     if (won) h.stats().add_win();
     ebr_.retire(proc.ebr_pid, this, didx, &free_descriptor);
+    if (info != nullptr) {
+      // Unified accounting (executor.hpp): the work segments exclude the
+      // guess-and-double padding, mirroring the known-bounds table's
+      // delay-exclusive pre/post reveal work.
+      info->won = won;
+      info->pre_reveal_work = pre_reveal_work;
+      info->post_reveal_work = post_reveal_work;
+      info->total_steps = Plat::steps() - start_steps;
+    }
     return won;
   }
 
@@ -284,6 +327,16 @@ class AdaptiveLockSpace {
               proc.ebr_pid < static_cast<int>(handles_.size()) &&
               handles_[static_cast<std::size_t>(proc.ebr_pid)] != nullptr);
     return *handles_[static_cast<std::size_t>(proc.ebr_pid)];
+  }
+
+  // Re-entrant guard over the single EBR domain, through the handle's
+  // depth counter — so an inspector's EbrGuard can wrap a whole attempt.
+  void guard_enter(Handle& h) {
+    if (h.guard_depth(0)++ == 0) ebr_.enter(h.pid());
+  }
+  void guard_exit(Handle& h) {
+    WFL_DASSERT(h.guard_depth(0) > 0);
+    if (--h.guard_depth(0) == 0) ebr_.exit(h.pid());
   }
 
   static void free_descriptor(void* ctx, std::uint32_t handle) {
@@ -342,7 +395,13 @@ class AdaptiveLockSpace {
   std::uint32_t serial_block_;
   std::mutex reg_mutex_;
   std::vector<std::unique_ptr<Handle>> handles_;
+  std::vector<int> free_pids_;  // released slots awaiting reuse (reg_mutex_)
   std::atomic<int> registered_{0};
 };
+
+// RAII session over the adaptive space (see core/session.hpp); works with
+// executor.hpp's submit() exactly like Session<Plat> does.
+template <typename Plat>
+using AdaptiveSession = BasicSession<AdaptiveLockSpace<Plat>>;
 
 }  // namespace wfl

@@ -1,0 +1,130 @@
+// The executor: one submission API over every acquisition path.
+//
+// The library used to expose four divergent entry points for "run this
+// bounded thunk under these locks": LockTable::try_locks (one attempt),
+// retry_until_success (loop until a win), PreparedTxn::try_run/run (the
+// same two again, for composed transactions) and AdaptiveLockSpace's own
+// try_locks — each with its own accounting struct. submit() collapses them
+// into a single shape:
+//
+//   Outcome o = submit(session, locks, thunk, Policy::retry());
+//
+// where Policy picks one-shot / capped / until-success (plus an optional
+// backoff knob for DelayMode::kOff deployments) and Outcome unifies
+// AttemptInfo and RetryStats: every path reports attempts, own steps and
+// the last attempt's pre/post-reveal work the same way, so experiment
+// harnesses and applications stop translating between accounting schemes.
+//
+// Progress semantics are inherited, not invented here: a single attempt is
+// wait-free in O(κ²L²T) own steps (Theorem 1.1), and the until-success
+// policy is the randomized wait-free corollary — attempts win w.p. >=
+// 1/(κL) independently, so the attempt count is geometric with mean <= κL.
+// The deterministic escape hatch is Policy::attempts(n).
+//
+// Thunk contract (same as try_locks, restated because submit re-arms the
+// thunk per attempt): `f` must be copyable — each attempt's descriptor
+// stores its own copy — and must capture by value or point only at state
+// that outlives the space's reclamation grace period; a straggling helper
+// may replay the thunk after submit() returns.
+#pragma once
+
+#include <cstdint>
+
+#include "wfl/core/config.hpp"
+#include "wfl/core/lock_set.hpp"
+#include "wfl/core/session.hpp"
+
+namespace wfl {
+
+// What submit() should do when an attempt loses its locks.
+struct Policy {
+  // Attempt budget: 0 = retry until an attempt wins (randomized wait-free;
+  // terminates w.p. 1 with geometric tail), n >= 1 = at most n attempts.
+  std::uint64_t max_attempts = 1;
+
+  // Backoff knob for DelayMode::kOff deployments: after the k-th failed
+  // attempt, idle min(backoff_base << (k-1), backoff_cap) own steps before
+  // re-attempting. Ignored (with the steps it would burn) when the space
+  // runs the paper's fixed delays — kTheory mode owns an attempt's timing
+  // and backoff would perturb the reveal-time argument for no gain.
+  std::uint64_t backoff_base = 0;
+  std::uint64_t backoff_cap = 0;
+
+  static constexpr Policy one_shot() { return Policy{1, 0, 0}; }
+  static constexpr Policy retry() { return Policy{0, 0, 0}; }
+  static constexpr Policy attempts(std::uint64_t n) {
+    return Policy{n, 0, 0};
+  }
+  constexpr Policy with_backoff(std::uint64_t base,
+                                std::uint64_t cap = 0) const {
+    Policy p = *this;
+    p.backoff_base = base;
+    p.backoff_cap = cap != 0 ? cap : base << 10;
+    return p;
+  }
+};
+
+// Unified accounting: AttemptInfo + RetryStats in one struct. One-shot
+// submissions fill it exactly like try_locks fills AttemptInfo; retrying
+// submissions accumulate exactly like retry_until_success.
+struct Outcome {
+  bool won = false;               // did any attempt win all its locks?
+  std::uint64_t attempts = 0;     // attempts consumed, including the winner
+  std::uint64_t total_steps = 0;  // own steps across all attempts + backoff
+  // The final attempt's work segments (the T0/T1-bounded quantities).
+  std::uint64_t pre_reveal_work = 0;
+  std::uint64_t post_reveal_work = 0;
+  std::uint64_t backoff_steps = 0;  // own steps idled between attempts
+
+  explicit operator bool() const { return won; }
+};
+
+// Submits `f` on `locks` through `session` under `policy`. The lock-set
+// invariants (sorted, deduplicated, within capacity) are carried by the
+// LockSetView type; the configured L budget was enforced when the set was
+// built against the config (or here, once, for spaces that expose one) —
+// nothing is re-validated per attempt.
+template <typename Space, typename F>
+Outcome submit(BasicSession<Space>& session, LockSetView locks, const F& f,
+               Policy policy = Policy::one_shot()) {
+  using Plat = typename Space::Platform;
+  Space& space = session.space();
+  bool theory_delays = false;
+  if constexpr (requires { space.config(); }) {
+    WFL_CHECK_MSG(locks.size() <= space.config().max_locks,
+                  "lock set exceeds the configured L bound");
+    theory_delays = space.config().delay_mode == DelayMode::kTheory;
+  }
+
+  Outcome out;
+  for (;;) {
+    AttemptInfo info;
+    typename Space::Thunk thunk{F(f)};
+    const bool won =
+        space.try_locks(session.process(), locks, std::move(thunk), &info);
+    ++out.attempts;
+    out.total_steps += info.total_steps;
+    out.pre_reveal_work = info.pre_reveal_work;
+    out.post_reveal_work = info.post_reveal_work;
+    if (won) {
+      out.won = true;
+      return out;
+    }
+    if (policy.max_attempts != 0 && out.attempts >= policy.max_attempts) {
+      return out;
+    }
+    if (policy.backoff_base != 0 && !theory_delays) {
+      const std::uint64_t shift =
+          out.attempts - 1 < 24 ? out.attempts - 1 : 24;
+      std::uint64_t pause = policy.backoff_base << shift;
+      if (policy.backoff_cap != 0 && pause > policy.backoff_cap) {
+        pause = policy.backoff_cap;
+      }
+      for (std::uint64_t i = 0; i < pause; ++i) Plat::step();
+      out.backoff_steps += pause;
+      out.total_steps += pause;
+    }
+  }
+}
+
+}  // namespace wfl

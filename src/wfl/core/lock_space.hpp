@@ -21,9 +21,11 @@
 
 #include <cstdint>
 #include <span>
+#include <type_traits>
 
 #include "wfl/core/attempt.hpp"
 #include "wfl/core/config.hpp"
+#include "wfl/core/lock_set.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/process.hpp"
 
@@ -32,6 +34,7 @@ namespace wfl {
 template <typename Plat>
 class LockSpace {
  public:
+  using Platform = Plat;
   using Table = LockTable<Plat>;
   using Desc = typename Table::Desc;
   using Thunk = typename Table::Thunk;
@@ -58,6 +61,13 @@ class LockSpace {
                  Thunk thunk, AttemptInfo* info = nullptr) {
     return table_.try_locks(proc, lock_ids, std::move(thunk), info);
   }
+  template <typename ViewT>
+    requires std::is_convertible_v<const ViewT&, LockSetView>
+  bool try_locks(Process proc, const ViewT& lock_ids, Thunk thunk,
+                 AttemptInfo* info = nullptr) {
+    return table_.try_locks(proc, LockSetView(lock_ids), std::move(thunk),
+                            info);
+  }
 
   LockStats stats() const { return table_.stats(); }
 
@@ -65,6 +75,7 @@ class LockSpace {
   void ebr_enter(Process p) { table_.ebr_enter(p); }
   void ebr_exit(Process p) { table_.ebr_exit(p); }
   void abandon_process(Process p) { table_.abandon_process(p); }
+  void release_process(Process p) { table_.release_process(p); }
 
  private:
   Table table_;

@@ -68,6 +68,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "wfl/active/active_set.hpp"
@@ -75,6 +76,7 @@
 #include "wfl/core/attempt.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/descriptor.hpp"
+#include "wfl/core/lock_set.hpp"
 #include "wfl/core/process.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/mem/arena.hpp"
@@ -96,6 +98,7 @@ inline constexpr std::uint32_t kMaxShards = 16;
 template <typename Plat>
 class LockTable {
  public:
+  using Platform = Plat;
   using Desc = Descriptor<Plat>;
   using Thunk = typename Desc::Thunk;
   using Set = ActiveSet<Plat, Desc*>;
@@ -152,10 +155,18 @@ class LockTable {
 
   // Registers the calling logical process: one participant slot in every
   // shard's EBR domain (all under one id) plus a ProcessHandle carrying its
-  // striped hot state. Not on the attempt path; serialized by a mutex so
-  // the per-shard participant ids stay aligned.
+  // striped hot state. A slot released by a destroyed Session is reused
+  // (its handle — stats, serial block, scratch — carries over, so table-
+  // level stats stay monotone across session generations). Not on the
+  // attempt path; serialized by a mutex so the per-shard participant ids
+  // stay aligned.
   Process register_process() {
     std::lock_guard<std::mutex> lk(reg_mutex_);
+    if (!free_pids_.empty()) {
+      const int pid = free_pids_.back();
+      free_pids_.pop_back();
+      return Process{pid};
+    }
     int pid = -1;
     for (std::uint32_t s = 0; s < num_shards_; ++s) {
       const int p = ebr_[s]->register_participant();
@@ -189,17 +200,41 @@ class LockTable {
   // One tryLock attempt on `lock_ids` running `thunk` if all locks are
   // acquired. Returns success. Never blocks on other processes: completes
   // in O(κ²L²T) of the caller's own steps regardless of the schedule.
+  //
+  // The raw-span overload re-validates the set (budget + duplicate scan)
+  // on every call; the LockSetView overload skips both, because the view
+  // type's construction already established them (core/lock_set.hpp).
   bool try_locks(Process proc, std::span<const std::uint32_t> lock_ids,
                  Thunk thunk, AttemptInfo* info = nullptr) {
-    Handle& h = handle(proc);
     WFL_CHECK_MSG(lock_ids.size() <= cfg_.max_locks,
                   "lock set exceeds the configured L bound");
     for (std::size_t i = 0; i < lock_ids.size(); ++i) {
-      WFL_CHECK(lock_ids[i] < locks_.size());
       for (std::size_t j = i + 1; j < lock_ids.size(); ++j) {
         WFL_CHECK_MSG(lock_ids[i] != lock_ids[j],
                       "duplicate lock in lock set");
       }
+    }
+    return attempt(proc, lock_ids, std::move(thunk), info);
+  }
+
+  // Templated so braced initializer lists keep resolving to the span
+  // overload above (a braced list cannot deduce ViewT); accepts
+  // LockSetView and anything carrying its invariants (StaticLockSet).
+  template <typename ViewT>
+    requires std::is_convertible_v<const ViewT&, LockSetView>
+  bool try_locks(Process proc, const ViewT& lock_ids, Thunk thunk,
+                 AttemptInfo* info = nullptr) {
+    const LockSetView view = lock_ids;
+    WFL_DASSERT(view.size() <= cfg_.max_locks);
+    return attempt(proc, view.span(), std::move(thunk), info);
+  }
+
+ private:
+  bool attempt(Process proc, std::span<const std::uint32_t> lock_ids,
+               Thunk thunk, AttemptInfo* info) {
+    Handle& h = handle(proc);
+    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
+      WFL_CHECK(lock_ids[i] < locks_.size());
     }
     h.stats().add_attempt();
 
@@ -291,6 +326,7 @@ class LockTable {
     return won;
   }
 
+ public:
   // Aggregates the striped per-process slabs. Exact whenever the processes
   // are quiescent (the only time the tests compare totals); otherwise a
   // racy-but-monotone snapshot.
@@ -339,12 +375,41 @@ class LockTable {
 
   // Crash-harness support: release `p`'s EBR guards on its behalf. Legal
   // ONLY when the process provably takes no further steps (a fiber parked
-  // forever by a CrashSchedule). See EbrDomain::abandon.
+  // forever by a CrashSchedule). See EbrDomain::abandon. The pid stays
+  // retired — a crashed process's slot is never handed to a new session.
   void abandon_process(Process p) {
     WFL_CHECK(p.ebr_pid >= 0);
     for (std::uint32_t s = 0; s < num_shards_; ++s) {
       ebr_[s]->abandon(p.ebr_pid);
     }
+  }
+
+  // End-of-session (Session's destructor): drops any EBR guards on the
+  // process's behalf. Legal for the same reason abandon_process is: the
+  // caller guarantees the process takes no further steps under this
+  // registration. Two cases:
+  //
+  //   * orderly end (no guard held — the process finished outside any
+  //     attempt): the pid joins the registration free list and the slot —
+  //     participant id, handle, striped stats — is reused by the next
+  //     register_process();
+  //   * crash-parked mid-attempt (a CrashSchedule stopped the fiber inside
+  //     one of the attempt's guarded work segments, so its re-entrancy
+  //     depths are still nonzero): the guards are force-dropped exactly
+  //     like abandon_process, and the slot is retired forever — the stale
+  //     depth counters mean the handle can never re-enter a guard
+  //     correctly, so it must not be handed to a new session.
+  void release_process(Process p) {
+    WFL_CHECK(p.ebr_pid >= 0);
+    Handle& h = handle(p);
+    bool parked_in_guard = false;
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      parked_in_guard = parked_in_guard || h.guard_depth(s) != 0;
+      ebr_[s]->abandon(p.ebr_pid);
+    }
+    if (parked_in_guard) return;
+    std::lock_guard<std::mutex> lk(reg_mutex_);
+    free_pids_.push_back(p.ebr_pid);
   }
 
  private:
@@ -476,6 +541,7 @@ class LockTable {
   std::atomic<std::uint64_t> serial_hwm_{1};
   std::mutex reg_mutex_;
   std::vector<std::unique_ptr<Handle>> handles_;  // indexed by pid; fixed size
+  std::vector<int> free_pids_;  // released slots awaiting reuse (reg_mutex_)
   std::atomic<int> registered_{0};
 };
 

@@ -12,6 +12,12 @@
 // probability 1 with geometrically-decaying tail. A hard `max_attempts`
 // escape is still offered for callers that must bound worst-case work
 // deterministically (0 = retry forever).
+//
+// COMPATIBILITY VENEER: new code should use executor.hpp's
+// submit(session, locks, f, Policy::retry()) — the same loop with the
+// unified Outcome accounting (tests/test_session.cpp pins the two paths
+// to identical attempt/step accounting). This free function remains for
+// callers holding raw (table, process) pairs.
 #pragma once
 
 #include <cstdint>

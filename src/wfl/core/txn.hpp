@@ -19,8 +19,9 @@
 // path stays allocation-free.
 //
 // Budgets: the combined lock set must fit the space's max_locks and the
-// summed sub-thunk operation counts must fit max_thunk_steps — both are
-// the caller's stated bounds (L and T in the paper) and are checked.
+// summed sub-thunk step budgets (declared per op(), like every stated
+// bound in the paper's model: L, T, κ are promises, not measurements) must
+// fit max_thunk_steps — both are checked before every run.
 #pragma once
 
 #include <algorithm>
@@ -29,8 +30,10 @@
 #include <span>
 #include <vector>
 
+#include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/retry.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/util/assert.hpp"
 
 namespace wfl {
@@ -45,20 +48,27 @@ class TxnBuilder {
 
   TxnBuilder() : prog_(std::make_shared<Program>()) {}
 
-  // Adds one sub-operation: `lock_ids` it needs, and the code to run. The
-  // sub-thunk obeys the usual capture contract (by value, or pointers to
-  // structure-lifetime state).
+  // Adds one sub-operation: `lock_ids` it needs, the code to run, and the
+  // sub-thunk's instrumented step budget — the number of m.load/m.store
+  // calls it may issue, a caller-stated bound exactly like the space's T.
+  // The budgets sum across ops and are validated against max_thunk_steps
+  // before every run. The sub-thunk obeys the usual capture contract (by
+  // value, or pointers to structure-lifetime state).
   template <typename F>
-  TxnBuilder& op(std::span<const std::uint32_t> lock_ids, F&& f) {
+  TxnBuilder& op(std::span<const std::uint32_t> lock_ids, F&& f,
+                 std::uint32_t step_budget = 1) {
     WFL_CHECK_MSG(prog_ != nullptr, "builder already consumed by build()");
+    WFL_CHECK(step_budget >= 1);
     for (std::uint32_t id : lock_ids) locks_.push_back(id);
     prog_->ops.emplace_back(std::forward<F>(f));
+    step_budget_ += step_budget;
     return *this;
   }
 
   // Locks without code: reserve a lock in the combined set (e.g. to pin a
   // neighbour that the transaction reads only optimistically).
   TxnBuilder& touch(std::uint32_t lock_id) {
+    WFL_CHECK_MSG(prog_ != nullptr, "builder already consumed by build()");
     locks_.push_back(lock_id);
     return *this;
   }
@@ -66,12 +76,14 @@ class TxnBuilder {
   // Finalizes: dedups + sorts the lock set, freezes the program. The
   // builder is consumed.
   PreparedTxn<Plat> build() && {
+    WFL_CHECK_MSG(prog_ != nullptr, "builder already consumed by build()");
     WFL_CHECK_MSG(!prog_->ops.empty() || !locks_.empty(),
                   "empty transaction");
     std::sort(locks_.begin(), locks_.end());
     locks_.erase(std::unique(locks_.begin(), locks_.end()), locks_.end());
     return PreparedTxn<Plat>(std::move(locks_),
-                             std::shared_ptr<const Program>(std::move(prog_)));
+                             std::shared_ptr<const Program>(std::move(prog_)),
+                             step_budget_);
   }
 
  private:
@@ -82,6 +94,7 @@ class TxnBuilder {
 
   std::vector<std::uint32_t> locks_;
   std::shared_ptr<Program> prog_;
+  std::uint32_t step_budget_ = 0;
 };
 
 // An immutable, repeatedly-runnable transaction. Copyable (copies share
@@ -93,13 +106,29 @@ class PreparedTxn {
   using Process = typename Table::Process;
   using Program = typename TxnBuilder<Plat>::Program;
 
+  // The primary entry point: submit the whole transaction through the
+  // unified executor (core/executor.hpp). Default policy is one attempt;
+  // Policy::retry() gives the randomized wait-free run-to-completion.
+  Outcome submit(Session<Plat>& session, Policy policy = Policy::one_shot()) {
+    check_budgets(session.space());
+    std::shared_ptr<const Program> prog = prog_;  // captured by value
+    return wfl::submit(
+        session, LockSetView::presorted(locks_),
+        [prog](IdemCtx<Plat>& m) {
+          for (const auto& op : prog->ops) op(m);
+        },
+        policy);
+  }
+
+  // --- compatibility veneer over raw (table, process) pairs --------------
+
   // One tryLock attempt at the whole transaction. Takes the lock table
   // layer directly; a LockSpace converts implicitly.
   bool try_run(Table& table, Process proc, AttemptInfo* info = nullptr) {
     check_budgets(table);
     std::shared_ptr<const Program> prog = prog_;  // captured by value
     return table.try_locks(
-        proc, locks_,
+        proc, LockSetView::presorted(locks_),
         [prog](IdemCtx<Plat>& m) {
           for (const auto& op : prog->ops) op(m);
         },
@@ -120,20 +149,28 @@ class PreparedTxn {
 
   std::span<const std::uint32_t> lock_set() const { return locks_; }
   std::size_t op_count() const { return prog_->ops.size(); }
+  std::uint32_t step_budget() const { return step_budget_; }
 
  private:
   friend class TxnBuilder<Plat>;
   PreparedTxn(std::vector<std::uint32_t> locks,
-              std::shared_ptr<const Program> prog)
-      : locks_(std::move(locks)), prog_(std::move(prog)) {}
+              std::shared_ptr<const Program> prog, std::uint32_t step_budget)
+      : locks_(std::move(locks)),
+        prog_(std::move(prog)),
+        step_budget_(step_budget) {}
 
+  // Both stated bounds are checked: the combined lock set against L and
+  // the summed per-op step budgets against T.
   void check_budgets(const Table& table) const {
     WFL_CHECK_MSG(locks_.size() <= table.config().max_locks,
                   "combined txn lock set exceeds the configured L bound");
+    WFL_CHECK_MSG(step_budget_ <= table.config().max_thunk_steps,
+                  "combined txn step budget exceeds the configured T bound");
   }
 
   std::vector<std::uint32_t> locks_;
   std::shared_ptr<const Program> prog_;
+  std::uint32_t step_budget_ = 0;
 };
 
 }  // namespace wfl

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "wfl/core/lock_table.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/platform/sim.hpp"
 
 namespace wfl {
@@ -30,22 +31,23 @@ struct FieldView {
   int revealed_members = 0;              // priority > 0
 };
 
-// Adversary-side observer over a lock table's active sets (a LockSpace
-// converts implicitly).
+// Adversary-side observer through the player's Session: all inspection
+// happens under the session's scoped EbrGuard, so the observer holds no
+// raw process handles and issues no manual ebr_enter/ebr_exit pairs.
 template <typename Plat>
 class PlayerObserver {
  public:
   using Table = LockTable<Plat>;
-  using Process = typename Table::Process;
+  using Sess = Session<Plat>;
 
-  PlayerObserver(Table& table, Process proc) : space_(&table), proc_(proc) {}
+  explicit PlayerObserver(Sess& session) : session_(&session) {}
 
   // Snapshot the competition on lock `id`. Takes steps (getSet + scan) —
   // the player pays for its spying like any other code.
   FieldView observe(std::uint32_t id) {
     FieldView v;
-    space_->ebr_enter(proc_);
-    const auto* snap = space_->lock_set(id).get_set();
+    auto guard = session_->guard();
+    const auto* snap = session_->space().lock_set(id).get_set();
     for (std::uint32_t i = 0; i < snap->count; ++i) {
       auto* q = snap->items[i];
       if (q->status.load() != kStatusActive) continue;
@@ -56,7 +58,6 @@ class PlayerObserver {
         if (pri > v.strongest_priority) v.strongest_priority = pri;
       }
     }
-    space_->ebr_exit(proc_);
     return v;
   }
 
@@ -73,8 +74,7 @@ class PlayerObserver {
   }
 
  private:
-  Table* space_;
-  Process proc_;
+  Sess* session_;
 };
 
 // Priority threshold helpers: priorities are uniform in (0, 2^62], so the

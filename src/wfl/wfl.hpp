@@ -5,12 +5,13 @@
 //   using Plat = wfl::RealPlat;
 //   wfl::LockConfig cfg;           // κ, L, T bounds + delay mode
 //   wfl::LockSpace<Plat> space(cfg, /*max_procs=*/8, /*num_locks=*/100);
-//   auto proc = space.register_process();     // once per thread
+//   wfl::Session<Plat> session(space);        // RAII, once per thread
 //   wfl::Cell<Plat> balance{100};
-//   std::uint32_t ids[] = {3, 7};
-//   bool ok = space.try_locks(proc, ids, [&](wfl::IdemCtx<Plat>& m) {
-//     m.store(balance, m.load(balance) + 1);  // the critical section
-//   });
+//   wfl::StaticLockSet<2> locks({3, 7}, cfg);   // sorted+deduped+checked
+//   wfl::Outcome o = wfl::submit(session, locks,
+//       [&](wfl::IdemCtx<Plat>& m) {
+//         m.store(balance, m.load(balance) + 1);  // the critical section
+//       });  // Policy::one_shot() default; o.won / o.attempts / steps
 //
 // The same code runs deterministically under the simulator by swapping
 // Plat for wfl::SimPlat and executing inside wfl::Simulator processes.
@@ -34,10 +35,13 @@
 #include "wfl/core/attempt.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/descriptor.hpp"
+#include "wfl/core/executor.hpp"
+#include "wfl/core/lock_set.hpp"
 #include "wfl/core/lock_space.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/process.hpp"
 #include "wfl/core/retry.hpp"
+#include "wfl/core/session.hpp"
 #include "wfl/core/txn.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/idem/idem.hpp"

@@ -25,7 +25,7 @@ LockConfig bank_cfg(int procs) {
 TEST(Bank, SingleTransferMovesMoney) {
   LockSpace<RealPlat> space(bank_cfg(1), 1, 4);
   Bank<RealPlat> bank(space, 4, 100);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   bool denied = false;
   EXPECT_TRUE(bank.try_transfer(proc, 0, 1, 30, &denied));
   EXPECT_FALSE(denied);
@@ -37,7 +37,7 @@ TEST(Bank, SingleTransferMovesMoney) {
 TEST(Bank, InsufficientFundsDeniedNotLost) {
   LockSpace<RealPlat> space(bank_cfg(1), 1, 2);
   Bank<RealPlat> bank(space, 2, 10);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   bool denied = false;
   EXPECT_TRUE(bank.try_transfer(proc, 0, 1, 50, &denied));
   EXPECT_TRUE(denied);
@@ -53,7 +53,7 @@ TEST(Bank, ConcurrentChurnConservesTotal) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(77 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(t + 1);
       for (int i = 0; i < 1500; ++i) {
         const auto a = static_cast<std::uint32_t>(rng.next_below(accounts));
@@ -79,7 +79,7 @@ TEST(Bank, SimConservesTotalUnderSkew) {
   Simulator sim(3);
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(p * 3 + 1);
       for (int i = 0; i < 25; ++i) {
         const auto a = static_cast<std::uint32_t>(rng.next_below(accounts));
@@ -106,7 +106,7 @@ LockConfig list_cfg(int procs) {
 TEST(LockedList, SequentialSetSemantics) {
   LockSpace<RealPlat> space(list_cfg(1), 1, 64);
   LockedList<RealPlat> list(space, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   EXPECT_TRUE(list.insert(proc, 5));
   EXPECT_TRUE(list.insert(proc, 3));
   EXPECT_TRUE(list.insert(proc, 9));
@@ -122,7 +122,7 @@ TEST(LockedList, SequentialSetSemantics) {
 TEST(LockedList, InsertEraseInterleavedSequential) {
   LockSpace<RealPlat> space(list_cfg(1), 1, 128);
   LockedList<RealPlat> list(space, 128);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   std::set<std::uint32_t> model;
   Xoshiro256 rng(8);
   for (int i = 0; i < 300; ++i) {
@@ -145,7 +145,7 @@ TEST(LockedList, QuiescentRecycleSupportsUnboundedChurn) {
   constexpr std::uint32_t kCapacity = 32;
   LockSpace<RealPlat> space(list_cfg(1), 1, kCapacity);
   LockedList<RealPlat> list(space, kCapacity);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   std::set<std::uint32_t> model;
   Xoshiro256 rng(99);
   std::uint64_t recycled = 0;
@@ -170,7 +170,7 @@ TEST(LockedList, QuiescentRecycleSupportsUnboundedChurn) {
 TEST(LockedList, RecycleOnEmptyRetireListIsNoop) {
   LockSpace<RealPlat> space(list_cfg(1), 1, 16);
   LockedList<RealPlat> list(space, 16);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   EXPECT_EQ(list.quiescent_recycle(), 0u);
   EXPECT_TRUE(list.insert(proc, 7));
   EXPECT_EQ(list.quiescent_recycle(), 0u);  // inserts retire nothing
@@ -188,7 +188,7 @@ TEST(LockedList, ConcurrentDisjointKeyRanges) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(31 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (int k = 0; k < 60; ++k) {
         ASSERT_TRUE(list.insert(
             proc, static_cast<std::uint32_t>(1 + k * threads + t)));
@@ -215,7 +215,7 @@ TEST(LockedList, ConcurrentSameKeysLastWriterConsistent) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(71 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(t * 9 + 2);
       for (int i = 0; i < 400; ++i) {
         const std::uint32_t key =
@@ -249,7 +249,7 @@ TEST(LockedList, SimWorkloadUnderAdversarialSchedule) {
   Simulator sim(4);
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (int k = 0; k < 12; ++k) {
         list.insert(proc,
                     static_cast<std::uint32_t>(1 + k * procs + p));

@@ -26,7 +26,7 @@ LockConfig bst_cfg(int procs) {
 TEST(Bst, EmptyTreeBasics) {
   LockSpace<RealPlat> space(bst_cfg(1), 1, 64);
   LockedBst<RealPlat> bst(space, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   EXPECT_FALSE(bst.contains(7));
   EXPECT_FALSE(bst.erase(proc, 7));
   EXPECT_TRUE(bst.keys().empty());
@@ -36,7 +36,7 @@ TEST(Bst, EmptyTreeBasics) {
 TEST(Bst, InsertThenFind) {
   LockSpace<RealPlat> space(bst_cfg(1), 1, 64);
   LockedBst<RealPlat> bst(space, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   EXPECT_TRUE(bst.insert(proc, 10));
   EXPECT_TRUE(bst.insert(proc, 5));
   EXPECT_TRUE(bst.insert(proc, 20));
@@ -52,7 +52,7 @@ TEST(Bst, InsertThenFind) {
 TEST(Bst, EraseLeafAndReinsert) {
   LockSpace<RealPlat> space(bst_cfg(1), 1, 64);
   LockedBst<RealPlat> bst(space, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   EXPECT_TRUE(bst.insert(proc, 8));
   EXPECT_TRUE(bst.insert(proc, 4));
   EXPECT_TRUE(bst.insert(proc, 12));
@@ -68,7 +68,7 @@ TEST(Bst, EraseLeafAndReinsert) {
 TEST(Bst, EraseSoleKeyLeavesEmptyTree) {
   LockSpace<RealPlat> space(bst_cfg(1), 1, 32);
   LockedBst<RealPlat> bst(space, 32);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   EXPECT_TRUE(bst.insert(proc, 42));
   EXPECT_TRUE(bst.erase(proc, 42));
   EXPECT_TRUE(bst.keys().empty());
@@ -80,7 +80,7 @@ TEST(Bst, EraseSoleKeyLeavesEmptyTree) {
 TEST(Bst, AscendingAndDescendingInsertionsStaySorted) {
   LockSpace<RealPlat> space(bst_cfg(1), 1, 256);
   LockedBst<RealPlat> bst(space, 256);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   for (std::uint32_t k = 1; k <= 30; ++k) EXPECT_TRUE(bst.insert(proc, k));
   for (std::uint32_t k = 100; k >= 71; --k) EXPECT_TRUE(bst.insert(proc, k));
   const auto keys = bst.keys();
@@ -92,7 +92,7 @@ TEST(Bst, AscendingAndDescendingInsertionsStaySorted) {
 TEST(Bst, RandomizedAgainstReferenceModel) {
   LockSpace<RealPlat> space(bst_cfg(1), 1, 1024);
   LockedBst<RealPlat> bst(space, 1024);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   std::set<std::uint32_t> model;
   Xoshiro256 rng(1234);
   for (int i = 0; i < 600; ++i) {
@@ -122,7 +122,7 @@ TEST(Bst, ConcurrentInsertsDisjointRanges) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(91 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (std::uint32_t i = 1; i <= 60; ++i) {
         EXPECT_TRUE(bst.insert(proc, static_cast<std::uint32_t>(t) * 100 + i));
       }
@@ -146,7 +146,7 @@ TEST(Bst, ConcurrentChurnMatchesPerKeyAccounting) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(7 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(t * 17 + 3);
       std::set<std::uint32_t>& model = finals[static_cast<std::size_t>(t)];
       for (int i = 0; i < 400; ++i) {
@@ -179,7 +179,7 @@ TEST(Bst, ConcurrentSharedKeysNoLostStructure) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(55 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(t * 31 + 5);
       for (int i = 0; i < 300; ++i) {
         const std::uint32_t key =
@@ -213,7 +213,7 @@ TEST(BstSim, AdjacentKeyChurnUnderSkewedSchedule) {
   std::vector<std::set<std::uint32_t>> finals(procs);
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(p * 7 + 1);
       std::set<std::uint32_t>& model = finals[static_cast<std::size_t>(p)];
       for (int i = 0; i < 40; ++i) {
@@ -253,7 +253,7 @@ TEST_P(BstSimSweep, SharedUniverseChurnKeepsStructure) {
   Simulator sim(prm.sim_seed);
   for (int p = 0; p < prm.procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(static_cast<std::uint64_t>(p) * 13 + prm.sim_seed);
       for (int i = 0; i < 30; ++i) {
         const std::uint32_t key =
@@ -292,7 +292,7 @@ TEST(BstSim, DeterministicReplay) {
     Simulator sim(77);
     for (int p = 0; p < procs; ++p) {
       sim.add_process([&, p] {
-        auto proc = space.register_process();
+        BasicSession proc(space.table());
         Xoshiro256 rng(p + 1);
         for (int i = 0; i < 25; ++i) {
           const std::uint32_t key =

@@ -63,7 +63,7 @@ TEST(GraphTopology, RandomRegularRespectsDegreeCapAndSymmetry) {
 TEST(Graph, SequentialColouringIsProper) {
   LockSpace<RealPlat> space(graph_cfg(1, 2), 1, 12);
   LockedGraph<RealPlat> g(space, LockedGraph<RealPlat>::ring(12));
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   for (std::uint32_t v = 0; v < 12; ++v) g.colour_vertex(proc, v);
   EXPECT_TRUE(g.properly_coloured());
   // A ring needs at most 3 colours under greedy.
@@ -73,7 +73,7 @@ TEST(Graph, SequentialColouringIsProper) {
 TEST(Graph, ApplyRunsExactlyOncePerWin) {
   LockSpace<RealPlat> space(graph_cfg(1, 2), 1, 8);
   LockedGraph<RealPlat> g(space, LockedGraph<RealPlat>::ring(8));
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   for (int round = 0; round < 10; ++round) {
     g.apply(proc, 3, [](IdemCtx<RealPlat>& m, LockedGraph<RealPlat>::View nb) {
       m.store(*nb.centre, m.load(*nb.centre) + 1);
@@ -92,7 +92,7 @@ TEST(Graph, ConcurrentColouringOnRingIsProper) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(17 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       // Interleaved vertex ownership maximizes boundary conflicts.
       for (std::uint32_t v = static_cast<std::uint32_t>(t); v < n;
            v += static_cast<std::uint32_t>(threads)) {
@@ -112,7 +112,7 @@ TEST(Graph, ConcurrentColouringOnTorusIsProper) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(29 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (std::uint32_t v = static_cast<std::uint32_t>(t); v < 36;
            v += static_cast<std::uint32_t>(threads)) {
         g.colour_vertex(proc, v);
@@ -126,7 +126,7 @@ TEST(Graph, ConcurrentColouringOnTorusIsProper) {
 TEST(Graph, AveragingConvergesTowardsConsensus) {
   LockSpace<RealPlat> space(graph_cfg(1, 2), 1, 10);
   LockedGraph<RealPlat> g(space, LockedGraph<RealPlat>::ring(10));
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   for (std::uint32_t v = 0; v < 10; ++v) g.set_value(v, v * 100);
   for (int round = 0; round < 50; ++round) {
     for (std::uint32_t v = 0; v < 10; ++v) g.average_vertex(proc, v);
@@ -150,7 +150,7 @@ TEST(GraphSim, ConcurrentColouringUnderAdversarialSchedule) {
   Simulator sim(13);
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (std::uint32_t v = static_cast<std::uint32_t>(p); v < n;
            v += static_cast<std::uint32_t>(procs)) {
         g.colour_vertex(proc, v);
@@ -172,7 +172,7 @@ TEST(GraphSim, DeterministicReplay) {
     Simulator sim(3);
     for (int p = 0; p < procs; ++p) {
       sim.add_process([&, p] {
-        auto proc = space.register_process();
+        BasicSession proc(space.table());
         for (std::uint32_t v = static_cast<std::uint32_t>(p); v < n;
              v += static_cast<std::uint32_t>(procs)) {
           g.colour_vertex(proc, v);

@@ -24,7 +24,7 @@ LockConfig map_cfg(int procs) {
 TEST(HashMap, PutGetEraseBasics) {
   LockSpace<RealPlat> space(map_cfg(1), 1, 16);
   LockedHashMap<RealPlat> map(space, 16, 256);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   EXPECT_EQ(map.put(proc, 1, 100), kMapOk);
   EXPECT_EQ(map.put(proc, 2, 200), kMapOk);
   std::uint32_t v = 0;
@@ -46,7 +46,7 @@ TEST(HashMap, SingleBucketChainFillsToCapThenRejects) {
   // One bucket forces all keys into one chain.
   LockSpace<RealPlat> space(map_cfg(1), 1, 1);
   LockedHashMap<RealPlat> map(space, 1, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   for (std::uint64_t k = 1; k <= kMaxChain; ++k) {
     EXPECT_EQ(map.put(proc, k, static_cast<std::uint32_t>(k)), kMapOk);
   }
@@ -62,7 +62,7 @@ TEST(HashMap, SingleBucketChainFillsToCapThenRejects) {
 TEST(HashMap, SwapExchangesValues) {
   LockSpace<RealPlat> space(map_cfg(1), 1, 32);
   LockedHashMap<RealPlat> map(space, 32, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   ASSERT_EQ(map.put(proc, 10, 1), kMapOk);
   ASSERT_EQ(map.put(proc, 20, 2), kMapOk);
   EXPECT_EQ(map.swap(proc, 10, 20), kMapOk);
@@ -82,7 +82,7 @@ TEST(HashMap, SwapExchangesValues) {
 TEST(HashMap, RandomizedAgainstReferenceModel) {
   LockSpace<RealPlat> space(map_cfg(1), 1, 16);
   LockedHashMap<RealPlat> map(space, 16, 512);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   std::map<std::uint64_t, std::uint32_t> model;
   Xoshiro256 rng(42);
   for (int i = 0; i < 800; ++i) {
@@ -136,7 +136,7 @@ TEST(HashMap, ConcurrentDisjointKeysAllLand) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(31 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (std::uint64_t i = 0; i < 100; ++i) {
         EXPECT_EQ(map.put(proc, static_cast<std::uint64_t>(t) * 1000 + i,
                           static_cast<std::uint32_t>(i)),
@@ -157,7 +157,7 @@ TEST(HashMap, ConcurrentSwapsConserveValueMultiset) {
   LockSpace<RealPlat> space(map_cfg(threads + 1), threads + 1, 64);
   LockedHashMap<RealPlat> map(space, 64, 256);
   {
-    auto proc = space.register_process();
+    BasicSession proc(space.table());
     for (std::uint64_t k = 0; k < nkeys; ++k) {
       ASSERT_EQ(map.put(proc, k + 1, static_cast<std::uint32_t>(k + 1)),
                 kMapOk);
@@ -167,7 +167,7 @@ TEST(HashMap, ConcurrentSwapsConserveValueMultiset) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(63 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(t * 11 + 1);
       for (int i = 0; i < 400; ++i) {
         const std::uint64_t a = 1 + rng.next_below(nkeys);
@@ -202,7 +202,7 @@ TEST(HashMapSim, MixedChurnUnderStallBurstSchedule) {
   std::vector<std::map<std::uint64_t, std::uint32_t>> finals(procs);
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(p * 9 + 2);
       auto& model = finals[static_cast<std::size_t>(p)];
       for (int i = 0; i < 25; ++i) {

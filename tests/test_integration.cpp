@@ -40,8 +40,8 @@ TEST(Integration, BankAndListShareALockSpace) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       Plat::seed_rng(600 + static_cast<std::uint64_t>(t));
-      auto bproc = space.register_process();
-      auto lproc = list_space.register_process();
+      BasicSession bproc(space.table());
+      BasicSession lproc(list_space.table());
       Xoshiro256 rng(t * 5 + 1);
       for (int i = 0; i < 200; ++i) {
         const auto a = static_cast<std::uint32_t>(rng.next_below(accounts));
@@ -64,22 +64,22 @@ TEST(Integration, BankAndListShareALockSpace) {
 
 // The known-bounds and adaptive spaces produce identical application-level
 // results on the same deterministic workload (different fairness, same
-// safety).
+// safety). Both run through the one generic session/submit path — the
+// executor's whole point.
 TEST(Integration, KnownAndAdaptiveAgreeOnOutcomeInvariants) {
-  auto run_with = [](auto& space, auto make_proc) {
+  auto run_with = [](auto& space) {
     Cell<SimPlat> counter{0};
     Simulator sim(55);
     std::uint64_t wins = 0;
     for (int p = 0; p < 3; ++p) {
       sim.add_process([&, p] {
-        auto proc = make_proc();
+        BasicSession session(space);
         (void)p;
-        const std::uint32_t ids[] = {0, 1};
+        const StaticLockSet<2> locks{0, 1};
         for (int a = 0; a < 30; ++a) {
-          if (space.try_locks(proc, ids,
-                              [&counter](IdemCtx<SimPlat>& m) {
-                                m.store(counter, m.load(counter) + 1);
-                              })) {
+          if (submit(session, locks, [&counter](IdemCtx<SimPlat>& m) {
+                m.store(counter, m.load(counter) + 1);
+              }).won) {
             ++wins;
           }
         }
@@ -97,12 +97,11 @@ TEST(Integration, KnownAndAdaptiveAgreeOnOutcomeInvariants) {
   cfg.c0 = 8.0;
   cfg.c1 = 8.0;
   LockSpace<SimPlat> known(cfg, 3, 2);
-  auto [kw, kc] = run_with(known, [&] { return known.register_process(); });
+  auto [kw, kc] = run_with(known.table());
   EXPECT_EQ(kw, kc);  // every win incremented exactly once
 
   AdaptiveLockSpace<SimPlat> adaptive(3, 2);
-  auto [aw, ac] =
-      run_with(adaptive, [&] { return adaptive.register_process(); });
+  auto [aw, ac] = run_with(adaptive);
   EXPECT_EQ(aw, ac);
 }
 
@@ -123,14 +122,13 @@ TEST(Integration, PhilosopherHarnessAcrossProviders) {
     Simulator sim(66);
     for (int p = 0; p < n; ++p) {
       sim.add_process([&, p] {
-        auto proc = space->register_process();
+        BasicSession session(space->table());
         const auto [l, r] = forks_of(p, n);
+        const StaticLockSet<2> forks{l, r};
         run_philosopher_episodes<SimPlat>(
             p, meals, 16, 800 + p,
             [&](int) {
-              const std::uint32_t ids[] = {l, r};
-              return space->try_locks(proc, ids,
-                                      typename LockSpace<SimPlat>::Thunk{});
+              return submit(session, forks, [](IdemCtx<SimPlat>&) {}).won;
             },
             reports[static_cast<std::size_t>(p)]);
       });
@@ -195,7 +193,7 @@ TEST(Integration, StallBurstTortureEndToEnd) {
   Simulator sim(77);
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(p * 11 + 3);
       for (int i = 0; i < 20; ++i) {
         const auto a = static_cast<std::uint32_t>(rng.next_below(8));

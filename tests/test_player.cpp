@@ -35,8 +35,8 @@ TEST(Player, ObserverSeesQuiescentEmptyField) {
   Space space(obs_cfg(), 2, 1);
   Simulator sim(5);
   sim.add_process([&] {
-    auto proc = space.register_process();
-    PlayerObserver<SimPlat> spy(space, proc);
+    Session<SimPlat> session(space);
+    PlayerObserver<SimPlat> spy(session);
     const FieldView v = spy.observe(0);
     EXPECT_EQ(v.active_members, 0);
     EXPECT_EQ(v.revealed_members, 0);
@@ -57,16 +57,16 @@ TEST(Player, ObserverSeesRevealedRival) {
   bool stop = false;
 
   sim.add_process([&] {  // rival: attempts in a loop until told to stop
-    auto proc = space.register_process();
-    const std::uint32_t ids[] = {0};
+    Session<SimPlat> session(space);
+    const StaticLockSet<1> locks{0};
     rival_started = true;
     while (!stop) {
-      space.try_locks(proc, ids, typename Space::Thunk{});
+      submit(session, locks, [](IdemCtx<SimPlat>&) {});
     }
   });
   sim.add_process([&] {  // spy
-    auto proc = space.register_process();
-    PlayerObserver<SimPlat> spy(space, proc);
+    Session<SimPlat> session(space);
+    PlayerObserver<SimPlat> spy(session);
     while (!rival_started) SimPlat::step();
     saw_revealed = spy.wait_for(0, 200'000, [](const FieldView& v) {
       return v.revealed_members > 0 && v.strongest_priority > 0;
@@ -85,8 +85,8 @@ TEST(Player, WaitForRespectsBudget) {
   Space space(obs_cfg(), 2, 1);
   Simulator sim(13);
   sim.add_process([&] {
-    auto proc = space.register_process();
-    PlayerObserver<SimPlat> spy(space, proc);
+    Session<SimPlat> session(space);
+    PlayerObserver<SimPlat> spy(session);
     int polls = 0;
     const bool fired = spy.wait_for(0, 50, [&](const FieldView&) {
       ++polls;

@@ -24,7 +24,7 @@ LockConfig queue_cfg(int procs) {
 TEST(Queue, FifoOrderSingleProcess) {
   LockSpace<RealPlat> space(queue_cfg(1), 1, 2);
   LockedQueue<RealPlat> q(space, 0, 1, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   for (std::uint32_t i = 1; i <= 10; ++i) q.enqueue(proc, i);
   EXPECT_EQ(q.snapshot().size(), 10u);
   for (std::uint32_t i = 1; i <= 10; ++i) {
@@ -39,7 +39,7 @@ TEST(Queue, FifoOrderSingleProcess) {
 TEST(Queue, EmptyThenRefillKeepsDummyInvariant) {
   LockSpace<RealPlat> space(queue_cfg(1), 1, 2);
   LockedQueue<RealPlat> q(space, 0, 1, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   std::uint32_t v = 0;
   EXPECT_EQ(q.dequeue(proc, &v), kQueueEmpty);
   q.enqueue(proc, 7);
@@ -63,7 +63,7 @@ TEST(Queue, ConcurrentProducersConsumersConserveItems) {
   for (int t = 0; t < producers; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(101 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (int i = 1; i <= per_producer; ++i) {
         q.enqueue(proc, static_cast<std::uint32_t>(t * 10000 + i));
       }
@@ -73,7 +73,7 @@ TEST(Queue, ConcurrentProducersConsumersConserveItems) {
   for (int t = 0; t < consumers; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(201 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       std::uint32_t v = 0;
       while (consumed_count.load(std::memory_order_relaxed) < total) {
         if (q.dequeue(proc, &v) == kQueueOk) {
@@ -105,14 +105,14 @@ TEST(Queue, PerProducerOrderPreserved) {
   for (int t = 0; t < producers; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(11 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (int i = 1; i <= per_producer; ++i) {
         q.enqueue(proc, static_cast<std::uint32_t>(t * 10000 + i));
       }
     });
   }
   for (auto& th : ts) th.join();
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   std::vector<std::uint32_t> last(producers, 0);
   std::uint32_t v = 0;
   while (q.dequeue(proc, &v) == kQueueOk) {
@@ -131,7 +131,7 @@ TEST(Queue, TransferMovesFrontAtomically) {
   LockSpace<RealPlat> space(queue_cfg(1), 1, 4);
   LockedQueue<RealPlat> a(space, 0, 1, 64);
   LockedQueue<RealPlat> b(space, 2, 3, 64);
-  auto proc = space.register_process();
+  BasicSession proc(space.table());
   a.enqueue(proc, 1);
   a.enqueue(proc, 2);
   EXPECT_EQ(LockedQueue<RealPlat>::transfer(proc, a, b), kQueueOk);
@@ -158,7 +158,7 @@ TEST(Queue, ConcurrentTransfersConserveTokens) {
         static_cast<std::uint32_t>(2 * i + 1), 4096));
   }
   {
-    auto proc = space.register_process();
+    BasicSession proc(space.table());
     for (int i = 1; i <= tokens; ++i) {
       qs[0]->enqueue(proc, static_cast<std::uint32_t>(i));
     }
@@ -167,7 +167,7 @@ TEST(Queue, ConcurrentTransfersConserveTokens) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(301 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(t * 5 + 1);
       for (int i = 0; i < 200; ++i) {
         const auto src = static_cast<std::size_t>(rng.next_below(nqueues));
@@ -197,13 +197,13 @@ TEST(QueueSim, TransfersUnderSkewedScheduleConserve) {
   LockedQueue<SimPlat> b(space, 2, 3, 512);
   {
     // Pre-fill outside the simulation (quiescent).
-    auto proc = space.register_process();
+    BasicSession proc(space.table());
     for (int i = 1; i <= 12; ++i) a.enqueue(proc, static_cast<std::uint32_t>(i));
   }
   Simulator sim(9);
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       for (int i = 0; i < 15; ++i) {
         if (p % 2 == 0) {
           LockedQueue<SimPlat>::transfer(proc, a, b);

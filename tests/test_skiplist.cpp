@@ -38,7 +38,7 @@ TEST(SkipList, SequentialInsertEraseContains) {
   LockedSkipList<SimPlat> sl(space, 64);
   Simulator sim(3);
   sim.add_process([&] {
-    auto proc = space.register_process();
+    BasicSession proc(space.table());
     EXPECT_TRUE(sl.insert(proc, 10, 1));
     EXPECT_TRUE(sl.insert(proc, 5, 2));
     EXPECT_TRUE(sl.insert(proc, 20, 3));
@@ -65,7 +65,7 @@ TEST_P(SkipListRandomized, MatchesStdSetSequentially) {
   LockedSkipList<SimPlat> sl(space, 256);
   Simulator sim(seed);
   sim.add_process([&] {
-    auto proc = space.register_process();
+    BasicSession proc(space.table());
     Xoshiro256 rng(seed * 77);
     std::set<std::uint32_t> ref;
     for (int i = 0; i < 200; ++i) {
@@ -112,7 +112,7 @@ TEST_P(SkipListConcurrent, NetMembershipConsistent) {
   Simulator sim(seed);
   for (int p = 0; p < kProcs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(seed * 1009 + static_cast<std::uint64_t>(p));
       for (int i = 0; i < 25; ++i) {
         const auto key = static_cast<std::uint32_t>(1 + rng.next_below(kKeys));
@@ -163,7 +163,7 @@ TEST(SkipList, RealThreadStress) {
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      auto proc = space.register_process();
+      BasicSession proc(space.table());
       Xoshiro256 rng(0xABCD + static_cast<std::uint64_t>(t));
       for (int i = 0; i < kOpsPerThread; ++i) {
         const auto key = static_cast<std::uint32_t>(1 + rng.next_below(kKeys));

@@ -1,6 +1,7 @@
 // TxnBuilder / PreparedTxn: static-transaction composition (lock-set
-// dedup, sequential sub-thunks over one shared log) and the
-// retry_until_success corollary helper.
+// dedup, sequential sub-thunks over one shared log, per-op step budgets)
+// through the unified session/executor API, plus the submit() retry
+// policies that subsume the retry_until_success helper.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -23,18 +24,21 @@ LockConfig txn_cfg(int procs, std::uint32_t max_locks) {
 
 TEST(Txn, SingleOpRunsLikePlainTryLocks) {
   LockSpace<RealPlat> space(txn_cfg(1, 2), 1, 8);
-  auto proc = space.register_process();
+  Session<RealPlat> session(space);
   Cell<RealPlat> x{10};
   const std::uint32_t ids[] = {3};
   auto txn = [&] {
     TxnBuilder<RealPlat> b;
-    b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, m.load(x) + 5); });
+    b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, m.load(x) + 5); },
+         /*step_budget=*/2);
     return std::move(b).build();
   }();
   EXPECT_EQ(txn.lock_set().size(), 1u);
-  const RetryStats rs = txn.run(space, proc);
-  EXPECT_TRUE(rs.success);
-  EXPECT_EQ(rs.attempts, 1u);  // uncontended first attempt must win
+  EXPECT_EQ(txn.step_budget(), 2u);
+  const Outcome o = txn.submit(session, Policy::retry());
+  EXPECT_TRUE(o.won);
+  EXPECT_EQ(o.attempts, 1u);  // uncontended first attempt must win
+  EXPECT_GT(o.total_steps, 0u);
   EXPECT_EQ(x.peek(), 15u);
 }
 
@@ -57,7 +61,7 @@ TEST(Txn, LockSetsAreDedupedAndSorted) {
 
 TEST(Txn, SubThunksRunInOrderOverSharedLog) {
   LockSpace<RealPlat> space(txn_cfg(1, 3), 1, 8);
-  auto proc = space.register_process();
+  Session<RealPlat> session(space);
   Cell<RealPlat> x{0};
   Cell<RealPlat> y{0};
   TxnBuilder<RealPlat> b;
@@ -72,12 +76,32 @@ TEST(Txn, SubThunksRunInOrderOverSharedLog) {
     m.store(x, m.load(y) + 1);
   });
   auto txn = std::move(b).build();
-  EXPECT_TRUE(txn.run(space, proc).success);
+  EXPECT_TRUE(txn.submit(session, Policy::retry()).won);
   EXPECT_EQ(y.peek(), 14u);
   EXPECT_EQ(x.peek(), 15u);
 }
 
 TEST(Txn, IsReusableAndCopyable) {
+  LockSpace<RealPlat> space(txn_cfg(1, 1), 1, 4);
+  Session<RealPlat> session(space);
+  Cell<RealPlat> x{0};
+  TxnBuilder<RealPlat> b;
+  const std::uint32_t ids[] = {0};
+  b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, m.load(x) + 1); });
+  auto txn = std::move(b).build();
+  PreparedTxn<RealPlat> copy = txn;  // copies share the program
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(txn.submit(session, Policy::retry()).won);
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(copy.submit(session, Policy::retry()).won);
+  }
+  EXPECT_EQ(x.peek(), 10u);
+}
+
+// The compatibility veneer (raw table + process) still runs the same
+// transaction — out-of-tree callers keep compiling and agreeing.
+TEST(Txn, TableProcessVeneerStillRuns) {
   LockSpace<RealPlat> space(txn_cfg(1, 1), 1, 4);
   auto proc = space.register_process();
   Cell<RealPlat> x{0};
@@ -85,17 +109,19 @@ TEST(Txn, IsReusableAndCopyable) {
   const std::uint32_t ids[] = {0};
   b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, m.load(x) + 1); });
   auto txn = std::move(b).build();
-  PreparedTxn<RealPlat> copy = txn;  // copies share the program
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(txn.run(space, proc).success);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(copy.run(space, proc).success);
-  EXPECT_EQ(x.peek(), 10u);
+  AttemptInfo info;
+  EXPECT_TRUE(txn.try_run(space, proc, &info));
+  EXPECT_TRUE(info.won);
+  const RetryStats rs = txn.run(space, proc);
+  EXPECT_TRUE(rs.success);
+  EXPECT_EQ(x.peek(), 2u);
 }
 
 TEST(Txn, ComposedTransferPairAcrossFourAccounts) {
   // Two transfers composed into one atomic transaction: either both legs
   // happen or neither (here: both, uncontended).
   LockSpace<RealPlat> space(txn_cfg(1, 4), 1, 8);
-  auto proc = space.register_process();
+  Session<RealPlat> session(space);
   std::vector<std::unique_ptr<Cell<RealPlat>>> acct;
   for (int i = 0; i < 4; ++i) {
     acct.push_back(std::make_unique<Cell<RealPlat>>(100u));
@@ -111,15 +137,16 @@ TEST(Txn, ComposedTransferPairAcrossFourAccounts) {
     const std::uint32_t v = m.load(*a0);
     m.store(*a0, v - 30);
     m.store(*a1, m.load(*a1) + 30);
-  });
+  }, /*step_budget=*/4);
   b.op(leg2, [a2, a3](IdemCtx<RealPlat>& m) {
     const std::uint32_t v = m.load(*a2);
     m.store(*a2, v - 10);
     m.store(*a3, m.load(*a3) + 10);
-  });
+  }, /*step_budget=*/4);
   auto txn = std::move(b).build();
   EXPECT_EQ(txn.lock_set().size(), 4u);
-  EXPECT_TRUE(txn.run(space, proc).success);
+  EXPECT_EQ(txn.step_budget(), 8u);
+  EXPECT_TRUE(txn.submit(session, Policy::retry()).won);
   EXPECT_EQ(acct[0]->peek(), 70u);
   EXPECT_EQ(acct[1]->peek(), 130u);
   EXPECT_EQ(acct[2]->peek(), 90u);
@@ -138,7 +165,7 @@ TEST(Txn, ConcurrentComposedTransfersConserveTotal) {
   for (int t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
       RealPlat::seed_rng(401 + static_cast<std::uint64_t>(t));
-      auto proc = space.register_process();
+      Session<RealPlat> session(space);
       Xoshiro256 rng(t * 3 + 7);
       for (int i = 0; i < 250; ++i) {
         std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(accounts));
@@ -155,8 +182,8 @@ TEST(Txn, ConcurrentComposedTransfersConserveTotal) {
             m.store(*src, v - 5);
             m.store(*dst, m.load(*dst) + 5);
           }
-        });
-        std::move(b).build().run(space, proc);
+        }, /*step_budget=*/4);
+        std::move(b).build().submit(session, Policy::retry());
       }
     });
   }
@@ -166,32 +193,67 @@ TEST(Txn, ConcurrentComposedTransfersConserveTotal) {
   EXPECT_EQ(total, static_cast<std::uint64_t>(accounts) * 1000u);
 }
 
+// --- the two budget/lifecycle bugfixes ------------------------------------
+
+// Death tests ride in the "Contracts" suite so the TSan CI job's
+// GTEST_FILTER exclusion covers them (death tests fork; TSan dislikes it).
+
+// check_budgets must validate the summed per-op step budgets against the
+// configured T bound, not just the lock count against L.
+TEST(Contracts, TxnOverTStepBudgetFailsLoudly) {
+  LockSpace<RealPlat> space(txn_cfg(1, 4), 1, 8);
+  Session<RealPlat> session(space);
+  Cell<RealPlat> x{0};
+  TxnBuilder<RealPlat> b;
+  const std::uint32_t ids[] = {0};
+  // One op claiming a 25-step budget against max_thunk_steps = 24.
+  b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, 1); },
+       /*step_budget=*/25);
+  auto txn = std::move(b).build();
+  EXPECT_DEATH(txn.submit(session), "step budget exceeds");
+}
+
+// touch() on a consumed builder must fail loudly, exactly like op() does.
+TEST(Contracts, TxnTouchAfterBuildFailsLoudly) {
+  TxnBuilder<RealPlat> b;
+  Cell<RealPlat> x{0};
+  const std::uint32_t ids[] = {0};
+  b.op(ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, 1); });
+  auto txn = std::move(b).build();
+  (void)txn;
+  EXPECT_DEATH(b.touch(3), "already consumed");
+}
+
+// --- retry policies through submit() --------------------------------------
+
 TEST(Retry, UncontendedSucceedsFirstAttempt) {
   LockSpace<RealPlat> space(txn_cfg(1, 2), 1, 4);
-  auto proc = space.register_process();
+  Session<RealPlat> session(space);
   Cell<RealPlat> x{0};
-  const std::uint32_t ids[] = {0, 1};
-  const RetryStats rs = retry_until_success<RealPlat>(
-      space, proc, ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, 1); });
-  EXPECT_TRUE(rs.success);
-  EXPECT_EQ(rs.attempts, 1u);
-  EXPECT_GT(rs.total_steps, 0u);
+  const StaticLockSet<2> locks{0, 1};
+  const Outcome o =
+      submit(session, locks,
+             [&x](IdemCtx<RealPlat>& m) { m.store(x, 1); }, Policy::retry());
+  EXPECT_TRUE(o.won);
+  EXPECT_EQ(o.attempts, 1u);
+  EXPECT_GT(o.total_steps, 0u);
+  EXPECT_EQ(o.backoff_steps, 0u);
   EXPECT_EQ(x.peek(), 1u);
 }
 
 TEST(Retry, MaxAttemptsBoundsTheLoop) {
-  // max_attempts = 3 with an uncontended lock still succeeds on attempt 1;
-  // the bound only matters under contention, but the accounting must be
+  // Policy::attempts(3) with an uncontended lock still succeeds on attempt
+  // 1; the bound only matters under contention, but the accounting must be
   // exact either way.
   LockSpace<RealPlat> space(txn_cfg(1, 1), 1, 2);
-  auto proc = space.register_process();
+  Session<RealPlat> session(space);
   Cell<RealPlat> x{0};
-  const std::uint32_t ids[] = {0};
-  const RetryStats rs = retry_until_success<RealPlat>(
-      space, proc, ids, [&x](IdemCtx<RealPlat>& m) { m.store(x, 2); },
-      /*max_attempts=*/3);
-  EXPECT_TRUE(rs.success);
-  EXPECT_LE(rs.attempts, 3u);
+  const StaticLockSet<1> locks{0};
+  const Outcome o = submit(session, locks,
+                           [&x](IdemCtx<RealPlat>& m) { m.store(x, 2); },
+                           Policy::attempts(3));
+  EXPECT_TRUE(o.won);
+  EXPECT_LE(o.attempts, 3u);
   EXPECT_EQ(x.peek(), 2u);
 }
 
@@ -212,14 +274,15 @@ TEST(RetrySim, ContendedAttemptsFollowFairnessBound) {
   Cell<SimPlat>* x = x_owner.get();
   for (int p = 0; p < procs; ++p) {
     sim.add_process([&, p] {
-      auto proc = space.register_process();
-      const std::uint32_t ids[] = {0};
+      Session<SimPlat> session(space);
+      const StaticLockSet<1> locks{0};
       for (int i = 0; i < 20; ++i) {
-        const RetryStats rs = retry_until_success<SimPlat>(
-            space, proc, ids,
-            [x](IdemCtx<SimPlat>& m) { m.store(*x, m.load(*x) + 1); });
-        EXPECT_TRUE(rs.success);
-        attempts[static_cast<std::size_t>(p)] += rs.attempts;
+        const Outcome o = submit(
+            session, locks,
+            [x](IdemCtx<SimPlat>& m) { m.store(*x, m.load(*x) + 1); },
+            Policy::retry());
+        EXPECT_TRUE(o.won);
+        attempts[static_cast<std::size_t>(p)] += o.attempts;
       }
     });
   }
