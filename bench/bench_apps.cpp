@@ -1,16 +1,22 @@
-// E13 — per-operation cost of the data-structure substrates on the
-// wait-free locks (RealPlat, delays off = the flock-style practical mode),
-// against ordered two-phase spin-locking running the same logical
-// operation without idempotence.
+// E13 — per-operation cost of the data-structure substrates, swept across
+// the whole LockBackend registry (RealPlat, single thread): the wait-free
+// locks in practical mode (delays off) against Turek-style helping locks
+// and ordered two-phase locking (spin and std::mutex) running the *same*
+// substrate code — each benchmark is one template instantiated per
+// registry entry, registered at runtime with a "/backend:NAME" segment
+// that bench_json.hpp surfaces as the wfl-bench-v1 "backend" key.
 //
 // This is the "is it usable as a real lock?" sanity table of the §7
 // discussion: the wflock column pays the descriptor + active-set + log
-// machinery; the spin column is the bare metal floor. The interesting
+// machinery; the 2PL columns are the bare-metal floor (their critical
+// sections still run through IdemCtx, so the comparison isolates the
+// *competition* machinery, not the instrumentation). The interesting
 // number is the ratio staying a modest constant across structures — the
 // paper's claim that the machinery costs O(1) per operation, not O(n).
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -30,12 +36,48 @@ LockConfig practical_cfg(std::uint32_t max_locks,
   return cfg;
 }
 
+BackendConfig single_proc(std::uint32_t max_locks, std::uint32_t thunk_steps,
+                          int num_locks) {
+  BackendConfig bc;
+  bc.lock = practical_cfg(max_locks, thunk_steps);
+  bc.max_procs = 1;
+  bc.num_locks = num_locks;
+  return bc;
+}
+
+void report_attempts(benchmark::State& state, std::uint64_t attempts,
+                     double ops) {
+  state.counters["attempts_per_op"] =
+      ops > 0 ? static_cast<double>(attempts) / ops : 0.0;
+  state.counters["win_rate"] =
+      attempts > 0 ? ops / static_cast<double>(attempts) : 0.0;
+}
+
+// --- bank ----------------------------------------------------------------
+
+template <typename B>
+void BM_Bank_Transfer(benchmark::State& state) {
+  auto space = B::make_space(single_proc(2, 8, 16));
+  Bank<B> bank(*space, 16, 1000);
+  typename B::Session proc(*space);
+  std::uint64_t attempts = 0;
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    attempts +=
+        bank.transfer(proc, i % 16, (i + 1) % 16, 1, Policy::retry())
+            .attempts;
+    ++i;
+  }
+  report_attempts(state, attempts, static_cast<double>(state.iterations()));
+}
+
 // --- linked list ---------------------------------------------------------
 
-void BM_List_WflInsertErase(benchmark::State& state) {
-  LockSpace<RealPlat> space(practical_cfg(2, 8), 1, 512);
-  LockedList<RealPlat> list(space, 512);
-  Session<RealPlat> proc(space);
+template <typename B>
+void BM_List_InsertErase(benchmark::State& state) {
+  auto space = B::make_space(single_proc(2, 8, 512));
+  LockedList<B> list(*space, 512);
+  typename B::Session proc(*space);
   for (std::uint32_t k = 2; k <= 64; k += 2) list.insert(proc, k);
   std::uint64_t attempts = 0;  // unified Outcome accounting, 2 ops/iter
   for (auto _ : state) {
@@ -46,75 +88,32 @@ void BM_List_WflInsertErase(benchmark::State& state) {
     // exhausted after ~500 erases.
     list.quiescent_recycle();
   }
-  const double ops = 2.0 * static_cast<double>(state.iterations());
-  state.counters["attempts_per_op"] =
-      ops > 0 ? static_cast<double>(attempts) / ops : 0.0;
-  state.counters["win_rate"] =
-      attempts > 0 ? ops / static_cast<double>(attempts) : 0.0;
+  report_attempts(state, attempts,
+                  2.0 * static_cast<double>(state.iterations()));
 }
-BENCHMARK(BM_List_WflInsertErase);
-
-void BM_List_SpinInsertErase(benchmark::State& state) {
-  // The same sorted-list insert/erase under plain spin 2PL on {pred,curr}.
-  struct Node {
-    std::uint32_t key;
-    std::uint32_t next;
-  };
-  std::vector<Node> nodes(512);
-  Spin2PL<RealPlat> locks(512);
-  // Build 2,4,...,64 list; slot i holds key-index mapping 1:1 for brevity.
-  std::uint32_t head = 0;
-  nodes[0] = {0, 1};
-  std::uint32_t idx = 1;
-  for (std::uint32_t k = 2; k <= 64; k += 2) {
-    nodes[idx] = {k, idx + 1};
-    ++idx;
-  }
-  nodes[idx - 1].next = 0xFFFFFFFFu;
-  const std::uint32_t spare = idx;  // scratch node for 33
-  for (auto _ : state) {
-    // insert 33 between 32 and 34 (locate pred by walk, lock, link).
-    std::uint32_t pred = head;
-    while (nodes[pred].next != 0xFFFFFFFFu &&
-           nodes[nodes[pred].next].key < 33) {
-      pred = nodes[pred].next;
-    }
-    const std::uint32_t ids1[2] = {pred, nodes[pred].next};
-    locks.locked(ids1, [&] {
-      nodes[spare] = {33, nodes[pred].next};
-      nodes[pred].next = spare;
-    });
-    const std::uint32_t ids2[2] = {pred, spare};
-    locks.locked(ids2, [&] { nodes[pred].next = nodes[spare].next; });
-    benchmark::DoNotOptimize(nodes.data());
-  }
-}
-BENCHMARK(BM_List_SpinInsertErase);
 
 // --- BST -----------------------------------------------------------------
 
-void BM_Bst_WflInsertErase(benchmark::State& state) {
-  LockSpace<RealPlat> space(practical_cfg(3, 16), 1, 1024);
-  LockedBst<RealPlat> bst(space, 1024);
-  Session<RealPlat> proc(space);
+template <typename B>
+void BM_Bst_InsertErase(benchmark::State& state) {
+  auto space = B::make_space(single_proc(3, 16, 1024));
+  LockedBst<B> bst(*space, 1024);
+  typename B::Session proc(*space);
   for (std::uint32_t k = 10; k <= 300; k += 10) bst.insert(proc, k);
   for (auto _ : state) {
     bst.insert(proc, 155);
     bst.erase(proc, 155);
   }
 }
-// Each iteration permanently retires two BST nodes (no recycling by
-// design); the iteration cap keeps total demand inside the 1024-node pool.
-BENCHMARK(BM_Bst_WflInsertErase)->Iterations(400);
 
 // --- hash map -------------------------------------------------------------
 
-void BM_Map_WflPutGetErase(benchmark::State& state) {
-  LockSpace<RealPlat> space(
-      practical_cfg(2, LockedHashMap<RealPlat>::thunk_step_budget()), 1,
-      64);
-  LockedHashMap<RealPlat> map(space, 64, 512);
-  Session<RealPlat> proc(space);
+template <typename B>
+void BM_Map_PutGetErase(benchmark::State& state) {
+  auto space = B::make_space(
+      single_proc(2, LockedHashMap<B>::thunk_step_budget(), 64));
+  LockedHashMap<B> map(*space, 64, 512);
+  typename B::Session proc(*space);
   for (std::uint64_t k = 1; k <= 100; ++k) {
     map.put(proc, k, static_cast<std::uint32_t>(k));
   }
@@ -126,38 +125,33 @@ void BM_Map_WflPutGetErase(benchmark::State& state) {
     benchmark::DoNotOptimize(v);
   }
 }
-BENCHMARK(BM_Map_WflPutGetErase)->Iterations(380);  // pool-bounded: 1 node retired per iteration
 
-void BM_Map_WflSwap(benchmark::State& state) {
-  LockSpace<RealPlat> space(
-      practical_cfg(2, LockedHashMap<RealPlat>::thunk_step_budget()), 1,
-      64);
-  LockedHashMap<RealPlat> map(space, 64, 128);
-  Session<RealPlat> proc(space);
+template <typename B>
+void BM_Map_Swap(benchmark::State& state) {
+  auto space = B::make_space(
+      single_proc(2, LockedHashMap<B>::thunk_step_budget(), 64));
+  LockedHashMap<B> map(*space, 64, 128);
+  typename B::Session proc(*space);
   map.put(proc, 1, 10);
   map.put(proc, 2, 20);
   std::uint64_t attempts = 0;  // unified Outcome accounting
   for (auto _ : state) {
     map.swap(proc, 1, 2, &attempts);
   }
-  const double ops = static_cast<double>(state.iterations());
-  state.counters["attempts_per_op"] =
-      ops > 0 ? static_cast<double>(attempts) / ops : 0.0;
-  state.counters["win_rate"] =
-      attempts > 0 ? ops / static_cast<double>(attempts) : 0.0;
+  report_attempts(state, attempts, static_cast<double>(state.iterations()));
 }
-BENCHMARK(BM_Map_WflSwap);
 
 // --- queue -----------------------------------------------------------------
 
-void BM_Queue_WflEnqDeq(benchmark::State& state) {
-  LockSpace<RealPlat> space(practical_cfg(2, 16), 1, 2);
-  Session<RealPlat> proc(space);
+template <typename B>
+void BM_Queue_EnqDeq(benchmark::State& state) {
+  auto space = B::make_space(single_proc(2, 16, 2));
+  typename B::Session proc(*space);
   // Pool must cover total enqueues in the bench run (nodes are retired,
   // not recycled); size generously and reset via fresh queue per chunk.
   for (auto _ : state) {
     state.PauseTiming();
-    LockedQueue<RealPlat> q(space, 0, 1, 1u << 16);
+    LockedQueue<B> q(*space, 0, 1, 1u << 16);
     state.ResumeTiming();
     std::uint32_t v = 0;
     for (int i = 0; i < 1000; ++i) {
@@ -167,26 +161,48 @@ void BM_Queue_WflEnqDeq(benchmark::State& state) {
     benchmark::DoNotOptimize(v);
   }
 }
-BENCHMARK(BM_Queue_WflEnqDeq)->Unit(benchmark::kMicrosecond);
 
 // --- graph -----------------------------------------------------------------
 
-void BM_Graph_WflColourRing(benchmark::State& state) {
+template <typename B>
+void BM_Graph_ColourRing(benchmark::State& state) {
   const std::uint32_t n = 64;
-  LockSpace<RealPlat> space(
-      practical_cfg(3, LockedGraph<RealPlat>::thunk_step_budget(2)), 1,
-      static_cast<int>(n));
-  LockedGraph<RealPlat> g(space, LockedGraph<RealPlat>::ring(n));
-  Session<RealPlat> proc(space);
+  auto space = B::make_space(single_proc(
+      3, LockedGraph<B>::thunk_step_budget(2), static_cast<int>(n)));
+  LockedGraph<B> g(*space, LockedGraph<B>::ring(n));
+  typename B::Session proc(*space);
   std::uint32_t v = 0;
   for (auto _ : state) {
     g.colour_vertex(proc, v);
     v = (v + 1) % n;
   }
 }
-BENCHMARK(BM_Graph_WflColourRing);
 
-// --- transactions -----------------------------------------------------------
+// --- registry sweep --------------------------------------------------------
+
+// One registration per (substrate op, backend): every future combination
+// is one line here, not a new benchmark function.
+void register_backend_sweeps() {
+  RealBackends::for_each([](auto tag) {
+    using B = typename decltype(tag)::type;
+    const std::string suffix = std::string("/backend:") + B::name();
+    auto reg = [&suffix](const char* name, void (*fn)(benchmark::State&)) {
+      return benchmark::RegisterBenchmark((name + suffix).c_str(), fn);
+    };
+    reg("Bank_Transfer", BM_Bank_Transfer<B>);
+    reg("List_InsertErase", BM_List_InsertErase<B>);
+    // Each iteration permanently retires nodes (no recycling by design);
+    // the iteration caps keep total demand inside the bounded pools.
+    reg("Bst_InsertErase", BM_Bst_InsertErase<B>)->Iterations(400);
+    reg("Map_PutGetErase", BM_Map_PutGetErase<B>)->Iterations(380);
+    reg("Map_Swap", BM_Map_Swap<B>);
+    reg("Queue_EnqDeq", BM_Queue_EnqDeq<B>)
+        ->Unit(benchmark::kMicrosecond);
+    reg("Graph_ColourRing", BM_Graph_ColourRing<B>);
+  });
+}
+
+// --- transactions (wait-free executor only: PreparedTxn is WFL-specific) ---
 
 void BM_Txn_BuildAndRunTwoLegs(benchmark::State& state) {
   LockSpace<RealPlat> space(practical_cfg(4, 24), 1, 8);
@@ -233,5 +249,6 @@ BENCHMARK(BM_Txn_RunPrebuilt);
 
 }  // namespace
 
-// Machine-comparable wfl-bench-v1 JSON on stdout (see bench_json.hpp).
-WFL_BENCH_JSON_MAIN();
+// Machine-comparable wfl-bench-v1 JSON on stdout (see bench_json.hpp);
+// backend-swept entries carry the "backend" key.
+WFL_BENCH_JSON_MAIN_WITH(register_backend_sweeps)

@@ -28,6 +28,12 @@
 // "attempts_per_op" (tryLock attempts per logical operation, the
 // executor's Outcome::attempts) and "win_rate" (1/attempts_per_op).
 //
+// Backend sweeps: a benchmark registered with a "/backend:NAME" segment in
+// its name (the LockBackend registry convention — see
+// wfl/baseline/backends.hpp) gets a `"backend": "NAME"` string key on its
+// entry, so one capture holds directly comparable rows for every lock
+// discipline.
+//
 // stdout carries only the JSON document, so
 //   ./bench_apps > BENCH_apps.json
 // captures a clean trajectory point. (Pass --benchmark_out=<file>
@@ -117,6 +123,10 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
         << ", \"ops_per_s\": " << ops
         << ", \"p99_ns\": " << p99
         << ", \"p99_is_mean\": " << (n > 1 ? "false" : "true");
+      const std::string backend = backend_of(e.name);
+      if (!backend.empty()) {
+        o << ", \"backend\": \"" << json_escape(backend) << "\"";
+      }
       for (const auto& [cname, agg] : e.counters) {
         if (agg.second == 0) continue;
         o << ", \"" << json_escape(cname)
@@ -135,6 +145,17 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
     // user counter -> (value sum, sample count); emitted as mean
     std::map<std::string, std::pair<double, int>> counters;
   };
+
+  // "List_InsertErase/backend:turek/..." -> "turek"; "" when absent.
+  static std::string backend_of(const std::string& name) {
+    static constexpr const char kKey[] = "backend:";
+    const std::size_t at = name.find(kKey);
+    if (at == std::string::npos) return {};
+    const std::size_t start = at + sizeof(kKey) - 1;
+    const std::size_t end = name.find('/', start);
+    return name.substr(start,
+                       end == std::string::npos ? end : end - start);
+  }
 
   Entry& entry_for(const std::string& name, int threads) {
     for (Entry& e : entries_) {
@@ -170,8 +191,13 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
   bool emitted_ = false;
 };
 
-inline int run_with_json_schema(int argc, char** argv) {
+// `register_extra` runs after Initialize and before the run: the hook for
+// runtime benchmark registration (backend-registry sweeps register one
+// instance per backend through it).
+template <typename Register>
+int run_with_json_schema(int argc, char** argv, Register&& register_extra) {
   benchmark::Initialize(&argc, argv);
+  register_extra();
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   // Sole display reporter: stdout carries exactly one JSON document. The
   // runner invokes Finalize() when the last benchmark completes.
@@ -184,9 +210,19 @@ inline int run_with_json_schema(int argc, char** argv) {
   return 0;
 }
 
+inline int run_with_json_schema(int argc, char** argv) {
+  return run_with_json_schema(argc, argv, [] {});
+}
+
 }  // namespace wfl_bench
 
 #define WFL_BENCH_JSON_MAIN()                                 \
   int main(int argc, char** argv) {                           \
     return ::wfl_bench::run_with_json_schema(argc, argv);     \
+  }
+
+// Main with a runtime registration hook (backend-registry sweeps).
+#define WFL_BENCH_JSON_MAIN_WITH(register_fn)                              \
+  int main(int argc, char** argv) {                                        \
+    return ::wfl_bench::run_with_json_schema(argc, argv, (register_fn));   \
   }

@@ -1,35 +1,39 @@
 // E14 — availability under a crash: the motivation for wait-free locks,
 // measured.
 //
-// Setup (identical across disciplines): 4 processes contend on a pair of
-// locks; each performs attempts until it has done `rounds` of them. At a
-// fixed slot, one process is crash-failed by the (oblivious) CrashSchedule
-// — the model's "arbitrarily delayed" taken to the limit. We measure what
+// Setup (identical across disciplines — ONE driver, templated on the
+// LockBackend registry): 4 processes contend on a pair of locks via
+// one-shot submissions of the same counter-increment thunk; at a fixed
+// slot, one process is crash-failed by the (oblivious) CrashSchedule — the
+// model's "arbitrarily delayed" taken to the limit. We measure what
 // happens to the survivors:
 //
 //   * wflock (this paper): attempts keep completing in bounded own-steps;
 //     any won-but-unfinished thunk of the victim is completed by the first
 //     overlapping attempt (celebrateIfWon), so the data stays consistent
 //     and post-crash success rates stay at their fair level.
-//   * spin-2PL try-lock: if the crash lands while the victim HOLDS a lock,
+//   * turek (lock-free helping): survivors help the victim's operation to
+//     completion and release its locks on its behalf; post-crash progress
+//     continues (lock-free), though with no fairness bound.
+//   * spin2pl try-lock: if the crash lands while the victim HOLDS a lock,
 //     the lock is held forever; every later attempt on it fails. Attempts
 //     still *terminate* (bounded patience), but post-crash success on the
 //     contended pair drops to zero — blocked, in the way that matters.
-//   * Turek-style lock-free locks: survivors help the victim's operation
-//     to completion and release its locks on its behalf; post-crash
-//     progress continues (lock-free), though with no fairness bound.
 //
 // Because whether the crash slot lands inside the victim's critical
 // section is schedule luck, the experiment sweeps seeds and reports, per
-// discipline: how many runs left a lock permanently held ("wedged"), the
+// backend: how many runs left a lock permanently held ("wedged"), the
 // survivors' post-crash completed operations, and whether every survivor
 // finished its loop.
+//
+// Output: human table on stderr; stdout carries one wfl-bench-v1 JSON
+// document with a "backend" key per row (exp_json.hpp), which the CI
+// smoke job parses.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "wfl/baseline/spin2pl.hpp"
-#include "wfl/baseline/turek.hpp"
+#include "exp_json.hpp"
 #include "wfl/util/cli.hpp"
 #include "wfl/util/stats.hpp"
 #include "wfl/util/table.hpp"
@@ -49,23 +53,48 @@ struct CrashOutcome {
   bool wedged = false;  // some lock permanently unavailable at the end
 };
 
-// Shared workload driver: every process retries attempts on the same lock
-// pair {0,1} for a fixed window of 2·crash_slot global slots; the victim is
-// crashed halfway through. Successes are split into the pre-crash and
-// post-crash halves (equal slot length), so post/pre is a per-discipline
-// availability ratio that is meaningful even though the disciplines'
-// attempts cost wildly different step counts.
-template <typename AttemptFn>
-CrashOutcome drive(Simulator& sim, Schedule& sched, std::uint64_t crash_slot,
-              AttemptFn attempt_of) {
+// One seeded run of one backend: every process submits one-shot attempts
+// on the same lock pair {0,1} for a fixed window of 2·crash_slot global
+// slots; the victim is crashed halfway through. Successes are split into
+// the pre-crash and post-crash halves (equal slot length), so post/pre is
+// a per-backend availability ratio that is meaningful even though the
+// disciplines' attempts cost wildly different step counts.
+template <typename B>
+CrashOutcome run_crash(std::uint64_t seed, std::uint64_t crash_slot) {
+  BackendConfig bc;
+  bc.lock.kappa = kProcs;
+  bc.lock.max_locks = 2;
+  bc.lock.max_thunk_steps = 4;
+  bc.lock.c0 = 8.0;
+  bc.lock.c1 = 8.0;
+  bc.max_procs = kProcs;
+  bc.num_locks = 2;
+  auto space = B::make_space(bc);
+  auto counter = std::make_unique<Cell<SimPlat>>(0u);
+  Cell<SimPlat>* cnt = counter.get();
+
+  Simulator sim(seed);
+  UniformSchedule inner(kProcs, seed);
+  CrashSchedule sched(inner, kProcs, {{kVictim, crash_slot}}, seed ^ 0xE14);
+
+  // Sessions live on this frame, not the fibers: registration is off the
+  // attempt path, and RAII release at scope exit abandons the crash-parked
+  // victim's slot on its behalf (see BasicSession / the adapter sessions).
+  std::vector<typename B::Session> sessions;
+  sessions.reserve(kProcs);
+  for (int p = 0; p < kProcs; ++p) sessions.emplace_back(*space);
+
   const std::uint64_t end_slot = 2 * crash_slot;
   std::vector<std::uint64_t> pre(kProcs, 0), post(kProcs, 0);
   for (int p = 0; p < kProcs; ++p) {
-    sim.add_process([&, p, attempt_of] {
-      auto attempt = attempt_of(p);
+    sim.add_process([&, p] {
+      const StaticLockSet<2> locks{0, 1};
       while (Simulator::current()->slots_used() < end_slot) {
-        const bool won = attempt();
-        if (won && p != kVictim) {
+        const Outcome o = B::submit(
+            sessions[static_cast<std::size_t>(p)], locks,
+            [cnt](IdemCtx<SimPlat>& m) { m.store(*cnt, m.load(*cnt) + 1); },
+            Policy::one_shot());
+        if (o.won && p != kVictim) {
           if (Simulator::current()->slots_used() > crash_slot) {
             ++post[static_cast<std::size_t>(p)];
           } else {
@@ -75,6 +104,7 @@ CrashOutcome drive(Simulator& sim, Schedule& sched, std::uint64_t crash_slot,
       }
     });
   }
+
   CrashOutcome out;
   out.survivors_finished = true;
   for (;;) {
@@ -93,94 +123,12 @@ CrashOutcome drive(Simulator& sim, Schedule& sched, std::uint64_t crash_slot,
     out.pre_crash_successes += pre[static_cast<std::size_t>(p)];
     out.post_crash_successes += post[static_cast<std::size_t>(p)];
   }
-  return out;
-}
-
-CrashOutcome run_wflock(std::uint64_t seed, std::uint64_t crash_slot) {
-  LockConfig cfg;
-  cfg.kappa = kProcs;
-  cfg.max_locks = 2;
-  cfg.max_thunk_steps = 4;
-  cfg.c0 = 8.0;
-  cfg.c1 = 8.0;
-  auto space = std::make_unique<LockSpace<SimPlat>>(cfg, kProcs, 2);
-  auto counter = std::make_unique<Cell<SimPlat>>(0u);
-
-  Simulator sim(seed);
-  UniformSchedule inner(kProcs, seed);
-  CrashSchedule sched(inner, kProcs, {{kVictim, crash_slot}}, seed ^ 0xE14);
-  Cell<SimPlat>* cnt = counter.get();
-  LockSpace<SimPlat>::Process victim_proc{};
-  CrashOutcome out = drive(sim, sched, crash_slot, [&](int p) {
-    auto proc = space->register_process();
-    if (p == kVictim) victim_proc = proc;
-    const std::uint32_t ids[2] = {0, 1};
-    return [proc, ids, cnt, &space]() mutable {
-      return space->try_locks(proc, {ids, 2}, [cnt](IdemCtx<SimPlat>& m) {
-        m.store(*cnt, m.load(*cnt) + 1);
-      });
-    };
-  });
-  // The victim may be parked inside an EBR guard; drop it on its behalf so
-  // the space can be destroyed (the fiber never runs again).
-  if (victim_proc.ebr_pid >= 0 && !sim.is_finished(kVictim)) {
-    space->abandon_process(victim_proc);
+  // Wedged iff the space still reports a held lock after all survivors
+  // drained (only blocking backends expose the notion — nothing is ever
+  // "held" across a crash in the helping/wait-free disciplines).
+  if constexpr (requires { space->any_held(); }) {
+    out.wedged = space->any_held();
   }
-  out.wedged = false;  // nothing is ever held in wflock
-  return out;
-}
-
-CrashOutcome run_spin2pl(std::uint64_t seed, std::uint64_t crash_slot) {
-  auto locks = std::make_unique<Spin2PL<SimPlat>>(2);
-  auto counter = std::make_unique<std::uint64_t>(0);
-
-  Simulator sim(seed);
-  UniformSchedule inner(kProcs, seed);
-  CrashSchedule sched(inner, kProcs, {{kVictim, crash_slot}}, seed ^ 0xE14);
-  std::uint64_t* cnt = counter.get();
-  Spin2PL<SimPlat>* l = locks.get();
-  CrashOutcome out = drive(sim, sched, crash_slot, [&](int) {
-    const std::uint32_t ids[2] = {0, 1};
-    return [ids, cnt, l] {
-      // A short critical section with a few shared steps, so a crash can
-      // land inside it (each SimPlat op is one schedulable slot).
-      return l->try_locked({ids, 2}, [cnt] {
-        SimPlat::step();
-        ++*cnt;
-        SimPlat::step();
-      }, /*patience=*/4);
-    };
-  });
-  // Wedged iff some flag is still set after all survivors drained: only
-  // the crashed victim can still hold it.
-  out.wedged = l->any_held();
-  return out;
-}
-
-CrashOutcome run_turek(std::uint64_t seed, std::uint64_t crash_slot) {
-  auto space = std::make_unique<TurekLockSpace<SimPlat>>(kProcs, 2);
-  auto counter = std::make_unique<Cell<SimPlat>>(0u);
-
-  Simulator sim(seed);
-  UniformSchedule inner(kProcs, seed);
-  CrashSchedule sched(inner, kProcs, {{kVictim, crash_slot}}, seed ^ 0xE14);
-  Cell<SimPlat>* cnt = counter.get();
-  TurekLockSpace<SimPlat>::Process victim_proc{};
-  CrashOutcome out = drive(sim, sched, crash_slot, [&](int p) {
-    auto proc = space->register_process();
-    if (p == kVictim) victim_proc = proc;
-    const std::uint32_t ids[2] = {0, 1};
-    return [proc, ids, cnt, &space]() mutable {
-      space->apply(proc, {ids, 2}, [cnt](IdemCtx<SimPlat>& m) {
-        m.store(*cnt, m.load(*cnt) + 1);
-      });
-      return true;  // an operation, not an attempt: always completes
-    };
-  });
-  if (victim_proc.ebr_pid >= 0 && !sim.is_finished(kVictim)) {
-    space->abandon_process(victim_proc);
-  }
-  out.wedged = false;  // helpers release the victim's locks
   return out;
 }
 
@@ -193,33 +141,27 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.flag_int("crash-slot", 60'000));
   cli.done();
 
-  std::printf(
+  std::fprintf(
+      stderr,
       "E14: availability under a crash (4 processes, lock pair {0,1}, "
       "victim crashed at slot %llu of a %llu-slot window, %d seeds)\n\n",
       static_cast<unsigned long long>(crash_slot),
       static_cast<unsigned long long>(2 * crash_slot), seeds);
 
-  Table t({"discipline", "survivors finished", "pre-crash wins",
+  Table t({"backend", "progress", "survivors finished", "pre-crash wins",
            "post-crash wins", "post/pre", "wedged runs",
            "post in wedged runs", "verdict"});
-
-  struct Row {
-    const char* name;
-    CrashOutcome (*run)(std::uint64_t, std::uint64_t);
-    bool expect_progress;
-  };
-  const Row rows[] = {
-      {"wflock (wait-free)", &run_wflock, true},
-      {"spin-2PL try-lock (blocking)", &run_spin2pl, false},
-      {"Turek lock-free locks", &run_turek, true},
-  };
+  wfl_bench::ExpJson json;
 
   bool ok = true;
-  for (const Row& row : rows) {
+  SimBackends<SimPlat>::for_each([&](auto tag) {
+    using B = typename decltype(tag)::type;
+    const bool expect_progress = B::progress() != BackendProgress::kBlocking;
     int finished = 0, wedged = 0;
     std::uint64_t pre = 0, post = 0, post_when_wedged = 0;
     for (int s = 0; s < seeds; ++s) {
-      const CrashOutcome o = row.run(static_cast<std::uint64_t>(s) + 1, crash_slot);
+      const CrashOutcome o =
+          run_crash<B>(static_cast<std::uint64_t>(s) + 1, crash_slot);
       finished += o.survivors_finished ? 1 : 0;
       wedged += o.wedged ? 1 : 0;
       pre += o.pre_crash_successes;
@@ -235,35 +177,44 @@ int main(int argc, char** argv) {
     char fbuf[32], wbuf[32];
     std::snprintf(fbuf, sizeof fbuf, "%d/%d", finished, seeds);
     std::snprintf(wbuf, sizeof wbuf, "%d/%d", wedged, seeds);
-    t.cell(row.name)
+    t.cell(B::name())
+        .cell(progress_name(B::progress()))
         .cell(fbuf)
         .cell(pre)
         .cell(post)
         .cell(ratio, 2)
         .cell(wbuf)
         .cell(post_when_wedged)
-        .cell(row.expect_progress
+        .cell(expect_progress
                   ? (progressed ? "progress preserved" : "STALLED (!)")
                   : (wedged > 0 ? "wedges when victim dies in CS"
                                 : "crash missed the CS this sweep"));
     t.end_row();
-    if (row.expect_progress && !progressed) ok = false;
-    // In a wedged spin-2PL run the pair is held forever from the crash on:
+    json.add(std::string("crash_availability/") + B::name(), B::name())
+        .field("pre_crash_wins", static_cast<double>(pre))
+        .field("post_crash_wins", static_cast<double>(post))
+        .field("post_pre_ratio", ratio)
+        .field("wedged_runs", wedged)
+        .field("survivors_finished_runs", finished)
+        .field("seeds", seeds);
+    if (expect_progress && !progressed) ok = false;
+    // In a wedged blocking run the pair is held forever from the crash on:
     // post-crash successes there must be negligible (boundary attempts
     // that completed just after the crash slot are tolerated).
-    if (!row.expect_progress && wedged > 0) {
+    if (!expect_progress && wedged > 0) {
       const double leak = static_cast<double>(post_when_wedged) /
                           static_cast<double>(pre == 0 ? 1 : pre);
       if (leak > 0.05) ok = false;
     }
-  }
-  t.print();
+  });
+  t.print(stderr);
 
-  std::printf(
-      "\nE14 verdict: %s\n",
+  std::fprintf(
+      stderr, "\nE14 verdict: %s\n",
       ok ? "wait-free and lock-free disciplines keep survivors productive "
            "through a crash; blocking 2PL wedges when the victim dies "
            "holding a lock"
          : "UNEXPECTED — see table");
+  json.emit();
   return ok ? 0 : 1;
 }

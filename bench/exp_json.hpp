@@ -1,0 +1,101 @@
+// wfl-bench-v1 emission for the exp_* experiment binaries (which do not
+// link Google Benchmark — bench_json.hpp serves the bench_* side).
+//
+// Same schema contract as bench_json.hpp: one JSON document on stdout,
+//
+//   {"schema": "wfl-bench-v1",
+//    "benchmarks": [
+//      {"name": "...", "threads": N, "ops_per_s": X, "p99_ns": Y,
+//       "backend": "...", <extra numeric keys>}, ...]}
+//
+// so a BENCH_*.json capture from an experiment is directly comparable with
+// the microbenchmark captures. `backend` names the lock discipline an
+// entry measured (the LockBackend registry name); extra keys are additive
+// (consumers must ignore unknown ones). Experiments that have no
+// throughput/tail reading emit 0 for ops_per_s/p99_ns — the keys stay
+// present so v1 consumers can rely on the shape.
+//
+// The human-readable tables these binaries always printed move to stderr,
+// keeping stdout machine-clean:  ./exp_crash > EXP_crash.json
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wfl_bench {
+
+class ExpJson {
+ public:
+  class Entry {
+   public:
+    Entry(std::string name, std::string backend, int threads)
+        : name_(std::move(name)),
+          backend_(std::move(backend)),
+          threads_(threads) {}
+
+    Entry& ops_per_s(double v) {
+      ops_per_s_ = v;
+      return *this;
+    }
+    Entry& p99_ns(double v) {
+      p99_ns_ = v;
+      return *this;
+    }
+    Entry& field(const std::string& key, double v) {
+      extras_.emplace_back(key, v);
+      return *this;
+    }
+
+   private:
+    friend class ExpJson;
+    std::string name_;
+    std::string backend_;
+    int threads_;
+    double ops_per_s_ = 0.0;
+    double p99_ns_ = 0.0;
+    std::vector<std::pair<std::string, double>> extras_;
+  };
+
+  // The returned reference stays valid across later add() calls (deque
+  // storage), so callers may hold entries while building several rows.
+  Entry& add(std::string name, std::string backend, int threads = 1) {
+    entries_.emplace_back(std::move(name), std::move(backend), threads);
+    return entries_.back();
+  }
+
+  void emit(std::ostream& o = std::cout) const {
+    o << "{\"schema\": \"wfl-bench-v1\", \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      o << "  {\"name\": \"" << escape(e.name_) << "\""
+        << ", \"threads\": " << e.threads_
+        << ", \"ops_per_s\": " << e.ops_per_s_
+        << ", \"p99_ns\": " << e.p99_ns_
+        << ", \"backend\": \"" << escape(e.backend_) << "\"";
+      for (const auto& [key, v] : e.extras_) {
+        o << ", \"" << escape(key) << "\": " << v;
+      }
+      o << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    o << "]}\n";
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::deque<Entry> entries_;
+};
+
+}  // namespace wfl_bench

@@ -6,30 +6,34 @@
 // needs locks {p, p+1 mod n}), driven by an oblivious StallBurst schedule
 // that periodically freezes one process for `burst` consecutive slots —
 // including, eventually, mid-critical-section. Sweep the burst length and
-// record the distribution of caller-steps per operation for:
+// record the distribution of caller-steps per submission for every
+// backend in the simulator registry (ONE driver, templated on the
+// LockBackend concept):
 //
-//   wflock     one tryLock attempt (Algorithm 3, theory delays). The paper
-//              bounds every attempt by O(κ²L²T) regardless of schedule —
-//              the measured max must sit exactly at T0+T1+O(1) and must
-//              NOT grow with the burst length.
-//   turek      Turek/Shasha/Prakash-style lock-free locks (recursive
-//              helping): operations always complete, but a single op can
-//              do unbounded helping work; lock-free, not wait-free.
-//   spin-2pl   blocking ordered two-phase locking: a waiter behind the
-//              frozen lock holder spins for the whole burst — caller
-//              steps grow linearly with the burst, the failure mode
+//   wflock     one-shot submissions (Algorithm 3, theory delays). The
+//              paper bounds every attempt by O(κ²L²T) regardless of
+//              schedule — the measured max must sit exactly at T0+T1+O(1)
+//              and must NOT grow with the burst length.
+//   turek      one-shot submissions are whole operations (recursive
+//              helping): they always complete, but a single op can do
+//              unbounded helping work; lock-free, not wait-free.
+//   spin2pl    Policy::retry() submissions (the discipline's honest unit
+//              of work): a waiter behind the frozen lock holder keeps
+//              burning patience-bounded attempts for the whole burst —
+//              caller steps grow linearly with it, the failure mode
 //              wait-freedom exists to kill.
 //
 // The one-line verdict of the experiment: as burst grows 30x, wflock's max
-// stays flat at its delay budget while spin-2pl's max tracks the burst.
+// stays flat at its delay budget while spin2pl's max tracks the burst.
 #include <cstdio>
 #include <memory>
 #include <vector>
 
-#include "wfl/wfl.hpp"
+#include "exp_json.hpp"
 #include "wfl/util/cli.hpp"
 #include "wfl/util/stats.hpp"
 #include "wfl/util/table.hpp"
+#include "wfl/wfl.hpp"
 
 namespace wfl {
 namespace {
@@ -54,71 +58,50 @@ struct Collector {
   }
 };
 
-// Runs one provider over the ring workload and fills `out`.
-// provider: 0 = wflock, 1 = turek, 2 = spin2pl(blocking).
-Collector run_provider(int provider, std::uint64_t burst, int ops_per_proc,
-                       std::uint64_t seed) {
+// Runs one backend over the ring workload. The unit of measurement is one
+// submission's Outcome::total_steps: a single attempt for the bounded
+// disciplines (wait-free / helping), a full retry-until-success operation
+// for the blocking one — its own honest unit, since a lost blocking
+// "attempt" is just the patience knob, not the discipline.
+template <typename B>
+Collector run_backend(std::uint64_t burst, int ops_per_proc,
+                      std::uint64_t seed) {
   Collector out;
-  const LockConfig cfg = ring_cfg();
+  BackendConfig bc;
+  bc.lock = ring_cfg();
+  bc.max_procs = kProcs;
+  bc.num_locks = kProcs;
+  auto space = B::make_space(bc);
 
   std::vector<std::unique_ptr<Cell<SimPlat>>> plates;
   for (int i = 0; i < kProcs; ++i) {
     plates.push_back(std::make_unique<Cell<SimPlat>>(0u));
   }
 
-  std::unique_ptr<LockSpace<SimPlat>> wspace;
-  std::unique_ptr<TurekLockSpace<SimPlat>> tspace;
-  std::unique_ptr<Spin2PL<SimPlat>> sspace;
-  if (provider == 0) {
-    wspace = std::make_unique<LockSpace<SimPlat>>(cfg, kProcs, kProcs);
-  } else if (provider == 1) {
-    tspace = std::make_unique<TurekLockSpace<SimPlat>>(kProcs, kProcs);
-  } else {
-    sspace = std::make_unique<Spin2PL<SimPlat>>(kProcs);
-  }
+  const Policy policy = B::progress() == BackendProgress::kBlocking
+                            ? Policy::retry()
+                            : Policy::one_shot();
 
   Simulator sim(seed);
+  std::vector<typename B::Session> sessions;
+  sessions.reserve(kProcs);
+  for (int p = 0; p < kProcs; ++p) sessions.emplace_back(*space);
   for (int p = 0; p < kProcs; ++p) {
-    sim.add_process([&, p, provider] {
+    sim.add_process([&, p] {
       Cell<SimPlat>* plate = plates[static_cast<std::size_t>(p)].get();
-      const std::uint32_t ids[2] = {
+      const StaticLockSet<2> forks{
           static_cast<std::uint32_t>(p),
           static_cast<std::uint32_t>((p + 1) % kProcs)};
-      if (provider == 0) {
-        auto proc = wspace->register_process();
-        int done = 0;
-        while (done < ops_per_proc) {
-          AttemptInfo info;
-          const bool won = wspace->try_locks(
-              proc, ids,
-              [plate](IdemCtx<SimPlat>& m) {
-                m.store(*plate, m.load(*plate) + 1);
-              },
-              &info);
-          out.add(info.total_steps);
-          if (won) ++done;
-        }
-      } else if (provider == 1) {
-        auto proc = tspace->register_process();
-        for (int i = 0; i < ops_per_proc; ++i) {
-          const std::uint64_t before = SimPlat::steps();
-          tspace->apply(proc, ids, [plate](IdemCtx<SimPlat>& m) {
-            m.store(*plate, m.load(*plate) + 1);
-          });
-          out.add(SimPlat::steps() - before);
-        }
-      } else {
-        for (int i = 0; i < ops_per_proc; ++i) {
-          const std::uint64_t before = SimPlat::steps();
-          sspace->locked(ids, [plate] {
-            // Equivalent critical section: RMW on the plate (uninstru-
-            // mented cell ops; the spin provider has no idempotence).
-            plate->init(plate->peek() + 1);
-            SimPlat::step();  // account the critical section's work
-            SimPlat::step();
-          });
-          out.add(SimPlat::steps() - before);
-        }
+      int done = 0;
+      while (done < ops_per_proc) {
+        const Outcome o = B::submit(
+            sessions[static_cast<std::size_t>(p)], forks,
+            [plate](IdemCtx<SimPlat>& m) {
+              m.store(*plate, m.load(*plate) + 1);
+            },
+            policy);
+        out.add(o.total_steps);
+        if (o.won) ++done;
       }
     });
   }
@@ -136,21 +119,24 @@ int main_impl(int argc, char** argv) {
 
   const LockConfig cfg = ring_cfg();
   const std::uint64_t budget = cfg.t0_steps() + cfg.t1_steps();
-  std::printf(
-      "E11: per-operation caller-steps under StallBurst schedules, %d-proc "
+  std::fprintf(
+      stderr,
+      "E11: per-submission caller-steps under StallBurst schedules, %d-proc "
       "ring (kappa=2, L=2, T=4). wflock per-attempt budget T0+T1 = %llu.\n"
       "Wait-freedom: wflock max must stay ~flat as bursts grow; blocking "
       "2PL max must track the burst length.\n\n",
       kProcs, static_cast<unsigned long long>(budget));
 
-  Table t({"provider", "burst", "n", "mean", "p50", "p99", "max",
+  Table t({"backend", "burst", "n", "mean", "p50", "p99", "max",
            "max/burst", "bounded"});
-  const char* names[3] = {"wflock", "turek-lf", "spin-2pl"};
+  wfl_bench::ExpJson json;
   for (const std::uint64_t burst : {3000ull, 30000ull, 90000ull}) {
-    for (int prov = 0; prov < 3; ++prov) {
-      const Collector c = run_provider(prov, burst, ops, seed);
+    SimBackends<SimPlat>::for_each([&](auto tag) {
+      using B = typename decltype(tag)::type;
+      const Collector c = run_backend<B>(burst, ops, seed);
       const double mx = c.steps.max();
-      t.cell(names[prov])
+      const bool wait_free = B::progress() == BackendProgress::kWaitFree;
+      t.cell(B::name())
           .cell(burst)
           .cell(c.steps.count())
           .cell(c.steps.mean(), 1)
@@ -158,19 +144,31 @@ int main_impl(int argc, char** argv) {
           .cell(c.hist.percentile(99), 0)
           .cell(mx, 0)
           .cell(mx / static_cast<double>(burst), 2)
-          .cell(prov == 0
+          .cell(wait_free
                     ? (mx <= static_cast<double>(budget) + 64.0 ? "yes"
                                                                 : "NO!")
                     : "n/a");
       t.end_row();
-    }
+      json.add(std::string("waitfree_tail/") + B::name() + "/burst:" +
+                   std::to_string(burst),
+               B::name())
+          .p99_ns(0)
+          .field("burst", static_cast<double>(burst))
+          .field("steps_mean", c.steps.mean())
+          .field("steps_p99", c.hist.percentile(99))
+          .field("steps_max", mx)
+          .field("budget", static_cast<double>(budget));
+    });
   }
-  t.print();
-  std::printf(
+  t.print(stderr);
+  std::fprintf(
+      stderr,
       "\nReading: wflock rows keep the same max across bursts (the delay\n"
-      "budget dominates every attempt, win or lose). spin-2pl's max grows\n"
-      "with the burst (a waiter spins while the frozen neighbour holds the\n"
-      "lock). turek completes via helping but pays helping chains.\n");
+      "budget dominates every attempt, win or lose). spin2pl's max grows\n"
+      "with the burst (a waiter burns attempts while the frozen neighbour\n"
+      "holds the lock). turek completes via helping but pays helping\n"
+      "chains.\n");
+  json.emit();
   return 0;
 }
 

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/backend.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/session.hpp"
@@ -18,14 +19,17 @@
 
 namespace wfl {
 
-template <typename Plat>
+// Backend-generic: `Bank<WflBackend<Plat>>` and `Bank<TurekBackend<Plat>>`
+// are the same substrate over different lock disciplines; a bare platform
+// (`Bank<Plat>`) is shorthand for the wait-free backend.
+template <typename BackendT>
 class Bank {
  public:
-  // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor. Operations take the
-  // caller's RAII Session (which must be registered on the same table).
-  using Space = LockTable<Plat>;
-  using Sess = Session<Plat>;
+  using B = resolve_backend_t<BackendT>;
+  static_assert(LockBackend<B>, "Bank requires a LockBackend");
+  using Plat = typename B::Platform;
+  using Space = typename B::Space;
+  using Sess = typename B::Session;
 
   // Account i is protected by lock id `i` of `space` (the space must have at
   // least n_accounts locks).
@@ -57,14 +61,25 @@ class Bank {
   // money — recorded in `denied` when provided).
   bool try_transfer(Sess& session, std::uint32_t from, std::uint32_t to,
                     std::uint32_t amount, bool* denied = nullptr) {
+    return transfer(session, from, to, amount, Policy::one_shot(), denied)
+        .won;
+  }
+
+  // The general form: one transfer submission under an arbitrary executor
+  // Policy (Policy::retry() for operations that must land), with the
+  // unified Outcome accounting.
+  Outcome transfer(Sess& session, std::uint32_t from, std::uint32_t to,
+                   std::uint32_t amount, Policy policy,
+                   bool* denied = nullptr) {
     WFL_DASSERT(&session.space() == &space_);
     WFL_CHECK(from < accounts_.size() && to < accounts_.size() && from != to);
     Cell<Plat>& src = *accounts_[from];
     Cell<Plat>& dst = *accounts_[to];
     Cell<Plat>& result = *results_[static_cast<std::size_t>(session.pid())];
     const StaticLockSet<2> locks{from, to};
-    const Outcome o = submit(
-        session, locks, [&src, &dst, amount, &result](IdemCtx<Plat>& m) {
+    const Outcome o = B::submit(
+        session, locks,
+        [&src, &dst, amount, &result](IdemCtx<Plat>& m) {
           const std::uint32_t s = m.load(src);
           if (s >= amount) {
             m.store(src, s - amount);
@@ -73,9 +88,10 @@ class Bank {
           } else {
             m.store(result, 2);
           }
-        });
+        },
+        policy);
     if (denied != nullptr) *denied = o.won && result.peek() == 2;
-    return o.won;
+    return o;
   }
 
   // Quiescent-only audit.

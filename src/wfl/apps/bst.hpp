@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/backend.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/session.hpp"
@@ -43,14 +44,16 @@ inline constexpr std::uint32_t kBstNil = 0xFFFFFFFFu;
 // All real keys must be < kBstInf; the two sentinel leaves hold kBstInf.
 inline constexpr std::uint32_t kBstInf = 0xFFFFFFF0u;
 
-template <typename Plat>
+// Backend-generic (see core/backend.hpp): a bare platform parameter is
+// shorthand for the wait-free backend.
+template <typename BackendT>
 class LockedBst {
  public:
-  // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor. Operations take the
-  // caller's RAII Session (registered on the same table).
-  using Space = LockTable<Plat>;
-  using Sess = Session<Plat>;
+  using B = resolve_backend_t<BackendT>;
+  static_assert(LockBackend<B>, "LockedBst requires a LockBackend");
+  using Plat = typename B::Platform;
+  using Space = typename B::Space;
+  using Sess = typename B::Session;
 
   // Node index i is protected by lock id i; `space` must provide at least
   // `capacity` locks. Capacity counts *all* nodes: a set of n keys needs
@@ -116,7 +119,7 @@ class LockedBst {
       const std::uint32_t expect_leaf = sp.leaf;
       const std::uint32_t router_idx = router;
       const StaticLockSet<2> locks{sp.parent, sp.leaf};
-      const Outcome o = submit(
+      const Outcome o = B::submit(
           session, locks,
           [&p_child, &p_dead, &l_dead, &res, expect_leaf,
            router_idx](IdemCtx<Plat>& m) {
@@ -157,7 +160,7 @@ class LockedBst {
       const std::uint32_t expect_parent = sp.parent;
       const std::uint32_t expect_leaf = sp.leaf;
       const StaticLockSet<3> locks{sp.gparent, sp.parent, sp.leaf};
-      const Outcome o = submit(
+      const Outcome o = B::submit(
           session, locks,
           [&g_child, &p_child, &sibling, &g_dead, &p_dead, &l_dead, &res,
            expect_parent, expect_leaf](IdemCtx<Plat>& m) {

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/backend.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/session.hpp"
@@ -34,14 +35,16 @@
 
 namespace wfl {
 
-template <typename Plat>
+// Backend-generic (see core/backend.hpp): a bare platform parameter is
+// shorthand for the wait-free backend.
+template <typename BackendT>
 class LockedGraph {
  public:
-  // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor. Operations take the
-  // caller's RAII Session (registered on the same table).
-  using Space = LockTable<Plat>;
-  using Sess = Session<Plat>;
+  using B = resolve_backend_t<BackendT>;
+  static_assert(LockBackend<B>, "LockedGraph requires a LockBackend");
+  using Plat = typename B::Platform;
+  using Space = typename B::Space;
+  using Sess = typename B::Session;
 
   // Builds the graph from an adjacency list. Vertex v is protected by lock
   // id v; `space` must have >= n locks, max_locks >= max_degree+1 and
@@ -192,7 +195,7 @@ class LockedGraph {
     for (std::uint32_t u : adj_[v]) locks.insert(u);
     LockedGraph* self = this;
     auto fn = std::forward<F>(f);
-    return submit(
+    return B::submit(
         session, locks,
         [self, v, fn](IdemCtx<Plat>& m) { fn(m, self->view(v)); }, policy);
   }

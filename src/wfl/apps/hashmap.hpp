@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/backend.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/session.hpp"
@@ -46,16 +47,16 @@ enum : std::uint32_t {
   kMapFull = 4,     // put: chain at kMaxChain, key not inserted
 };
 
-template <typename Plat>
+// Backend-generic (see core/backend.hpp): a bare platform parameter is
+// shorthand for the wait-free backend.
+template <typename BackendT>
 class LockedHashMap {
  public:
-  // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor. Operations take the
-  // caller's RAII Session (registered on the same table); mutators that
-  // never give up route a Policy::retry() submission through the unified
-  // executor instead of hand-rolling the loop.
-  using Space = LockTable<Plat>;
-  using Sess = Session<Plat>;
+  using B = resolve_backend_t<BackendT>;
+  static_assert(LockBackend<B>, "LockedHashMap requires a LockBackend");
+  using Plat = typename B::Platform;
+  using Space = typename B::Space;
+  using Sess = typename B::Session;
 
   // Bucket b is protected by lock id b; `space` needs >= nbuckets locks and
   // max_thunk_steps >= thunk_step_budget().
@@ -100,7 +101,7 @@ class LockedHashMap {
     Cell<Plat>& res = result_of(session);
     Cell<Plat>* res_ptr = &res;
     const StaticLockSet<1> locks{b};
-    const Outcome o = submit(
+    const Outcome o = B::submit(
         session, locks,
         [this, b, key, value, fresh, res_ptr](IdemCtx<Plat>& m) {
           Cell<Plat>& head = *heads_[b];
@@ -142,7 +143,7 @@ class LockedHashMap {
     Cell<Plat>& res = result_of(session);
     Cell<Plat>* res_ptr = &res;
     const StaticLockSet<1> locks{b};
-    const Outcome o = submit(
+    const Outcome o = B::submit(
         session, locks, [this, b, key, res_ptr](IdemCtx<Plat>& m) {
           Cell<Plat>* prev = heads_[b].get();
           std::uint32_t cur = m.load(*prev);
@@ -178,7 +179,7 @@ class LockedHashMap {
     Cell<Plat>* res_ptr = &res;
     Cell<Plat>* out_ptr = &oval;
     const StaticLockSet<1> locks{b};
-    const Outcome o = submit(
+    const Outcome o = B::submit(
         session, locks, [this, b, key, res_ptr, out_ptr](IdemCtx<Plat>& m) {
           std::uint32_t cur = m.load(*heads_[b]);
           while (cur != kMapNil) {
@@ -226,7 +227,7 @@ class LockedHashMap {
     Cell<Plat>& res = result_of(session);
     const StaticLockSet<2> locks{b1, b2};  // dedups when b1 == b2
     Cell<Plat>* res_ptr = &res;
-    const Outcome o = submit(
+    const Outcome o = B::submit(
         session, locks,
         [this, b1, b2, k1, k2, res_ptr](IdemCtx<Plat>& m) {
           const std::uint32_t n1 = find_in_chain(m, b1, k1);

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "wfl/core/backend.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/session.hpp"
@@ -34,14 +35,16 @@ namespace wfl {
 inline constexpr std::uint32_t kListNil = 0xFFFFFFFFu;
 inline constexpr std::uint32_t kListTomb = 0xFFFFFFFEu;
 
-template <typename Plat>
+// Backend-generic (see core/backend.hpp): a bare platform parameter is
+// shorthand for the wait-free backend.
+template <typename BackendT>
 class LockedList {
  public:
-  // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor. Operations take the
-  // caller's RAII Session (registered on the same table).
-  using Space = LockTable<Plat>;
-  using Sess = Session<Plat>;
+  using B = resolve_backend_t<BackendT>;
+  static_assert(LockBackend<B>, "LockedList requires a LockBackend");
+  using Plat = typename B::Platform;
+  using Space = typename B::Space;
+  using Sess = typename B::Session;
 
   // Node index i is protected by lock id i; `space` must have at least
   // `capacity` locks. Keys must be < kListTomb.
@@ -85,7 +88,7 @@ class LockedList {
       const std::uint32_t expect_curr = curr;
       // One-shot per traversal: a lost attempt (or failed validation) must
       // re-locate before re-arming the thunk.
-      const Outcome o = submit(
+      const Outcome o = B::submit(
           session, locks,
           [&pred_next, &presult, fresh_idx, expect_curr](IdemCtx<Plat>& m) {
             if (m.load(pred_next) == expect_curr) {
@@ -115,7 +118,7 @@ class LockedList {
       Cell<Plat>& curr_next = pool_.at(curr).next;
       const std::uint32_t expect_curr = curr;
       const StaticLockSet<2> locks{pred, curr};
-      const Outcome o = submit(
+      const Outcome o = B::submit(
           session, locks,
           [&pred_next, &curr_next, &presult, expect_curr](IdemCtx<Plat>& m) {
             if (m.load(pred_next) == expect_curr) {

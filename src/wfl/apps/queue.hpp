@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/backend.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/session.hpp"
@@ -41,15 +42,16 @@ enum : std::uint32_t {
   kQueueEmpty = 2,
 };
 
-template <typename Plat>
+// Backend-generic (see core/backend.hpp): a bare platform parameter is
+// shorthand for the wait-free backend.
+template <typename BackendT>
 class LockedQueue {
  public:
-  // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor. Operations take the
-  // caller's RAII Session and run retry-until-success through the unified
-  // executor (no validation loop: the locked region is the validation).
-  using Space = LockTable<Plat>;
-  using Sess = Session<Plat>;
+  using B = resolve_backend_t<BackendT>;
+  static_assert(LockBackend<B>, "LockedQueue requires a LockBackend");
+  using Plat = typename B::Platform;
+  using Space = typename B::Space;
+  using Sess = typename B::Session;
 
   // `head_lock` and `tail_lock` are lock ids in `space` (distinct; several
   // queues may live in one space on disjoint ids so transfers compose).
@@ -84,7 +86,7 @@ class LockedQueue {
     Cell<Plat>* tail_ptr = &tail_;
     LockedQueue* self = this;
     const StaticLockSet<1> locks{tail_lock_};
-    const Outcome o = submit(
+    const Outcome o = B::submit(
         session, locks,
         [self, tail_ptr, fresh](IdemCtx<Plat>& m) {
           const std::uint32_t last = m.load(*tail_ptr);
@@ -106,7 +108,7 @@ class LockedQueue {
     Cell<Plat>* head_ptr = &head_;
     LockedQueue* self = this;
     const StaticLockSet<1> locks{head_lock_};
-    const Outcome o = submit(
+    const Outcome o = B::submit(
         session, locks,
         [self, head_ptr, res_ptr, out_ptr](IdemCtx<Plat>& m) {
           const std::uint32_t dummy = m.load(*head_ptr);
@@ -148,7 +150,7 @@ class LockedQueue {
     LockedQueue* s = &src;
     LockedQueue* d = &dst;
     const StaticLockSet<2> locks{src.head_lock_, dst.tail_lock_};
-    const Outcome o = submit(
+    const Outcome o = B::submit(
         session, locks, [s, d, fresh, res_ptr](IdemCtx<Plat>& m) {
           const std::uint32_t dummy = m.load(s->head_);
           const std::uint32_t first = m.load(s->pool_.at(dummy).next);

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "wfl/core/backend.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_table.hpp"
 #include "wfl/core/session.hpp"
@@ -41,14 +42,16 @@ inline constexpr std::uint32_t kSkipNil = 0xFFFFFFFFu;
 inline constexpr std::uint32_t kSkipTomb = 0xFFFFFFFEu;
 inline constexpr std::uint32_t kSkipMaxLevel = 3;
 
-template <typename Plat>
+// Backend-generic (see core/backend.hpp): a bare platform parameter is
+// shorthand for the wait-free backend.
+template <typename BackendT>
 class LockedSkipList {
  public:
-  // The substrate talks to the lock-table layer directly; a LockSpace
-  // facade converts implicitly at the constructor. Operations take the
-  // caller's RAII Session (registered on the same table).
-  using Space = LockTable<Plat>;
-  using Sess = Session<Plat>;
+  using B = resolve_backend_t<BackendT>;
+  static_assert(LockBackend<B>, "LockedSkipList requires a LockBackend");
+  using Plat = typename B::Platform;
+  using Space = typename B::Space;
+  using Sess = typename B::Session;
 
   // Node index i is protected by lock id i; `space` must have at least
   // `capacity` locks and max_locks >= kSkipMaxLevel + 1. Keys must be in
@@ -118,7 +121,7 @@ class LockedSkipList {
 
       StaticLockSet<kSkipMaxLevel> locks;
       for (std::uint32_t l = 0; l < level; ++l) locks.insert(loc.preds[l]);
-      const Outcome o = submit(
+      const Outcome o = B::submit(
           session, locks, [plan](IdemCtx<Plat>& m) {
             for (std::uint32_t l = 0; l < plan.levels; ++l) {
               if (m.load(*plan.pred_next[l]) != plan.expect[l]) {
@@ -168,7 +171,7 @@ class LockedSkipList {
         locks.insert(loc.preds[l]);
       }
       locks.insert(loc.found);  // victim's lock serializes with its erasure
-      const Outcome o = submit(
+      const Outcome o = B::submit(
           session, locks, [plan](IdemCtx<Plat>& m) {
             for (std::uint32_t l = 0; l < plan.levels; ++l) {
               if (m.load(*plan.pred_next[l]) != plan.victim_idx) {

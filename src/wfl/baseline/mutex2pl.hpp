@@ -10,6 +10,7 @@
 #include <span>
 #include <vector>
 
+#include "wfl/core/descriptor.hpp"
 #include "wfl/util/assert.hpp"
 
 namespace wfl {
@@ -28,8 +29,9 @@ class Mutex2PL {
 
   template <typename Fn>
   void locked(std::span<const std::uint32_t> ids, Fn&& fn) {
-    std::uint32_t sorted[16];
-    WFL_CHECK(ids.size() <= 16);
+    std::uint32_t sorted[kMaxLocksPerAttempt];
+    WFL_CHECK_MSG(ids.size() <= kMaxLocksPerAttempt,
+                  "lock set exceeds the shared per-attempt budget");
     std::copy(ids.begin(), ids.end(), sorted);
     std::sort(sorted, sorted + ids.size());
     for (std::size_t i = 0; i < ids.size(); ++i) locks_[sorted[i]]->lock();
@@ -41,8 +43,9 @@ class Mutex2PL {
 
   template <typename Fn>
   bool try_locked(std::span<const std::uint32_t> ids, Fn&& fn) {
-    std::uint32_t sorted[16];
-    WFL_CHECK(ids.size() <= 16);
+    std::uint32_t sorted[kMaxLocksPerAttempt];
+    WFL_CHECK_MSG(ids.size() <= kMaxLocksPerAttempt,
+                  "lock set exceeds the shared per-attempt budget");
     std::copy(ids.begin(), ids.end(), sorted);
     std::sort(sorted, sorted + ids.size());
     std::size_t held = 0;

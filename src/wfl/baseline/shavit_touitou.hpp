@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "wfl/core/descriptor.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/mem/ebr.hpp"
@@ -42,7 +43,7 @@ class ShavitTouitouSpace {
 
   struct Desc {
     using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
-    std::uint32_t lock_ids[16] = {};  // sorted
+    std::uint32_t lock_ids[kMaxLocksPerAttempt] = {};  // sorted
     std::uint32_t lock_count = 0;
     Thunk thunk;
     std::uint32_t tag_base = 0;
@@ -80,7 +81,8 @@ class ShavitTouitouSpace {
   void apply(Process proc, std::span<const std::uint32_t> lock_ids,
              Thunk thunk) {
     WFL_CHECK(proc.ebr_pid >= 0);
-    WFL_CHECK(lock_ids.size() <= 16);
+    WFL_CHECK_MSG(lock_ids.size() <= kMaxLocksPerAttempt,
+                  "lock set exceeds the shared per-attempt budget");
     ebr_.enter(proc.ebr_pid);
     for (;;) {
       const std::uint32_t didx = desc_pool_.alloc();

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "wfl/core/descriptor.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -76,7 +77,9 @@ class Spin2PL {
   }
 
  private:
-  static constexpr std::uint32_t kMaxIds = 16;
+  // Shared per-attempt lock budget, so lock-set capacity agrees with
+  // every other backend (core/descriptor.hpp).
+  static constexpr std::uint32_t kMaxIds = kMaxLocksPerAttempt;
 
   static std::uint32_t sort_ids(std::span<const std::uint32_t> ids,
                                 std::uint32_t* out) {

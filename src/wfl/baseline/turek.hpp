@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "wfl/core/descriptor.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/mem/ebr.hpp"
@@ -34,7 +35,7 @@ class TurekLockSpace {
  public:
   struct Desc {
     using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
-    std::uint32_t lock_ids[16] = {};  // sorted
+    std::uint32_t lock_ids[kMaxLocksPerAttempt] = {};  // sorted
     std::uint32_t lock_count = 0;
     Thunk thunk;
     std::uint32_t tag_base = 0;
@@ -72,7 +73,8 @@ class TurekLockSpace {
   void apply(Process proc, std::span<const std::uint32_t> lock_ids,
              Thunk thunk) {
     WFL_CHECK(proc.ebr_pid >= 0);
-    WFL_CHECK(lock_ids.size() <= 16);
+    WFL_CHECK_MSG(lock_ids.size() <= kMaxLocksPerAttempt,
+                  "lock set exceeds the shared per-attempt budget");
     const std::uint32_t didx = desc_pool_.alloc();
     Desc& d = desc_pool_.at(didx);
     d.reinit(serial_.fetch_add(1, std::memory_order_relaxed));

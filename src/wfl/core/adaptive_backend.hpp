@@ -1,0 +1,92 @@
+// LockBackend adapter over the §6.2 AdaptiveLockSpace: the unknown-bounds
+// wait-free variant behind the unified submit() shape.
+//
+// The adaptive space deliberately takes no LockConfig — not knowing κ/L/T
+// is its point — so the adapter carries the BackendConfig's declared
+// bounds purely as the *submission-side* contract every backend shares
+// (the L budget check in submit, the config() the substrates consult for
+// their thunk-step budgets). The space itself never reads them.
+//
+// Not in the default sweep registries (baseline/backends.hpp): the
+// adaptive variant is an algorithmic configuration of the wait-free
+// locks, measured on its own terms by exp_adaptive (Theorem 6.10), not a
+// distinct lock discipline to race the baselines against. It exists here
+// so the same substrates and harnesses CAN be instantiated over it —
+// `Bank<AdaptiveWflBackend<SimPlat>>` is one type name away.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "wfl/core/adaptive.hpp"
+#include "wfl/core/backend.hpp"
+
+namespace wfl {
+
+template <typename Plat>
+struct AdaptiveWflBackend {
+  using Platform = Plat;
+
+  class Space {
+   public:
+    using Inner = AdaptiveLockSpace<Plat>;
+
+    explicit Space(const BackendConfig& cfg)
+        : cfg_(cfg.lock),
+          max_procs_(cfg.max_procs),
+          inner_(cfg.max_procs, cfg.num_locks) {
+      cfg_.validate();
+    }
+
+    int num_locks() const { return inner_.num_locks(); }
+    int max_procs() const { return max_procs_; }
+    const LockConfig& config() const { return cfg_; }
+
+    Inner& inner() { return inner_; }
+
+   private:
+    LockConfig cfg_;
+    int max_procs_;
+    Inner inner_;
+  };
+
+  // Wraps the adaptive space's own RAII session (slot recycling and crash
+  // abandonment included) and points it back at the adapter space.
+  class Session {
+   public:
+    explicit Session(Space& space) : space_(&space), inner_(space.inner()) {}
+
+    Session(Session&&) noexcept = default;
+    Session& operator=(Session&&) noexcept = default;
+
+    bool active() const { return inner_.active(); }
+    Space& space() const { return *space_; }
+    int pid() const { return inner_.pid(); }
+    AdaptiveSession<Plat>& inner() { return inner_; }
+
+   private:
+    Space* space_;
+    AdaptiveSession<Plat> inner_;
+  };
+
+  static const char* name() { return "wflock-adaptive"; }
+  static BackendProgress progress() { return BackendProgress::kWaitFree; }
+
+  static std::unique_ptr<Space> make_space(const BackendConfig& cfg) {
+    return std::make_unique<Space>(cfg);
+  }
+
+  template <typename F>
+  static Outcome submit(Session& session, LockSetView locks, const F& f,
+                        Policy policy = Policy::one_shot()) {
+    WFL_CHECK_MSG(locks.size() <= session.space().config().max_locks,
+                  "lock set exceeds the configured L bound");
+    return ::wfl::submit(session.inner(), locks, f, policy);
+  }
+
+  static void abandon(Space& space, Session& session) {
+    space.inner().abandon_process(session.inner().process());
+  }
+};
+
+}  // namespace wfl

@@ -79,6 +79,25 @@ struct Outcome {
   explicit operator bool() const { return won; }
 };
 
+// One inter-attempt backoff pause under `policy`, after `failed_attempts`
+// failures: idle min(base << (k-1), cap) own steps (shift clamped so the
+// doubling cannot overflow). Shared by every LockBackend's submit so the
+// backoff accounting is identical across disciplines. Returns the steps
+// idled (0 when the policy has no backoff).
+template <typename Plat>
+std::uint64_t policy_backoff(const Policy& policy,
+                             std::uint64_t failed_attempts) {
+  if (policy.backoff_base == 0 || failed_attempts == 0) return 0;
+  const std::uint64_t shift =
+      failed_attempts - 1 < 24 ? failed_attempts - 1 : 24;
+  std::uint64_t pause = policy.backoff_base << shift;
+  if (policy.backoff_cap != 0 && pause > policy.backoff_cap) {
+    pause = policy.backoff_cap;
+  }
+  for (std::uint64_t i = 0; i < pause; ++i) Plat::step();
+  return pause;
+}
+
 // Submits `f` on `locks` through `session` under `policy`. The lock-set
 // invariants (sorted, deduplicated, within capacity) are carried by the
 // LockSetView type; the configured L budget was enforced when the set was
@@ -113,14 +132,8 @@ Outcome submit(BasicSession<Space>& session, LockSetView locks, const F& f,
     if (policy.max_attempts != 0 && out.attempts >= policy.max_attempts) {
       return out;
     }
-    if (policy.backoff_base != 0 && !theory_delays) {
-      const std::uint64_t shift =
-          out.attempts - 1 < 24 ? out.attempts - 1 : 24;
-      std::uint64_t pause = policy.backoff_base << shift;
-      if (policy.backoff_cap != 0 && pause > policy.backoff_cap) {
-        pause = policy.backoff_cap;
-      }
-      for (std::uint64_t i = 0; i < pause; ++i) Plat::step();
+    if (!theory_delays) {
+      const std::uint64_t pause = policy_backoff<Plat>(policy, out.attempts);
       out.backoff_steps += pause;
       out.total_steps += pause;
     }

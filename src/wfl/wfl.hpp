@@ -26,13 +26,20 @@
 #include "wfl/apps/list.hpp"
 #include "wfl/apps/philosophers.hpp"
 #include "wfl/apps/queue.hpp"
+#include "wfl/apps/skiplist.hpp"
+#include "wfl/baseline/backends.hpp"
 #include "wfl/baseline/herlihy.hpp"
 #include "wfl/baseline/lehmann_rabin.hpp"
 #include "wfl/baseline/mutex2pl.hpp"
+#include "wfl/baseline/mutex2pl_backend.hpp"
 #include "wfl/baseline/spin2pl.hpp"
+#include "wfl/baseline/spin2pl_backend.hpp"
 #include "wfl/baseline/turek.hpp"
+#include "wfl/baseline/turek_backend.hpp"
 #include "wfl/core/adaptive.hpp"
+#include "wfl/core/adaptive_backend.hpp"
 #include "wfl/core/attempt.hpp"
+#include "wfl/core/backend.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/descriptor.hpp"
 #include "wfl/core/executor.hpp"
