@@ -23,6 +23,7 @@
 
 #include "wfl/mem/arena.hpp"
 #include "wfl/mem/ebr.hpp"
+#include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 
 namespace wfl {
@@ -51,6 +52,16 @@ template <typename T>
 struct SetMem {
   IndexPool<SetSnap<T>>& pool;
   EbrDomain& ebr;
+  // Optional per-process snapshot-slot caches, indexed by EBR pid and owned
+  // by the lock space. When present, climb() allocates and retires snapshot
+  // slots through the calling process's cache, so a steady-state attempt
+  // touches no shared freelist line (lock spaces install these; standalone
+  // sets — baselines, unit tests — run directly against the pool).
+  CachePadded<SlotCache<SetSnap<T>>>* caches = nullptr;
+
+  SlotCache<SetSnap<T>>* cache(int pid) {
+    return caches == nullptr ? nullptr : &*caches[pid];
+  }
 
   static void free_snap(void* ctx, std::uint32_t handle) {
     static_cast<IndexPool<SetSnap<T>>*>(ctx)->free(handle);
@@ -128,6 +139,7 @@ class ActiveSet {
     if (mem_.pool.free_count() < kPoolLowWater) {
       mem_.ebr.collect(ebr_pid);
     }
+    SlotCache<Snap>* cache = mem_.cache(ebr_pid);
     for (int j = i; j >= 0; --j) {
       for (int k = 0; k < 2; ++k) {
         Snap* cur = slots_[static_cast<std::size_t>(j)].set.load();
@@ -135,14 +147,20 @@ class ActiveSet {
                           ? &empty_
                           : slots_[static_cast<std::size_t>(j) + 1].set.load();
         const T member = slots_[static_cast<std::size_t>(j)].owner.load();
-        const std::uint32_t idx = mem_.pool.alloc();
+        const std::uint32_t idx =
+            cache != nullptr ? cache->alloc() : mem_.pool.alloc();
         Snap& fresh = mem_.pool.at(idx);
         fresh.self_index = idx;
         build(fresh, *above, member);
         if (slots_[static_cast<std::size_t>(j)].set.cas(cur, &fresh)) {
           retire(cur, ebr_pid);
         } else {
-          mem_.pool.free(idx);  // never published
+          // Never published: straight back to the caller's cache.
+          if (cache != nullptr) {
+            cache->free(idx);
+          } else {
+            mem_.pool.free(idx);
+          }
         }
       }
     }
@@ -162,8 +180,17 @@ class ActiveSet {
 
   void retire(Snap* snap, int ebr_pid) {
     if (snap == &empty_) return;  // the sentinel is never reclaimed
-    mem_.ebr.retire(ebr_pid, &mem_.pool, snap->self_index,
-                    &SetMem<T>::free_snap);
+    // With caches installed the expired slot comes back to the retiring
+    // process's own cache (deleters run on the retiring participant — see
+    // EbrDomain::retire/collect — or under quiescent domain teardown).
+    SlotCache<Snap>* cache = mem_.cache(ebr_pid);
+    if (cache != nullptr) {
+      mem_.ebr.retire(ebr_pid, cache, snap->self_index,
+                      &SlotCache<Snap>::free_to_cache);
+    } else {
+      mem_.ebr.retire(ebr_pid, &mem_.pool, snap->self_index,
+                      &SetMem<T>::free_snap);
+    }
   }
 
   std::uint32_t capacity_;

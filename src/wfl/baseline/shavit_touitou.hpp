@@ -53,7 +53,7 @@ class ShavitTouitouSpace {
     void reinit(std::uint64_t serial) {
       lock_count = 0;
       thunk.reset();
-      tag_base = static_cast<std::uint32_t>(serial) * kMaxThunkOps;
+      tag_base = idem_tag_base(serial);  // never-zero, wrap-safe (idem.hpp)
       status.init(kStAcquiring);
       log.reset();
     }

@@ -45,7 +45,7 @@ class TurekLockSpace {
     void reinit(std::uint64_t serial) {
       lock_count = 0;
       thunk.reset();
-      tag_base = static_cast<std::uint32_t>(serial) * kMaxThunkOps;
+      tag_base = idem_tag_base(serial);  // never-zero, wrap-safe (idem.hpp)
       done.init(0);
       log.reset();
     }

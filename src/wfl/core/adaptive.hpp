@@ -62,8 +62,12 @@
 
 namespace wfl {
 
+// Same cache-line segregation as Descriptor (core/descriptor.hpp): the
+// helper-CAS'd competition words live on their own line, away from the
+// owner's publication-time fields; the frozen snapshots and the thunk log
+// each start fresh lines (written/CAS'd on their own schedules).
 template <typename Plat>
-struct AdaptiveDescriptor {
+struct alignas(kCacheLine) AdaptiveDescriptor {
   using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
   using Self = AdaptiveDescriptor<Plat>;
 
@@ -81,25 +85,26 @@ struct AdaptiveDescriptor {
   // strictly between participation-reveal and priority-reveal; the
   // seq_cst store of the positive priority publishes them, so any reader
   // that observed a revealed priority reads frozen snapshots.
-  typename Plat::template Atomic<std::int64_t> priority;
+  alignas(kCacheLine) typename Plat::template Atomic<std::int64_t> priority;
   typename Plat::template Atomic<std::uint32_t> status;
-  MemberList<Self*> snaps[kMaxLocksPerAttempt];
-  ThunkLog<Plat> log;
+  alignas(kCacheLine) MemberList<Self*> snaps[kMaxLocksPerAttempt];
+  alignas(kCacheLine) ThunkLog<Plat> log;
 
   // Multi-active-set flag: *participation* is what makes a descriptor
   // visible here (TBD counts as flagged), unlike the known-bounds variant.
   bool flag() { return priority.load() != kPriorityPending; }
   void clear_flag() { priority.store(kPriorityPending); }
 
-  void reinit(std::uint64_t new_serial) {
+  // Returns the number of thunk-log slots re-initialized (lazy reset).
+  std::uint32_t reinit(std::uint64_t new_serial) {
     lock_count = 0;
     thunk.reset();
     serial = new_serial;
-    tag_base = static_cast<std::uint32_t>(new_serial) * kMaxThunkOps;
+    tag_base = idem_tag_base(new_serial);
     priority.init(kPriorityPending);
     status.init(kStatusActive);
     for (auto& s : snaps) s.count = 0;
-    log.reset();
+    return log.reset_used();
   }
 };
 
@@ -129,12 +134,16 @@ class AdaptiveLockSpace {
                        : std::max<std::uint32_t>(
                              1024,
                              static_cast<std::uint32_t>(max_procs) * 128)),
+        desc_caches_(static_cast<std::size_t>(std::max(max_procs, 1))),
+        snap_caches_(static_cast<std::size_t>(std::max(max_procs, 1))),
         ebr_(max_procs),
-        mem_{snap_pool_, ebr_},
+        mem_{snap_pool_, ebr_, snap_caches_.data()},
         serial_block_(sizing.serial_block != 0 ? sizing.serial_block : 1024),
         handles_(static_cast<std::size_t>(std::max(max_procs, 1))) {
     WFL_CHECK(max_procs > 0 && num_locks > 0);
     WFL_CHECK(static_cast<std::uint32_t>(max_procs) <= kMaxSetCap);
+    for (auto& c : desc_caches_) c->bind(&desc_pool_);
+    for (auto& c : snap_caches_) c->bind(&snap_pool_);
     locks_.reserve(static_cast<std::size_t>(num_locks));
     for (int i = 0; i < num_locks; ++i) {
       locks_.push_back(std::make_unique<Set>(
@@ -174,11 +183,16 @@ class AdaptiveLockSpace {
 
   // See LockTable::release_process: orderly ends recycle the slot; a
   // crash-parked process (nonzero guard depth) is abandoned and retired.
+  // Either way the process's slot caches are spilled back to the shared
+  // pools so a retired pid leaks nothing.
   void release_process(Process p) {
     WFL_CHECK(p.ebr_pid >= 0);
     Handle& h = handle(p);
     const bool parked_in_guard = h.guard_depth(0) != 0;
     ebr_.abandon(p.ebr_pid);
+    const auto pidx = static_cast<std::size_t>(p.ebr_pid);
+    desc_caches_[pidx]->drain();
+    snap_caches_[pidx]->drain();
     if (parked_in_guard) return;
     std::lock_guard<std::mutex> lk(reg_mutex_);
     free_pids_.push_back(p.ebr_pid);
@@ -194,9 +208,11 @@ class AdaptiveLockSpace {
     h.stats().add_attempt();
     if (lock_ids.empty()) {
       if (thunk) {
-        ThunkLog<Plat> local_log;
+        ThunkLog<Plat>& local_log = h.local_log();
         IdemCtx<Plat> m(local_log, 0);
         thunk(m);
+        local_log.note_used(m.ops_used());
+        h.stats().add_log_slot_resets(local_log.reset_used());
       }
       h.stats().add_win();
       if (info != nullptr) *info = AttemptInfo{true, 0, 0, 0};
@@ -204,9 +220,11 @@ class AdaptiveLockSpace {
     }
 
     const std::uint64_t start_steps = Plat::steps();
-    const std::uint32_t didx = desc_pool_.alloc();
+    SlotCache<Desc>& dcache =
+        *desc_caches_[static_cast<std::size_t>(proc.ebr_pid)];
+    const std::uint32_t didx = dcache.alloc();
     Desc& d = desc_pool_.at(didx);
-    d.reinit(h.next_serial());
+    h.stats().add_log_slot_resets(d.reinit(h.next_serial()));
     d.lock_count = static_cast<std::uint32_t>(lock_ids.size());
     for (std::size_t i = 0; i < lock_ids.size(); ++i) {
       WFL_CHECK(lock_ids[i] < locks_.size());
@@ -273,7 +291,8 @@ class AdaptiveLockSpace {
 
     const bool won = d.status.load() == kStatusWon;
     if (won) h.stats().add_win();
-    ebr_.retire(proc.ebr_pid, this, didx, &free_descriptor);
+    ebr_.retire(proc.ebr_pid, &dcache, didx,
+                &SlotCache<Desc>::free_to_cache);
     if (info != nullptr) {
       // Unified accounting (executor.hpp): the work segments exclude the
       // guess-and-double padding, mirroring the known-bounds table's
@@ -339,10 +358,6 @@ class AdaptiveLockSpace {
     if (--h.guard_depth(0) == 0) ebr_.exit(h.pid());
   }
 
-  static void free_descriptor(void* ctx, std::uint32_t handle) {
-    static_cast<AdaptiveLockSpace*>(ctx)->desc_pool_.free(handle);
-  }
-
   // The competition, against the subject's frozen snapshots. Callable for
   // self (after priority-reveal) or as help for a revealed descriptor.
   void run(AdaptiveCtx& cx, Desc& p) {
@@ -384,9 +399,13 @@ class AdaptiveLockSpace {
     while (Plat::steps() - base < target) Plat::step();
   }
 
+  // Caches are declared before ebr_ (destroyed after it): EBR teardown
+  // pushes retired slots through them. mem_ references snap_caches_.
   int max_procs_;
   IndexPool<SetSnap<Desc*>> snap_pool_;
   IndexPool<Desc> desc_pool_;
+  std::vector<CachePadded<SlotCache<Desc>>> desc_caches_;
+  std::vector<CachePadded<SlotCache<SetSnap<Desc*>>>> snap_caches_;
   EbrDomain ebr_;
   SetMem<Desc*> mem_;
   std::vector<std::unique_ptr<Set>> locks_;

@@ -90,6 +90,9 @@ struct AttemptEngine {
     if (p.thunk) {
       IdemCtx<Plat> m(p.log, p.tag_base);
       p.thunk(m);
+      // Completed replay: record the exact slot high-water mark so the
+      // post-grace reinit resets only the slots consumed (idem.hpp).
+      p.log.note_used(m.ops_used());
     }
   }
 

@@ -243,8 +243,7 @@ class ExclusiveIdem {
     log.reset();  // exclusive: nobody else can be replaying this log
     const std::uint64_t serial =
         serial_.fetch_add(1, std::memory_order_relaxed);
-    return IdemCtx<Plat>(log,
-                         static_cast<std::uint32_t>(serial) * kMaxThunkOps);
+    return IdemCtx<Plat>(log, idem_tag_base(serial));
   }
 
  private:

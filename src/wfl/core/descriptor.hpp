@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "wfl/idem/idem.hpp"
+#include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 #include "wfl/util/fixed_function.hpp"
 
@@ -35,24 +36,28 @@ enum : std::uint32_t {
   kStatusLost = 2,
 };
 
+// Field layout is cache-line segregated (DESIGN.md "Hot-path memory
+// discipline"): helpers decide the competition by CAS-hammering `priority`
+// and `status`, and that invalidation storm must not evict the owner's
+// publication-time and bookkeeping fields (lock_ids, slot_of_lock, thunk,
+// retire_refs) from the owner's cache. The thunk log gets its own line
+// start too — it is CAS'd only during replays, on a different schedule
+// than the status words. The struct itself is line-aligned so pool-array
+// neighbours never share the boundary lines.
 template <typename Plat>
-struct Descriptor {
+struct alignas(kCacheLine) Descriptor {
   using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
 
-  // --- written by the owner before publication, read-only afterwards ---
+  // --- line group A: written by the owner before publication, read-only
+  // afterwards ---
   std::uint32_t lock_ids[kMaxLocksPerAttempt] = {};
   std::uint32_t lock_count = 0;
   Thunk thunk;
-  std::uint32_t tag_base = 0;  // serial * kMaxThunkOps; see IdemCtx contract
+  std::uint32_t tag_base = 0;  // idem_tag_base(serial); see IdemCtx contract
   std::uint64_t serial = 0;
 
   // --- owner-private bookkeeping (never read by helpers) ---
   int slot_of_lock[kMaxLocksPerAttempt] = {};
-
-  // --- shared competition state ---
-  typename Plat::template Atomic<std::int64_t> priority;
-  typename Plat::template Atomic<std::uint32_t> status;
-  ThunkLog<Plat> log;
 
   // --- reclamation bookkeeping (raw atomic: memory management is outside
   // the step model, DESIGN.md substitution #2) ---
@@ -62,20 +67,29 @@ struct Descriptor {
   // the first retire; untouched by reinit.
   std::atomic<std::uint32_t> retire_refs{0};
 
+  // --- line group B: shared competition state, helper-CAS'd ---
+  alignas(kCacheLine) typename Plat::template Atomic<std::int64_t> priority;
+  typename Plat::template Atomic<std::uint32_t> status;
+
+  // --- line group C: the thunk log, CAS'd during replays ---
+  alignas(kCacheLine) ThunkLog<Plat> log;
+
   // Multi-active-set flag interface (Algorithm 3 lines 7-13; the delay that
   // precedes the reveal lives in LockSpace, which owns the step counting).
   bool flag() { return priority.load() > 0; }
   void clear_flag() { priority.store(kPriorityPending); }
 
-  // Quiescent reset on (re)allocation from the pool.
-  void reinit(std::uint64_t new_serial) {
+  // Quiescent reset on (re)allocation from the pool. Returns the number of
+  // thunk-log slots re-initialized (the lazy reset's O(ops used) figure,
+  // surfaced through the lock-space stats).
+  std::uint32_t reinit(std::uint64_t new_serial) {
     lock_count = 0;
     thunk.reset();
     serial = new_serial;
-    tag_base = static_cast<std::uint32_t>(new_serial) * kMaxThunkOps;
+    tag_base = idem_tag_base(new_serial);
     priority.init(kPriorityPending);
     status.init(kStatusActive);
-    log.reset();
+    return log.reset_used();
   }
 };
 

@@ -139,12 +139,16 @@ class LockTable {
             : per_shard(auto_desc_capacity(max_procs), 128);
 
     mem_.reserve(num_shards_);
+    caches_.reserve(num_shards_);
     ebr_.reserve(num_shards_);
     set_mem_.reserve(num_shards_);
     for (std::uint32_t s = 0; s < num_shards_; ++s) {
       mem_.push_back(std::make_unique<ShardMem>(snap_cap, desc_cap));
+      caches_.push_back(std::make_unique<ShardCaches>(
+          static_cast<std::size_t>(max_procs), *mem_[s]));
       ebr_.push_back(std::make_unique<EbrDomain>(max_procs));
-      set_mem_.push_back(SetMem<Desc*>{mem_[s]->snap_pool, *ebr_[s]});
+      set_mem_.push_back(SetMem<Desc*>{mem_[s]->snap_pool, *ebr_[s],
+                                       caches_[s]->snap.data()});
     }
     locks_.reserve(static_cast<std::size_t>(num_locks));
     for (int i = 0; i < num_locks; ++i) {
@@ -208,12 +212,16 @@ class LockTable {
                  Thunk thunk, AttemptInfo* info = nullptr) {
     WFL_CHECK_MSG(lock_ids.size() <= cfg_.max_locks,
                   "lock set exceeds the configured L bound");
+    // Debug-only duplicate scan: LockSetView is the validated path, so the
+    // O(L²) scan no longer taxes release-build raw-span callers
+    // (bench_hotpath reports the residual overload delta).
+#ifndef NDEBUG
     for (std::size_t i = 0; i < lock_ids.size(); ++i) {
       for (std::size_t j = i + 1; j < lock_ids.size(); ++j) {
-        WFL_CHECK_MSG(lock_ids[i] != lock_ids[j],
-                      "duplicate lock in lock set");
+        WFL_DASSERT(lock_ids[i] != lock_ids[j]);
       }
     }
+#endif
     return attempt(proc, lock_ids, std::move(thunk), info);
   }
 
@@ -239,11 +247,15 @@ class LockTable {
     h.stats().add_attempt();
 
     if (lock_ids.empty()) {
-      // Degenerate attempt: nothing to contend on; run the thunk alone.
+      // Degenerate attempt: nothing to contend on; run the thunk alone on
+      // the handle's private scratch log (reused + lazily reset across
+      // attempts — no 1KB of slot re-init per call).
       if (thunk) {
-        ThunkLog<Plat> local_log;
+        ThunkLog<Plat>& local_log = h.local_log();
         IdemCtx<Plat> ctx(local_log, 0);
         thunk(ctx);
+        local_log.note_used(ctx.ops_used());
+        h.stats().add_log_slot_resets(local_log.reset_used());
         h.stats().add_thunk_run();
       }
       h.stats().add_win();
@@ -260,9 +272,14 @@ class LockTable {
     const std::uint32_t home = shard_of(lock_ids[0]);
     ShardMem& hm = *mem_[home];
 
-    const std::uint32_t didx = hm.desc_pool.alloc();
+    // Descriptor slots flow through the process's home-shard cache: alloc
+    // pops it here and the EBR deleter pushes the slot back to it, so a
+    // steady-state attempt never touches the shared freelist (arena.hpp).
+    SlotCache<Desc>& dcache =
+        *caches_[home]->desc[static_cast<std::size_t>(h.pid())];
+    const std::uint32_t didx = dcache.alloc();
     Desc& d = hm.desc_pool.at(didx);
-    d.reinit(h.next_serial());
+    h.stats().add_log_slot_resets(d.reinit(h.next_serial()));
     d.lock_count = static_cast<std::uint32_t>(lock_ids.size());
     for (std::size_t i = 0; i < lock_ids.size(); ++i) {
       d.lock_ids[i] = lock_ids[i];
@@ -313,9 +330,11 @@ class LockTable {
     const bool won = d.status.load() == kStatusWon;
     if (won) h.stats().add_win();
     // Retire into every shard the descriptor was visible in; the slot is
-    // recycled by the last grace period to expire (see retire_refs).
+    // recycled — back into this process's home-shard cache — by the last
+    // grace period to expire (see retire_refs).
     for (std::uint32_t s = 0; s < n_att_shards; ++s) {
-      ebr_[att_shards[s]]->retire(h.pid(), &hm, didx, &release_descriptor);
+      ebr_[att_shards[s]]->retire(h.pid(), &dcache, didx,
+                                  &release_descriptor);
     }
     if (info != nullptr) {
       info->won = won;
@@ -354,6 +373,33 @@ class LockTable {
   }
   std::uint32_t shard_snap_free(std::uint32_t s) const {
     return mem_[s]->snap_pool.free_count();
+  }
+
+  // Shared-freelist transactions (pops/pushes, single or batched) against
+  // one shard's pools. The allocation-locality tests assert this stays
+  // flat across a steady-state uncontended window; bench_hotpath reports
+  // it per attempt.
+  std::uint64_t shard_freelist_ops(std::uint32_t s) const {
+    return mem_[s]->desc_pool.freelist_ops() + mem_[s]->snap_pool.freelist_ops();
+  }
+  std::uint64_t freelist_ops() const {
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      total += shard_freelist_ops(s);
+    }
+    return total;
+  }
+
+  // Slots currently parked in `p`'s per-shard caches (descriptors +
+  // snapshots). Quiescent-only diagnostic: the caches are owner-private.
+  std::uint32_t cached_slots(Process p) const {
+    const auto pidx = static_cast<std::size_t>(p.ebr_pid);
+    std::uint32_t total = 0;
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      total += caches_[s]->desc[pidx]->size();
+      total += caches_[s]->snap[pidx]->size();
+    }
+    return total;
   }
 
   // Test/diagnostic access to a lock's active set. An inspector must hold
@@ -407,6 +453,16 @@ class LockTable {
       parked_in_guard = parked_in_guard || h.guard_depth(s) != 0;
       ebr_[s]->abandon(p.ebr_pid);
     }
+    // Spill the process's slot caches back to the shared pools in both
+    // cases — in particular a crash-parked process must not leak its
+    // cached slots (its pid is retired forever, so nothing would ever
+    // reuse them). Safe to do from the releasing thread: the caller
+    // guarantees the process takes no further steps.
+    const auto pidx = static_cast<std::size_t>(p.ebr_pid);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      caches_[s]->desc[pidx]->drain();
+      caches_[s]->snap[pidx]->drain();
+    }
     if (parked_in_guard) return;
     std::lock_guard<std::mutex> lk(reg_mutex_);
     free_pids_.push_back(p.ebr_pid);
@@ -422,6 +478,19 @@ class LockTable {
     IndexPool<Desc> desc_pool;
     ShardMem(std::uint32_t snap_cap, std::uint32_t desc_cap)
         : snap_pool(snap_cap), desc_pool(desc_cap) {}
+  };
+
+  // Per-process slot caches fronting one shard's pools (indexed by EBR
+  // pid). Declared before ebr_ so EBR teardown can still push retired
+  // slots into them; line-padded so neighbouring processes' caches never
+  // share a line.
+  struct ShardCaches {
+    std::vector<CachePadded<SlotCache<Desc>>> desc;
+    std::vector<CachePadded<SlotCache<SetSnap<Desc*>>>> snap;
+    ShardCaches(std::size_t procs, ShardMem& mem) : desc(procs), snap(procs) {
+      for (auto& c : desc) c->bind(&mem.desc_pool);
+      for (auto& c : snap) c->bind(&mem.snap_pool);
+    }
   };
 
   // RAII guard coverage for one descriptor's shard footprint, on top of the
@@ -515,12 +584,14 @@ class LockTable {
   }
 
   // EBR deleter for descriptors: drop one shard's reference; the last one
-  // frees the pool slot. ctx is the home ShardMem.
+  // returns the pool slot to the owner's home-shard cache. ctx is that
+  // cache (deleters run on the retiring participant, or under quiescent
+  // domain teardown — single-owner either way).
   static void release_descriptor(void* ctx, std::uint32_t handle) {
-    auto* m = static_cast<ShardMem*>(ctx);
-    Desc& d = m->desc_pool.at(handle);
+    auto* cache = static_cast<SlotCache<Desc>*>(ctx);
+    Desc& d = cache->pool().at(handle);
     if (d.retire_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      m->desc_pool.free(handle);
+      cache->free(handle);
     }
   }
 
@@ -529,11 +600,13 @@ class LockTable {
   std::uint32_t num_shards_;
   std::uint32_t serial_block_;
   // Order matters: each EbrDomain's destructor drains retired objects back
-  // into the pools — possibly pools of *other* shards (cross-shard
-  // descriptors) — so every pool must outlive every domain: mem_ is
-  // declared before ebr_ (members are destroyed in reverse order), and
-  // locks_/set_mem_ (which reference both) come after.
+  // into the per-process caches and pools — possibly of *other* shards
+  // (cross-shard descriptors) — so every pool and cache must outlive every
+  // domain: mem_ and caches_ are declared before ebr_ (members are
+  // destroyed in reverse order), and locks_/set_mem_ (which reference
+  // both) come after.
   std::vector<std::unique_ptr<ShardMem>> mem_;
+  std::vector<std::unique_ptr<ShardCaches>> caches_;
   std::vector<std::unique_ptr<EbrDomain>> ebr_;
   std::vector<SetMem<Desc*>> set_mem_;
   std::vector<std::unique_ptr<Set>> locks_;

@@ -37,6 +37,7 @@
 
 #include "wfl/active/multi_set.hpp"
 #include "wfl/core/config.hpp"
+#include "wfl/idem/idem.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 #include "wfl/util/rng.hpp"
@@ -59,9 +60,15 @@ struct StatsSlab {
   // Adaptive variant only (§6.2 seer-eliminates rule); unused by the
   // known-bounds table but striped the same way.
   std::atomic<std::uint64_t> tbd_eliminations{0};
+  // Thunk-log slots re-initialized by descriptor reinit (the lazy-reset
+  // figure: O(ops used) per attempt instead of O(kThunkLogCap)).
+  std::atomic<std::uint64_t> log_slot_resets{0};
 
   static void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+  static void bump_by(std::atomic<std::uint64_t>& c, std::uint64_t n) {
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
   }
   void add_attempt() { bump(attempts); }
   void add_win() { bump(wins); }
@@ -71,6 +78,7 @@ struct StatsSlab {
   void add_t0_overrun() { bump(t0_overruns); }
   void add_t1_overrun() { bump(t1_overruns); }
   void add_tbd_elimination() { bump(tbd_eliminations); }
+  void add_log_slot_resets(std::uint64_t n) { bump_by(log_slot_resets, n); }
 
   void accumulate_into(LockStats& s) const {
     s.attempts += attempts.load(std::memory_order_relaxed);
@@ -80,8 +88,13 @@ struct StatsSlab {
     s.thunk_runs += thunk_runs.load(std::memory_order_relaxed);
     s.t0_overruns += t0_overruns.load(std::memory_order_relaxed);
     s.t1_overruns += t1_overruns.load(std::memory_order_relaxed);
+    s.log_slot_resets += log_slot_resets.load(std::memory_order_relaxed);
   }
 };
+
+// One writer's slab plus padding; the slab itself must not straddle into a
+// neighbour's stripe.
+static_assert(sizeof(CachePadded<StatsSlab>) % kCacheLine == 0);
 
 // Per-process handle; DescT is the descriptor type whose pointers the
 // scratch lists carry (Descriptor<Plat> for the known-bounds table,
@@ -126,6 +139,12 @@ class ProcessHandle {
   MemberList<DescT*>& help_scratch() { return help_scratch_; }
   MemberList<DescT*>& run_scratch() { return run_scratch_; }
 
+  // Private scratch thunk log for degenerate (empty-lock-set) attempts:
+  // reused across attempts with the lazy reset instead of re-initializing
+  // kThunkLogCap slots per call. Never shared — no helpers exist for a
+  // descriptor-less run.
+  ThunkLog<Plat>& local_log() { return local_log_; }
+
   // Re-entrancy depth of this process's EBR guard on `shard`. The table
   // enters the shard's domain when the depth rises from 0 and exits when it
   // returns to 0; everything in between is a plain private increment.
@@ -147,6 +166,7 @@ class ProcessHandle {
   CachePadded<StatsSlab> stats_;
   MemberList<DescT*> help_scratch_;
   MemberList<DescT*> run_scratch_;
+  ThunkLog<Plat> local_log_;
   std::vector<std::uint32_t> guard_depth_;
   Xoshiro256 rng_;
 };

@@ -38,6 +38,8 @@
 // (store_racy provides the bounded-retry variant for that case).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #include "wfl/idem/cell.hpp"
@@ -50,6 +52,44 @@ namespace wfl {
 inline constexpr std::uint32_t kMaxThunkOps = 64;
 inline constexpr std::uint32_t kThunkLogCap = 2 * kMaxThunkOps;
 
+// --- Idempotence tags ------------------------------------------------------
+//
+// Every instrumented write installs a (value, tag) word whose tag must be
+// unique among all *concurrently live* thunk instances (cell.hpp). Tags are
+// derived from the descriptor serial; the naive map
+//     tag = uint32(serial) * kMaxThunkOps + op + 1
+// had two defects: it recycles tags every 2^26 serials with an unmarked
+// wrap, and — worse — near a wrap it can emit tag 0 == kCellInitTag (e.g.
+// serial = k*2^26 - 1, op = 63), colliding with the initial word of every
+// fresh cell. The map below reduces the flattened operation index
+// serial*kMaxThunkOps + op modulo M = 2^32 - 1 and adds 1:
+//
+//   * the emitted tag lies in [1, 2^32 - 1] — NEVER kCellInitTag, for any
+//     serial;
+//   * because M is odd (gcd(kMaxThunkOps, M) = 1), the map is injective on
+//     any window of M consecutive flattened indices: two live thunks can
+//     collide only if their serials are ~2^26 apart AND a helper of the
+//     older one is stalled inside an EBR guard across that entire span
+//     while holding the exact colliding word — the bounded-assumption
+//     regime the paper itself accepts for priorities (footnote 3), now
+//     documented in DESIGN.md "Hot-path memory discipline".
+//
+// The reduction is done on the full 64-bit serial ((serial mod M) * 64 fits
+// in 2^38, so the arithmetic never overflows), so no silent truncation
+// happens anywhere on the way to the 32-bit tag word.
+inline constexpr std::uint64_t kIdemTagModulus = 0xFFFFFFFFull;  // 2^32 - 1
+
+constexpr std::uint32_t idem_tag_base(std::uint64_t serial) {
+  return static_cast<std::uint32_t>(((serial % kIdemTagModulus) *
+                                     kMaxThunkOps) % kIdemTagModulus);
+}
+
+constexpr std::uint32_t idem_tag(std::uint32_t tag_base, std::uint32_t op) {
+  return static_cast<std::uint32_t>(
+             (static_cast<std::uint64_t>(tag_base) + op) % kIdemTagModulus) +
+         1;
+}
+
 // Outcome words for CAS agreement; distinct from kCellEmptySlot.
 inline constexpr std::uint64_t kOutcomeFalse = 0;
 inline constexpr std::uint64_t kOutcomeTrue = 1;
@@ -57,12 +97,43 @@ inline constexpr std::uint64_t kOutcomeTrue = 1;
 template <typename Plat>
 class ThunkLog {
  public:
-  ThunkLog() { reset(); }
+  ThunkLog() {
+    for (auto& s : slots_) s.init(kCellEmptySlot);
+  }
 
-  // Quiescent-only: called when the owning descriptor is (re)initialized,
-  // after reclamation guarantees no helper can still touch it.
+  // High-water mark for the lazy reset: recorded by every *completed* run
+  // of the thunk (IdemCtx::ops_used() at return). Slot consumption is
+  // deterministic across runs (agreement forces identical branches), so
+  // all completed runs record the same exact value; a preempted helper has
+  // touched only a prefix of the same slot sequence. Raw relaxed atomic:
+  // bookkeeping outside the step model, and racing writers write equal
+  // values.
+  void note_used(std::uint32_t ops) {
+    used_ops_.store(ops, std::memory_order_relaxed);
+  }
+
+  // Quiescent-only full reset: for logs whose runs do not maintain the
+  // note_used high-water mark (the baseline adapters, ExclusiveIdem).
   void reset() {
     for (auto& s : slots_) s.init(kCellEmptySlot);
+    used_ops_.store(0, std::memory_order_relaxed);
+  }
+
+  // Quiescent-only LAZY reset: called when the owning descriptor is
+  // (re)initialized, after reclamation guarantees no helper can still touch
+  // it (by then the owner's completed run has recorded the exact high-water
+  // mark — a thunk only ever runs when its descriptor won, and the winner
+  // always replays it to completion before retiring the descriptor; a
+  // descriptor that lost never ran its thunk and consumed no slots).
+  // Re-inits only the slots actually consumed — O(ops used), not
+  // O(kThunkLogCap) — and returns that count (surfaced through the
+  // lock-space stats).
+  std::uint32_t reset_used() {
+    const std::uint32_t used = used_ops_.load(std::memory_order_relaxed);
+    const std::uint32_t n = std::min(2 * used, kThunkLogCap);
+    for (std::uint32_t i = 0; i < n; ++i) slots_[i].init(kCellEmptySlot);
+    used_ops_.store(0, std::memory_order_relaxed);
+    return n;
   }
 
   // Agreement on slot i: first arrival installs, everyone reads the winner.
@@ -80,6 +151,7 @@ class ThunkLog {
 
  private:
   typename Plat::template Atomic<std::uint64_t> slots_[kThunkLogCap];
+  std::atomic<std::uint32_t> used_ops_{0};  // raw: outside the step model
 };
 
 // Per-run cursor over a shared ThunkLog. Each run of the thunk constructs
@@ -87,9 +159,12 @@ class ThunkLog {
 template <typename Plat>
 class IdemCtx {
  public:
-  // `tag_base` must be identical for all runs of the same thunk instance and
-  // unique across thunk instances (the lock descriptor provides
-  // serial * kMaxThunkOps).
+  // `tag_base` must be identical for all runs of the same thunk instance
+  // and unique across thunk instances within the idem_tag window — always
+  // produce it with idem_tag_base(serial) (the lock descriptors do), never
+  // by multiplying the serial directly: the raw product truncates mod 2^32
+  // and can collide with kCellInitTag near wraps (see the tag contract
+  // above).
   IdemCtx(ThunkLog<Plat>& log, std::uint32_t tag_base)
       : log_(&log), tag_base_(tag_base) {}
 
@@ -162,9 +237,10 @@ class IdemCtx {
   }
 
   std::uint32_t tag_for(std::uint32_t op) const {
-    // Never emit the initial tag 0: offset by 1. Uniqueness across thunk
-    // instances comes from tag_base_ (see ctor contract).
-    return tag_base_ + op + 1;
+    // Never emits the initial tag 0 for ANY serial, wrap included, and
+    // stays injective within a 2^32-1 window of flattened operation
+    // indices — see the idem_tag contract above.
+    return idem_tag(tag_base_, op);
   }
 
   std::uint64_t agree(std::uint64_t v) {

@@ -22,10 +22,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 
 namespace wfl {
@@ -71,6 +73,14 @@ class IndexPool {
     return free_count_.load(std::memory_order_relaxed);
   }
 
+  // Number of shared-freelist transactions (successful pops/pushes, single
+  // or batched) since construction. Diagnostic: the allocation-locality
+  // tests assert this stays flat across a steady-state window, and
+  // bench_hotpath reports it per attempt.
+  std::uint64_t freelist_ops() const {
+    return freelist_ops_.load(std::memory_order_relaxed);
+  }
+
   // Pops a slot, growing if the freelist is empty. Aborts only at
   // max_capacity (a leak, not a transient condition).
   std::uint32_t alloc() {
@@ -85,7 +95,38 @@ class IndexPool {
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
           free_count_.fetch_sub(1, std::memory_order_relaxed);
+          freelist_ops_.fetch_add(1, std::memory_order_relaxed);
           return idx;
+        }
+      }
+      grow();
+    }
+  }
+
+  // Pops up to `want` slots with ONE head CAS by walking the freelist chain
+  // and swinging the head past it. A successful CAS proves the (index, tag)
+  // pair never changed, and every pop or push bumps the tag, so the chain
+  // walked is exactly the chain popped; a failed CAS discards the walk
+  // (stale next-pointers read during a lost race are valid-or-null indices,
+  // never garbage — see free()). Returns the number popped (>= 1).
+  std::uint32_t alloc_batch(std::uint32_t* out, std::uint32_t want) {
+    WFL_DASSERT(want > 0);
+    for (;;) {
+      std::uint64_t head = head_.load(std::memory_order_acquire);
+      while (index_of(head) != kNullIndex) {
+        std::uint32_t got = 0;
+        std::uint32_t idx = index_of(head);
+        while (got < want && idx != kNullIndex) {
+          out[got++] = idx;
+          idx = next_slot(idx).load(std::memory_order_relaxed);
+        }
+        const std::uint64_t desired = pack(idx, tag_of(head) + 1);
+        if (head_.compare_exchange_weak(head, desired,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+          free_count_.fetch_sub(got, std::memory_order_relaxed);
+          freelist_ops_.fetch_add(1, std::memory_order_relaxed);
+          return got;
         }
       }
       grow();
@@ -102,6 +143,29 @@ class IndexPool {
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
         free_count_.fetch_add(1, std::memory_order_relaxed);
+        freelist_ops_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  // Pushes `n` slots with ONE head CAS: links them into a private chain,
+  // then splices the chain onto the head.
+  void free_batch(const std::uint32_t* idxs, std::uint32_t n) {
+    if (n == 0) return;
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+      WFL_DASSERT(idxs[i] < capacity());
+      next_slot(idxs[i]).store(idxs[i + 1], std::memory_order_relaxed);
+    }
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    for (;;) {
+      next_slot(idxs[n - 1]).store(index_of(head), std::memory_order_relaxed);
+      const std::uint64_t desired = pack(idxs[0], tag_of(head) + 1);
+      if (head_.compare_exchange_weak(head, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+        free_count_.fetch_add(n, std::memory_order_relaxed);
+        freelist_ops_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -176,13 +240,73 @@ class IndexPool {
     }
   }
 
+  // Read-mostly state (directories, capacity) shares lines; the two words
+  // every pool transaction hammers — the CAS'd head and the relaxed
+  // occupancy counters — each get a line of their own so head CAS traffic
+  // does not invalidate the counters' line and vice versa.
   std::uint32_t max_capacity_;
   std::unique_ptr<std::atomic<Segment*>[]> segments_;
   std::unique_ptr<std::atomic<NextSeg*>[]> next_dir_;
-  std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint32_t> capacity_{0};
-  std::atomic<std::uint32_t> free_count_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::uint32_t> free_count_{0};
+  std::atomic<std::uint64_t> freelist_ops_{0};
   std::mutex grow_mutex_;
+};
+
+// A small owner-private LIFO of pool slots fronting a shared IndexPool.
+// alloc() pops the cache and refills a batch (one head CAS) only when
+// empty; free() pushes and spills the *coldest* batch (one head CAS) only
+// when full — so a steady-state balanced alloc/free stream touches no
+// shared freelist line at all. Single-owner by construction: the owning
+// process allocates from it, and EBR deleters push into it only when run
+// by that same process (retire/collect are per-participant) or during
+// quiescent domain teardown. Like the pool itself, caches are outside the
+// step model (DESIGN.md substitution #2).
+template <typename T, std::uint32_t Cap = 64>
+class SlotCache {
+  static_assert(Cap >= 8 && (Cap % 4) == 0);
+
+ public:
+  static constexpr std::uint32_t kBatch = Cap / 4;
+
+  void bind(IndexPool<T>* pool) { pool_ = pool; }
+  IndexPool<T>& pool() { return *pool_; }
+
+  std::uint32_t alloc() {
+    if (n_ == 0) n_ = pool_->alloc_batch(slots_, kBatch);
+    return slots_[--n_];
+  }
+
+  void free(std::uint32_t idx) {
+    if (n_ == Cap) {
+      pool_->free_batch(slots_, kBatch);  // spill the cold (bottom) end
+      std::memmove(slots_, slots_ + kBatch,
+                   (Cap - kBatch) * sizeof(std::uint32_t));
+      n_ -= kBatch;
+    }
+    slots_[n_++] = idx;
+  }
+
+  // Returns every cached slot to the shared pool (session release, crash
+  // cleanup — the allocation-locality tests assert nothing is leaked).
+  void drain() {
+    pool_->free_batch(slots_, n_);
+    n_ = 0;
+  }
+
+  std::uint32_t size() const { return n_; }
+
+  // EbrDomain deleter that returns `handle` to the cache's spill side; ctx
+  // is the retiring process's own SlotCache.
+  static void free_to_cache(void* ctx, std::uint32_t handle) {
+    static_cast<SlotCache*>(ctx)->free(handle);
+  }
+
+ private:
+  IndexPool<T>* pool_ = nullptr;
+  std::uint32_t n_ = 0;
+  std::uint32_t slots_[Cap];
 };
 
 }  // namespace wfl

@@ -57,25 +57,52 @@ class EbrDomain {
     return id;
   }
 
+  // Announce-then-verify, restructured for the guard hot path (an attempt
+  // enters/exits every shard it touches around each work segment):
+  //
+  //   * ONE seq_cst fence at the publication point orders the relaxed
+  //     active/epoch announcement stores before the seq_cst verify load.
+  //     The either-or this buys: an advancer whose participant scan follows
+  //     the fence in the SC order observes the announcement (fences order
+  //     preceding relaxed stores against later seq_cst loads); an advancer
+  //     whose CAS precedes the fence is observed by the verify load, which
+  //     then re-announces at the new epoch. Either way a guard announced at
+  //     epoch e is seen by every advance attempt from e+1 on, so it blocks
+  //     the global epoch below e+2 exactly as before.
+  //   * the epoch re-announce is SKIPPED when the global epoch still equals
+  //     the participant's previous announcement (the common case between
+  //     collects): the stored epoch word is already correct, so only the
+  //     active flag and the fence are needed.
+  //
+  // While the re-announce loop runs, active is already true with a stale
+  // epoch — that conservatively blocks advancement, so the loop settles
+  // after at most one more epoch move. Validated by the TSan CI matrix and
+  // the crash/chaos tests.
   void enter(int pid) {
     Participant& p = part(pid);
     WFL_CHECK_MSG(!p.active.load(std::memory_order_relaxed),
                   "EBR enter() while already in a critical region");
-    // Announce-then-verify: re-read the global epoch after announcing so an
-    // advance that already scanned us cannot miss the announcement.
+    p.active.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);  // publication point
+    std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    if (e == p.epoch.load(std::memory_order_relaxed)) return;
     for (;;) {
-      const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-      p.epoch.store(e, std::memory_order_seq_cst);
-      p.active.store(true, std::memory_order_seq_cst);
-      if (global_epoch_.load(std::memory_order_seq_cst) == e) return;
-      p.active.store(false, std::memory_order_seq_cst);
+      p.epoch.store(e, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::uint64_t e2 =
+          global_epoch_.load(std::memory_order_seq_cst);
+      if (e2 == e) return;
+      e = e2;
     }
   }
 
   void exit(int pid) {
     Participant& p = part(pid);
     WFL_CHECK(p.active.load(std::memory_order_relaxed));
-    p.active.store(false, std::memory_order_seq_cst);
+    // Release: the guard's critical-section reads are sequenced before this
+    // store, and a collector's seq_cst scan that observes false acquires
+    // it, so retired objects are freed only after our reads completed.
+    p.active.store(false, std::memory_order_release);
   }
 
   // Crash support: drops `pid`'s guard (if held) on its behalf. ONLY legal
@@ -191,8 +218,10 @@ class EbrDomain {
   }
 
   std::vector<CachePadded<Participant>> parts_;
-  std::atomic<std::uint64_t> global_epoch_{0};
-  std::atomic<int> next_participant_{0};
+  // The globally-hammered epoch word gets its own line so advances don't
+  // invalidate the registration counter's line (and vice versa).
+  alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch_{0};
+  alignas(kCacheLine) std::atomic<int> next_participant_{0};
 };
 
 }  // namespace wfl

