@@ -13,13 +13,23 @@
 //
 //   name      benchmark instance name (including /arg suffixes); one entry
 //             per name — repetitions are folded into that entry
-//   threads   benchmark-declared thread count
+//   threads   ACTUAL worker-thread count of the run. Google Benchmark's
+//             declared thread count by default; a benchmark that manages
+//             its own workers overrides it by setting the reserved user
+//             counter "wfl_threads" (consumed here, never emitted as an
+//             extra key)
 //   ops_per_s items/s when the benchmark calls SetItemsProcessed, else
 //             iterations/s (mean across repetitions)
-//   p99_ns    99th percentile of per-iteration real time across
-//             repetitions (run with --benchmark_repetitions=N for a
-//             meaningful tail); with a single repetition it degrades to
-//             the mean, flagged by "p99_is_mean": true
+//   p99_ns    99th percentile of per-operation latency. Preferred source:
+//             a per-thread latency reservoir the benchmark registered
+//             through LatencyReservoirs (merged across threads and
+//             repetitions — under multi-threaded runs the per-iteration
+//             wall time is a thread-average, not a latency, so only a
+//             reservoir gives a real tail). Fallback: per-iteration real
+//             time across repetitions; with a single repetition that
+//             degrades to the mean, flagged by "p99_is_mean": true. The
+//             flag is DROPPED whenever a real distribution (reservoir)
+//             backed the figure
 //
 // Additive (v1-compatible — consumers must ignore unknown keys): any
 // user counter a benchmark registers through state.counters is emitted
@@ -32,7 +42,9 @@
 // its name (the LockBackend registry convention — see
 // wfl/baseline/backends.hpp) gets a `"backend": "NAME"` string key on its
 // entry, so one capture holds directly comparable rows for every lock
-// discipline.
+// discipline. Likewise a "/contention:LEVEL" segment (bench_scaling's
+// convention: "low" / "high") becomes a `"contention": "LEVEL"` key, so
+// thread-sweep captures are filterable by regime.
 //
 // stdout carries only the JSON document, so
 //   ./bench_apps > BENCH_apps.json
@@ -46,11 +58,66 @@
 #include <cmath>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace wfl_bench {
+
+// Merged per-thread latency reservoirs, keyed by benchmark base name.
+// Worker threads push sampled per-op latencies (each under the mutex, once
+// per thread at loop exit); the reporter computes the entry's p99_ns from
+// the merged distribution — matching entries by base-name prefix, so the
+// "/real_time" / "/threads:N" suffixes Google Benchmark appends at report
+// time need not be reconstructed by the benchmark.
+class LatencyReservoirs {
+ public:
+  static LatencyReservoirs& instance() {
+    static LatencyReservoirs r;
+    return r;
+  }
+
+  void record(const std::string& base_name,
+              const std::vector<double>& ns_samples) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto& dst = samples_[base_name];
+    dst.insert(dst.end(), ns_samples.begin(), ns_samples.end());
+  }
+
+  // Longest base name that is a prefix of `entry_name` at a segment
+  // boundary (exact match or followed by '/'); nullptr when none matched.
+  const std::vector<double>* find(const std::string& entry_name) {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::vector<double>* best = nullptr;
+    std::size_t best_len = 0;
+    for (const auto& [base, samples] : samples_) {
+      if (samples.empty() || base.size() < best_len) continue;
+      if (entry_name.compare(0, base.size(), base) != 0) continue;
+      if (entry_name.size() != base.size() &&
+          entry_name[base.size()] != '/') {
+        continue;
+      }
+      best = &samples;
+      best_len = base.size();
+    }
+    return best;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+inline double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  if (idx == 0) idx = 1;
+  if (idx > v.size()) idx = v.size();
+  return v[idx - 1];
+}
 
 inline std::string json_escape(const std::string& s) {
   std::string out;
@@ -75,6 +142,13 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
       // repetition samples; only raw iteration runs are collected.
       if (run.run_type == Run::RT_Aggregate) continue;
       Entry& e = entry_for(run.benchmark_name(), run.threads);
+      // Benchmarks that spin up their own workers report the ACTUAL
+      // worker count through the reserved "wfl_threads" counter; it
+      // overrides the declared count and never appears as an extra key.
+      const auto wt = run.counters.find("wfl_threads");
+      if (wt != run.counters.end() && wt->second.value >= 1.0) {
+        e.threads = static_cast<int>(wt->second.value);
+      }
       const double ns = per_op_ns(run);
       const auto it = run.counters.find("items_per_second");
       if (it != run.counters.end()) {
@@ -86,7 +160,7 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
       // Fold user counters (executor Outcome fields and friends) into
       // additive per-entry keys; items_per_second already feeds ops_per_s.
       for (const auto& [cname, counter] : run.counters) {
-        if (cname == "items_per_second") continue;
+        if (cname == "items_per_second" || cname == "wfl_threads") continue;
         auto& agg = e.counters[cname];
         agg.first += counter.value;
         agg.second += 1;
@@ -111,21 +185,32 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
       Entry& e = entries_[i];
       const std::size_t n = e.per_op_ns_samples.size();
       const double ops = n > 0 ? e.ops_per_s_sum / static_cast<double>(n) : 0;
+      // p99 source, best first: a registered per-thread latency reservoir
+      // (a real distribution — no degradation flag at all), then the
+      // per-repetition samples (flagged p99_is_mean when a single
+      // repetition reduces it to the mean).
+      const std::vector<double>* reservoir =
+          LatencyReservoirs::instance().find(e.name);
       double p99 = 0.0;
-      if (n > 0) {
-        std::sort(e.per_op_ns_samples.begin(), e.per_op_ns_samples.end());
-        const auto idx = static_cast<std::size_t>(
-            std::ceil(0.99 * static_cast<double>(n))) - 1;
-        p99 = e.per_op_ns_samples[idx < n ? idx : n - 1];
+      if (reservoir != nullptr) {
+        p99 = percentile(*reservoir, 0.99);
+      } else if (n > 0) {
+        p99 = percentile(e.per_op_ns_samples, 0.99);
       }
       o << "  {\"name\": \"" << json_escape(e.name) << "\""
         << ", \"threads\": " << e.threads
         << ", \"ops_per_s\": " << ops
-        << ", \"p99_ns\": " << p99
-        << ", \"p99_is_mean\": " << (n > 1 ? "false" : "true");
-      const std::string backend = backend_of(e.name);
+        << ", \"p99_ns\": " << p99;
+      if (reservoir == nullptr) {
+        o << ", \"p99_is_mean\": " << (n > 1 ? "false" : "true");
+      }
+      const std::string backend = segment_of(e.name, "backend:");
       if (!backend.empty()) {
         o << ", \"backend\": \"" << json_escape(backend) << "\"";
+      }
+      const std::string contention = segment_of(e.name, "contention:");
+      if (!contention.empty()) {
+        o << ", \"contention\": \"" << json_escape(contention) << "\"";
       }
       for (const auto& [cname, agg] : e.counters) {
         if (agg.second == 0) continue;
@@ -146,12 +231,13 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
     std::map<std::string, std::pair<double, int>> counters;
   };
 
-  // "List_InsertErase/backend:turek/..." -> "turek"; "" when absent.
-  static std::string backend_of(const std::string& name) {
-    static constexpr const char kKey[] = "backend:";
-    const std::size_t at = name.find(kKey);
+  // "List_InsertErase/backend:turek/..." with key "backend:" -> "turek";
+  // "" when the key segment is absent.
+  static std::string segment_of(const std::string& name,
+                                const std::string& key) {
+    const std::size_t at = name.find(key);
     if (at == std::string::npos) return {};
-    const std::size_t start = at + sizeof(kKey) - 1;
+    const std::size_t start = at + key.size();
     const std::size_t end = name.find('/', start);
     return name.substr(start,
                        end == std::string::npos ? end : end - start);

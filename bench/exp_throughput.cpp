@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -103,6 +104,65 @@ BackendConfig bank_cfg(int threads) {
   return bc;
 }
 
+// The batch row: the same wflock space and substrate, but the inner loop
+// submits chunks of 16 transfers through Bank::transfer_batch — the PR-5
+// batch entry point that amortizes EBR guard entry and lock-set
+// validation instead of re-validating a fresh StaticLockSet per transfer.
+RunOut run_bank_batch(int threads, double secs, const BackendConfig& bc) {
+  using B = WflBackend<Plat>;
+  constexpr int kBatch = 16;
+  auto space = B::make_space(bc);
+  Bank<B> bank(*space, kAccounts, kInitial);
+  std::vector<typename B::Session> sessions;
+  sessions.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) sessions.emplace_back(*space);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> ops{0};
+  std::atomic<std::uint64_t> attempts{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Plat::seed_rng(4000 + static_cast<std::uint64_t>(t));
+      Xoshiro256 rng(t * 7 + 3);
+      using Transfer = typename Bank<B>::Transfer;
+      std::uint64_t local = 0, local_attempts = 0;
+      std::vector<Transfer> xs(kBatch);
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (Transfer& x : xs) {
+          x.from = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+          x.to = static_cast<std::uint32_t>(rng.next_below(kAccounts));
+          if (x.to == x.from) x.to = (x.to + 1) % kAccounts;
+          x.amount = static_cast<std::uint32_t>(rng.next_below(10));
+        }
+        const BatchOutcome o = bank.transfer_batch(
+            sessions[static_cast<std::size_t>(t)],
+            std::span<const Transfer>(xs.data(), xs.size()),
+            Policy::retry());
+        local += o.ops;
+        local_attempts += o.attempts;
+      }
+      ops.fetch_add(local, std::memory_order_relaxed);
+      attempts.fetch_add(local_attempts, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(secs));
+  stop.store(true);
+  for (auto& th : ts) th.join();
+  RunOut out;
+  const auto total_ops = ops.load();
+  out.ops_per_sec = static_cast<double>(total_ops) / secs;
+  out.attempts_per_op =
+      total_ops > 0 ? static_cast<double>(attempts.load()) /
+                          static_cast<double>(total_ops)
+                    : 0.0;
+  out.conserved = bank.total_balance() ==
+                  static_cast<std::uint64_t>(kInitial) * kAccounts;
+  out.note = " S" + std::to_string(space->num_shards()) + " B" +
+             std::to_string(kBatch);
+  return out;
+}
+
 // One (backend, config, threads) measurement through the generic substrate.
 template <typename B>
 RunOut run_bank(int threads, double secs, const BackendConfig& bc) {
@@ -169,6 +229,9 @@ int main(int argc, char** argv) {
       record("wflock_fair", "wflock", threads,
              run_bank<WflBackend<Plat>>(threads, secs, bc));
     }
+    // wflock(batch): practical mode through Bank::transfer_batch.
+    record("wflock_batch", "wflock", threads,
+           run_bank_batch(threads, secs, bank_cfg(threads)));
   }
   t.print(stderr);
   std::fprintf(stderr,

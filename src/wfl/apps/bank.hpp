@@ -6,8 +6,11 @@
 // exclusion or idempotence failure as a lost/duplicated update.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <span>
 #include <vector>
 
 #include "wfl/core/backend.hpp"
@@ -92,6 +95,61 @@ class Bank {
         policy);
     if (denied != nullptr) *denied = o.won && result.peek() == 2;
     return o;
+  }
+
+  // One batch element for transfer_batch.
+  struct Transfer {
+    std::uint32_t from;
+    std::uint32_t to;
+    std::uint32_t amount;
+  };
+
+  // Batch entry point: submits every transfer in order through the
+  // backend's (possibly amortized) batch path. Insufficient funds is a
+  // silent no-op here — per-transfer denial reporting needs a result cell
+  // per op, which is what the single-op transfer() provides. kMaxBatchOps
+  // bounds one internal chunk so the stack-built PreparedOps stay small;
+  // larger spans are chunked transparently.
+  static constexpr std::size_t kMaxBatchOps = 32;
+
+  BatchOutcome transfer_batch(Sess& session, std::span<const Transfer> xs,
+                              Policy policy = Policy::one_shot(),
+                              Outcome* per_op = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
+    using Op = PreparedOp<Plat>;
+    BatchOutcome total;
+    std::size_t done = 0;
+    while (done < xs.size()) {
+      const std::size_t n = std::min(kMaxBatchOps, xs.size() - done);
+      // Chunk-local PreparedOps. Safe despite the stack storage: each op's
+      // closure captures only the two account cells and the amount, all of
+      // which live in the Bank, and the ops themselves are copied into
+      // descriptors at arm time.
+      alignas(Op) unsigned char raw[sizeof(Op) * kMaxBatchOps];
+      Op* ops = reinterpret_cast<Op*>(raw);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Transfer& t = xs[done + i];
+        WFL_CHECK(t.from < accounts_.size() && t.to < accounts_.size() &&
+                  t.from != t.to);
+        Cell<Plat>* src = accounts_[t.from].get();
+        Cell<Plat>* dst = accounts_[t.to].get();
+        const std::uint32_t amount = t.amount;
+        const StaticLockSet<2> locks{t.from, t.to};
+        ::new (static_cast<void*>(&ops[i]))
+            Op(locks, [src, dst, amount](IdemCtx<Plat>& m) {
+              const std::uint32_t s = m.load(*src);
+              if (s >= amount) {
+                m.store(*src, s - amount);
+                m.store(*dst, m.load(*dst) + amount);
+              }
+            });
+      }
+      total += backend_submit_batch<B>(
+          session, std::span<const Op>(ops, n), policy,
+          per_op != nullptr ? per_op + done : nullptr);
+      done += n;
+    }
+    return total;
   }
 
   // Quiescent-only audit.

@@ -21,8 +21,11 @@
 // unlinked moments ago — the same semantics as the lazy list's contains.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <span>
 #include <vector>
 
 #include "wfl/core/backend.hpp"
@@ -75,6 +78,7 @@ class LockedHashMap {
     for (int i = 0; i < space.max_procs(); ++i) {
       results_.push_back(std::make_unique<Cell<Plat>>(0u));
       out_vals_.push_back(std::make_unique<Cell<Plat>>(0u));
+      batch_results_.emplace_back();
     }
   }
 
@@ -133,6 +137,89 @@ class LockedHashMap {
     const std::uint32_t r = res.peek();
     if (r != kMapOk) pool_.free(fresh);  // thunk never touched it
     return r;
+  }
+
+  // One batch element for put_batch.
+  struct Put {
+    std::uint64_t key;
+    std::uint32_t value;
+  };
+
+  // Batch upsert: submits every put in order through the backend's
+  // (possibly amortized) batch path under Policy::retry() — batch entries
+  // are run-to-completion, matching put(). `results`, when non-null, must
+  // hold xs.size() slots and receives each op's kMap* code. Spans larger
+  // than kMaxBatchOps are chunked transparently; each op writes its result
+  // through a per-(process, batch-slot) cell in stable storage, so helper
+  // replays after the batch returns stay harmless (same argument as the
+  // per-process result cells).
+  static constexpr std::size_t kMaxBatchOps = 32;
+
+  BatchOutcome put_batch(Sess& session, std::span<const Put> xs,
+                         std::uint32_t* results = nullptr,
+                         std::uint64_t* attempts = nullptr) {
+    WFL_DASSERT(&session.space() == &space_);
+    using Op = PreparedOp<Plat>;
+    BatchOutcome total;
+    std::size_t done = 0;
+    while (done < xs.size()) {
+      const std::size_t n = std::min(kMaxBatchOps, xs.size() - done);
+      alignas(Op) unsigned char raw[sizeof(Op) * kMaxBatchOps];
+      Op* ops = reinterpret_cast<Op*>(raw);
+      std::uint32_t fresh_nodes[kMaxBatchOps];
+      for (std::size_t i = 0; i < n; ++i) {
+        const Put& put_op = xs[done + i];
+        const std::uint32_t b = bucket_of(put_op.key);
+        const std::uint32_t fresh = pool_.alloc();
+        fresh_nodes[i] = fresh;
+        {
+          Node& node = pool_.at(fresh);
+          node.key = put_op.key;
+          node.val.init(put_op.value);
+          node.next.init(kMapNil);
+          node.dead.init(0);
+        }
+        Cell<Plat>* res_ptr = &batch_result_of(session, i);
+        const std::uint64_t key = put_op.key;
+        const std::uint32_t value = put_op.value;
+        const StaticLockSet<1> locks{b};
+        ::new (static_cast<void*>(&ops[i]))
+            Op(locks, [this, b, key, value, fresh, res_ptr](
+                          IdemCtx<Plat>& m) {
+              Cell<Plat>& head = *heads_[b];
+              std::uint32_t len = 0;
+              std::uint32_t cur = m.load(head);
+              while (cur != kMapNil) {
+                Node& node = pool_.at(cur);
+                if (node.key == key) {
+                  m.store(node.val, value);
+                  m.store(*res_ptr, kMapExists);
+                  return;
+                }
+                ++len;
+                cur = m.load(node.next);
+              }
+              if (len >= kMaxChain) {
+                m.store(*res_ptr, kMapFull);
+                return;
+              }
+              Node& f = pool_.at(fresh);
+              m.store(f.next, m.load(head));
+              m.store(head, fresh);
+              m.store(*res_ptr, kMapOk);
+            });
+      }
+      total += backend_submit_batch<B>(
+          session, std::span<const Op>(ops, n), Policy::retry());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t r = batch_result_of(session, i).peek();
+        if (r != kMapOk) pool_.free(fresh_nodes[i]);
+        if (results != nullptr) results[done + i] = r;
+      }
+      done += n;
+    }
+    if (attempts != nullptr) *attempts += total.attempts;
+    return total;
   }
 
   // Removes `key`. Returns kMapOk or kMapAbsent.
@@ -307,6 +394,18 @@ class LockedHashMap {
   Cell<Plat>& out_val_of(Sess& session) {
     return *out_vals_[static_cast<std::size_t>(session.pid())];
   }
+  // Per-(process, batch-slot) result cell for put_batch: stable storage,
+  // lazily allocated the first time a process batches.
+  Cell<Plat>& batch_result_of(Sess& session, std::size_t slot) {
+    auto& row = batch_results_[static_cast<std::size_t>(session.pid())];
+    if (row.empty()) {
+      row.reserve(kMaxBatchOps);
+      for (std::size_t i = 0; i < kMaxBatchOps; ++i) {
+        row.push_back(std::make_unique<Cell<Plat>>(0u));
+      }
+    }
+    return *row[slot];
+  }
 
   Space& space_;
   std::uint32_t nbuckets_;
@@ -314,6 +413,7 @@ class LockedHashMap {
   std::vector<std::unique_ptr<Cell<Plat>>> heads_;
   std::vector<std::unique_ptr<Cell<Plat>>> results_;
   std::vector<std::unique_ptr<Cell<Plat>>> out_vals_;
+  std::vector<std::vector<std::unique_ptr<Cell<Plat>>>> batch_results_;
   std::atomic<std::uint64_t> retired_{0};
 };
 

@@ -155,6 +155,16 @@ class AdaptiveLockSpace {
   // striped stats and serial blocks, so this variant's hot path is also
   // free of process-shared counter writes. Slots released by destroyed
   // sessions are reused, handle and all (see LockTable::register_process).
+  //
+  // No embedded fast-path descriptor (with_fast_desc stays false): the
+  // §5.1 thin-word protocol depends on an attempt's priority existing
+  // before publication, while this variant's guess-and-double reveal
+  // schedule is the whole point — and an AdaptiveDescriptor carries L
+  // frozen snapshot lists, so the embedded copy would cost ~5KB per
+  // handle for a path the space cannot take. Cooperative helping is
+  // likewise not applied here: the §6.2 adaptivity argument leans on
+  // every observer finishing revealed competitors, exactly like kTheory
+  // mode (DESIGN.md §5.2).
   Process register_process() {
     std::lock_guard<std::mutex> lk(reg_mutex_);
     if (!free_pids_.empty()) {

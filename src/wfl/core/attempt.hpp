@@ -17,6 +17,11 @@
 //   MemberList<Desc*>& run_scratch();     // scratch for run()'s getSets
 //   GuardScopeT lock_guards(Desc& p);     // RAII: EBR guards covering every
 //                                         // shard p's lock set touches
+//   Desc* thin_rival(std::uint32_t id);   // the lock's thin-word publication
+//                                         // (nullptr when free/own/absent);
+//                                         // performs the observe protocol
+//   int  pid();                           // caller's dense process id
+//   bool cooperative();                   // claim-gated helping enabled?
 //
 // The stats object only needs add_elimination()/add_thunk_run(); it is the
 // caller's striped slab, so nothing the engine does writes a cacheline
@@ -24,6 +29,7 @@
 // the algorithm's own status CASes, priority loads and set reads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "wfl/active/multi_set.hpp"
@@ -53,27 +59,84 @@ struct AttemptEngine {
   // The guard scope covers every shard p's locks live in, so a helper that
   // wandered into another shard's territory still reads its snapshots and
   // descriptors under that shard's reclamation protection.
+  //
+  // Besides the set members, each lock's *thin word* (DESIGN.md §5.1) is
+  // probed for a fast-path publication and dueled exactly like a member:
+  // the thin word is a one-element extension of the lock's active set, and
+  // the Dekker-style publish/scan ordering (fast publishes the word before
+  // reading the set; slow inserts into the set before probing the word,
+  // both seq_cst) guarantees two conflicting attempts cannot both miss
+  // each other — the same visibility property Lemma 6.3 needs.
   static void run(Ctx& cx, Desc& p) {
     auto guards = cx.lock_guards(p);
     auto& members = cx.run_scratch();
     for (std::uint32_t i = 0; i < p.lock_count; ++i) {
       multi_get_set<Plat>(cx.set(p.lock_ids[i]), members);
       if (p.status.load() != kStatusActive) continue;
-      for (Desc* q : members) {
-        if (q->status.load() == kStatusActive && q != &p) {
-          const std::int64_t pp = p.priority.load();
-          const std::int64_t qp = q->priority.load();
-          if (pp > qp) {
-            eliminate(cx, *q);
-          } else {
-            eliminate(cx, p);  // covers qp > pp and the tie (self loses)
-          }
-        }
-        celebrate_if_won(cx, *q);
-      }
+      for (Desc* q : members) duel(cx, p, *q);
+      if (Desc* r = cx.thin_rival(p.lock_ids[i])) duel(cx, p, *r);
     }
     decide(p);
     celebrate_if_won(cx, p);
+  }
+
+  // One pairwise competition step between `p` and an observed rival `q`
+  // (set member or thin-word publication).
+  static void duel(Ctx& cx, Desc& p, Desc& q) {
+    if (q.status.load() == kStatusActive && &q != &p) {
+      const std::int64_t pp = p.priority.load();
+      const std::int64_t qp = q.priority.load();
+      if (pp > qp) {
+        eliminate(cx, q);
+      } else {
+        eliminate(cx, p);  // covers qp > pp and the tie (self loses)
+      }
+    }
+    celebrate_if_won(cx, q);
+  }
+
+  // Help-phase drive of a revealed competitor (tryLocks lines 17-20).
+  //
+  // With cooperative helping off (kTheory, or the ablation knob) this is
+  // exactly run(): every observer drives every stalled attempt, which is
+  // what the fairness lemma's proof assumes. With it on, a per-descriptor
+  // claim word lets ONE helper at a time do the full drive while everyone
+  // else settles for celebrate-if-won — eliminating the herd of redundant
+  // status/priority CASes on the helper-shared line. The claim is
+  // advisory and revocable: after kClaimPatience observers found the same
+  // claim in place, the next observer drives regardless, so a crashed or
+  // preempted claimer delays any attempt by a bounded number of
+  // observations and wait-freedom is untouched (worst case degenerates to
+  // today's everyone-drives behavior). See DESIGN.md §5.2.
+  static constexpr std::uint32_t kClaimPatience = 16;
+
+  static void help(Ctx& cx, Desc& q) {
+    if (!cx.cooperative()) {
+      run(cx, q);
+      return;
+    }
+    if (q.status.load() != kStatusActive) {
+      celebrate_if_won(cx, q);
+      return;
+    }
+    const std::uint64_t mine = static_cast<std::uint64_t>(cx.pid()) + 1;
+    const std::uint64_t claim = q.help_claim.load(std::memory_order_relaxed);
+    if (claim != 0 && claim != mine &&
+        q.claim_skips.fetch_add(1, std::memory_order_relaxed) <
+            kClaimPatience) {
+      cx.stats().add_help_claim_skip();
+      celebrate_if_won(cx, q);
+      return;
+    }
+    // Unclaimed, or the claim went stale: take (or revoke) it and drive.
+    // Plain store, not CAS — the claim is advisory, so the last writer
+    // winning is fine; correctness never depends on who holds it.
+    q.help_claim.store(mine, std::memory_order_relaxed);
+    q.claim_skips.store(0, std::memory_order_relaxed);
+    run(cx, q);
+    std::uint64_t expect = mine;  // release unless someone revoked us
+    q.help_claim.compare_exchange_strong(expect, 0,
+                                         std::memory_order_relaxed);
   }
 
   static void decide(Desc& p) { p.status.cas(kStatusActive, kStatusWon); }

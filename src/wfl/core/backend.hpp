@@ -130,11 +130,43 @@ struct WflBackend {
     return ::wfl::submit(session, locks, f, policy);
   }
 
+  // Native batch submission (guard amortization; core/executor.hpp).
+  static BatchOutcome submit_batch(Session& session,
+                                   std::span<const PreparedOp<Plat>> ops,
+                                   Policy policy = Policy::one_shot(),
+                                   Outcome* per_op = nullptr) {
+    return ::wfl::submit_batch(session, ops, policy, per_op);
+  }
+
   // Crash-harness hook: see LockTable::abandon_process.
   static void abandon(Space& space, const Session& session) {
     space.abandon_process(session.process());
   }
 };
+
+// Defaulted batch submission over any LockBackend: backends that expose a
+// native submit_batch (the WFL stack, with its guard amortization) use it;
+// every other backend gets the loop-of-submits semantics automatically, so
+// registry sweeps and batch-shaped drivers run against all baselines
+// without each adapter growing a bespoke method.
+template <typename B>
+BatchOutcome backend_submit_batch(
+    typename B::Session& session,
+    std::span<const PreparedOp<typename B::Platform>> ops,
+    Policy policy = Policy::one_shot(), Outcome* per_op = nullptr) {
+  if constexpr (requires { B::submit_batch(session, ops, policy, per_op); }) {
+    return B::submit_batch(session, ops, policy, per_op);
+  } else {
+    BatchOutcome out;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const Outcome o = B::submit(session, ops[i].locks(), ops[i].armed(),
+                                  policy);
+      out.add(o);
+      if (per_op != nullptr) per_op[i] = o;
+    }
+    return out;
+  }
+}
 
 // Substrate shorthand resolution: a bare platform names the wait-free
 // backend; anything exposing the backend member types is used as-is.

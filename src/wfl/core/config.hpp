@@ -38,6 +38,23 @@ struct LockConfig {
   // phase (tryLocks lines 17–20). Fairness-breaking; safety preserved.
   bool help_phase = true;
 
+  // Practical-mode (DelayMode::kOff only) contended-path optimizations
+  // (DESIGN.md §5). Neither changes kTheory executions at all — with the
+  // paper's delays on, both switches are ignored so the reveal-timing
+  // argument (Observation 6.7) and the helping discipline (Lemma 6.4)
+  // stay exactly the paper's.
+  //
+  //   * fast_path — uncontended single-lock attempts publish through a
+  //     per-lock thin word instead of allocating a descriptor and climbing
+  //     the active set; contenders revoke the word and compete against the
+  //     owner's embedded descriptor (safety argument in DESIGN.md §5.1).
+  //   * cooperative_help — the pre-insert help phase lets one helper at a
+  //     time drive a stalled attempt through a revocable per-descriptor
+  //     claim; the rest settle for celebrate-if-won and move on
+  //     (starvation-freedom argument in DESIGN.md §5.2).
+  bool fast_path = true;
+  bool cooperative_help = true;
+
   std::uint64_t t0_steps() const {
     const double k = kappa, l = max_locks, t = max_thunk_steps;
     return static_cast<std::uint64_t>(c0 * k * k * l * l * t);
@@ -67,6 +84,11 @@ struct LockStats {
   std::uint64_t t1_overruns = 0;    // post-reveal work exceeded T1 (must be 0)
   std::uint64_t log_slot_resets = 0;  // thunk-log slots re-inited by reinit
                                       // (lazy reset: O(ops used) per attempt)
+  // Contended-path optimizations (DESIGN.md §5; all 0 under kTheory):
+  std::uint64_t fastpath_hits = 0;         // attempts decided via thin word
+  std::uint64_t fastpath_revocations = 0;  // thin words observed by rivals
+  std::uint64_t help_claim_skips = 0;      // help-phase drives ceded to the
+                                           // current claim holder
 };
 
 }  // namespace wfl

@@ -71,6 +71,18 @@ struct alignas(kCacheLine) Descriptor {
   alignas(kCacheLine) typename Plat::template Atomic<std::int64_t> priority;
   typename Plat::template Atomic<std::uint32_t> status;
 
+  // Cooperative-helping claim (DESIGN.md §5.2): while help_claim holds a
+  // helper's pid+1, other helpers skip the full run() drive of this
+  // descriptor (they still celebrate a win) — until claim_skips exceeds the
+  // engine's patience, at which point the claim is revoked and the next
+  // observer drives anyway, so a crashed claimer delays an attempt by a
+  // bounded number of observations. Raw atomics: advisory scheduling state
+  // outside the step model, same stance as reclamation (substitution #2).
+  // Lives on the helper-hammered line — it is written on exactly the
+  // schedule that line already absorbs.
+  std::atomic<std::uint64_t> help_claim{0};
+  std::atomic<std::uint32_t> claim_skips{0};
+
   // --- line group C: the thunk log, CAS'd during replays ---
   alignas(kCacheLine) ThunkLog<Plat> log;
 
@@ -89,6 +101,8 @@ struct alignas(kCacheLine) Descriptor {
     tag_base = idem_tag_base(new_serial);
     priority.init(kPriorityPending);
     status.init(kStatusActive);
+    help_claim.store(0, std::memory_order_relaxed);
+    claim_skips.store(0, std::memory_order_relaxed);
     return log.reset_used();
   }
 };

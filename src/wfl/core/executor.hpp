@@ -29,10 +29,19 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <new>
+#include <span>
+#include <type_traits>
 
 #include "wfl/core/config.hpp"
 #include "wfl/core/lock_set.hpp"
 #include "wfl/core/session.hpp"
+
+// Feature-test macro for capability-probed benchmarks (bench_scaling
+// builds against trees with and without the batch API to capture
+// before/after pairs).
+#define WFL_HAS_SUBMIT_BATCH 1
 
 namespace wfl {
 
@@ -98,6 +107,91 @@ std::uint64_t policy_backoff(const Policy& policy,
   return pause;
 }
 
+// A prepared submission: one validated lock set plus a re-armable thunk,
+// the unit of submit_batch. Construction captures the lock ids BY VALUE
+// (so the op outlives whatever StaticLockSet built the view) and copies
+// the callable into inline storage. The callable must be trivially
+// copyable and fit kInlineBytes — which every lock thunk in this repo
+// already satisfies (they capture pointers and scalars; that is also what
+// the replay-after-return contract forces them towards). Non-trivial
+// state belongs behind a pointer the caller keeps alive through the
+// space's grace period, exactly as for submit().
+//
+// armed() hands out a self-contained trivially-copyable closure that any
+// LockBackend's submit() accepts as `f` — arming per attempt is a memcpy,
+// so a PreparedOp built once amortizes lock-set validation and thunk
+// marshalling across every attempt and every batch it is submitted in.
+template <typename Plat>
+class PreparedOp {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  struct Armed {
+    alignas(std::max_align_t) unsigned char bytes[kInlineBytes];
+    void (*invoke)(const void*, IdemCtx<Plat>&);
+    void operator()(IdemCtx<Plat>& m) const { invoke(bytes, m); }
+  };
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, PreparedOp> &&
+             std::is_invocable_v<std::decay_t<F>&, IdemCtx<Plat>&>)
+  PreparedOp(LockSetView locks, F f) {  // NOLINT: two-arg, no confusion
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "PreparedOp callable exceeds inline storage");
+    static_assert(std::is_trivially_copyable_v<Fn>,
+                  "PreparedOp callables must be trivially copyable");
+    WFL_CHECK(locks.size() <= kMaxLocksPerAttempt);
+    n_locks_ = locks.size();
+    for (std::uint32_t i = 0; i < n_locks_; ++i) ids_[i] = locks[i];
+    ::new (static_cast<void*>(armed_.bytes)) Fn(std::move(f));
+    armed_.invoke = [](const void* s, IdemCtx<Plat>& m) {
+      (*static_cast<const Fn*>(s))(m);
+    };
+  }
+
+  LockSetView locks() const {
+    return LockSetView::presorted({ids_, n_locks_});
+  }
+  const Armed& armed() const { return armed_; }
+  void operator()(IdemCtx<Plat>& m) const { armed_(m); }
+
+ private:
+  std::uint32_t ids_[kMaxLocksPerAttempt] = {};
+  std::uint32_t n_locks_ = 0;
+  Armed armed_;
+};
+
+// Aggregate accounting for one batch submission.
+struct BatchOutcome {
+  std::uint64_t ops = 0;            // ops submitted
+  std::uint64_t wins = 0;           // ops whose final attempt won
+  std::uint64_t attempts = 0;       // attempts across all ops
+  std::uint64_t total_steps = 0;    // own steps across all ops
+  std::uint64_t backoff_steps = 0;  // own steps idled between attempts
+
+  explicit operator bool() const { return wins == ops; }
+
+  // The single accumulation points every batch path shares (executor,
+  // backend fallback, txn batches, substrate entry points) — a new
+  // Outcome field gets folded in exactly here or nowhere.
+  void add(const Outcome& o) {
+    ops += 1;
+    wins += o.won ? 1 : 0;
+    attempts += o.attempts;
+    total_steps += o.total_steps;
+    backoff_steps += o.backoff_steps;
+  }
+  BatchOutcome& operator+=(const BatchOutcome& o) {
+    ops += o.ops;
+    wins += o.wins;
+    attempts += o.attempts;
+    total_steps += o.total_steps;
+    backoff_steps += o.backoff_steps;
+    return *this;
+  }
+};
+
 // Submits `f` on `locks` through `session` under `policy`. The lock-set
 // invariants (sorted, deduplicated, within capacity) are carried by the
 // LockSetView type; the configured L budget was enforced when the set was
@@ -138,6 +232,131 @@ Outcome submit(BasicSession<Space>& session, LockSetView locks, const F& f,
       out.total_steps += pause;
     }
   }
+}
+
+// RAII guard-amortization primitive shared by submit_batch and
+// submit_txn_batch: add() every lock id of the batch, then enter() once;
+// the destructor exits whatever was entered. On spaces with shard routing
+// (the LockTable surface: shard_of + guard_shard_enter/exit) exactly the
+// batch's shard footprint is covered, leaving reclamation everywhere else
+// untouched; other spaces fall back to the whole-space inspector guard.
+template <typename Space>
+class BatchShardGuard {
+  static constexpr bool kSharded =
+      requires(Space& s, typename Space::Process p) {
+        s.shard_of(std::uint32_t{0});
+        s.guard_shard_enter(p, std::uint32_t{0});
+        s.guard_shard_exit(p, std::uint32_t{0});
+      };
+
+ public:
+  BatchShardGuard(Space& space, typename Space::Process proc)
+      : space_(space), proc_(proc) {}
+
+  ~BatchShardGuard() {
+    if (!entered_) return;
+    if constexpr (kSharded) {
+      for (std::uint32_t j = 0; j < n_; ++j) {
+        space_.guard_shard_exit(proc_, shards_[j]);
+      }
+    } else {
+      space_.ebr_exit(proc_);
+    }
+  }
+
+  BatchShardGuard(const BatchShardGuard&) = delete;
+  BatchShardGuard& operator=(const BatchShardGuard&) = delete;
+
+  void add(std::uint32_t lock_id) {
+    WFL_DASSERT(!entered_);
+    if constexpr (kSharded) {
+      const std::uint32_t s = space_.shard_of(lock_id);
+      for (std::uint32_t j = 0; j < n_; ++j) {
+        if (shards_[j] == s) return;
+      }
+      WFL_DASSERT(n_ < kMaxShards);
+      shards_[n_++] = s;
+    }
+  }
+
+  void enter() {
+    if constexpr (kSharded) {
+      for (std::uint32_t j = 0; j < n_; ++j) {
+        space_.guard_shard_enter(proc_, shards_[j]);
+      }
+    } else {
+      space_.ebr_enter(proc_);
+    }
+    entered_ = true;
+  }
+
+ private:
+  Space& space_;
+  typename Space::Process proc_;
+  std::uint32_t shards_[kMaxShards] = {};
+  std::uint32_t n_ = 0;
+  bool entered_ = false;
+};
+
+// Submits every op of `ops` in order through `session` under one `policy`,
+// amortizing the per-op fixed costs across the batch:
+//
+//   * lock-set validation — each PreparedOp carries its invariants from
+//     construction; only the L budget is checked, once per op, up front;
+//   * thunk marshalling — arming an attempt is a memcpy of the op's
+//     inline closure;
+//   * EBR guard entry — in DelayMode::kOff the guards of the shards the
+//     batch's lock sets touch (only those — reclamation elsewhere keeps
+//     flowing) are pre-entered once around the whole batch, so every
+//     per-attempt guard acquisition inside collapses to a re-entrancy
+//     depth bump (plain private increment) instead of a fence + seq_cst
+//     epoch validation. Spaces without shard routing fall back to the
+//     whole-space inspector guard. The guards are NOT pre-entered in
+//     kTheory mode: there an attempt deliberately releases them across
+//     its delay segments to keep reclamation flowing, and a batch-held
+//     guard would defeat that.
+//
+// Op-visible semantics are identical to a loop of submit() calls — the
+// pre-entered guard is invisible to the step model (reclamation is outside
+// it, DESIGN.md #2): an uncontended batch is step-for-step equivalent to
+// the loop (asserted by test_fastpath's sim test; under contention only
+// reclamation timing — never an outcome — can differ). Reclamation in the
+// touched shards stalls for the duration of the batch; callers pick batch
+// sizes accordingly (tens to hundreds, not millions).
+//
+// `per_op`, when non-null, must point at ops.size() Outcomes and receives
+// each op's individual accounting.
+template <typename Space>
+BatchOutcome submit_batch(BasicSession<Space>& session,
+                          std::span<const PreparedOp<typename Space::Platform>> ops,
+                          Policy policy = Policy::one_shot(),
+                          Outcome* per_op = nullptr) {
+  Space& space = session.space();
+  bool hold_guards = false;
+  if constexpr (requires { space.config(); }) {
+    for (const auto& op : ops) {
+      WFL_CHECK_MSG(op.locks().size() <= space.config().max_locks,
+                    "batch op lock set exceeds the configured L bound");
+    }
+    hold_guards =
+        space.config().delay_mode == DelayMode::kOff && ops.size() > 1;
+  }
+
+  BatchShardGuard<Space> guard(space, session.process());
+  if (hold_guards) {
+    for (const auto& op : ops) {
+      for (const std::uint32_t id : op.locks()) guard.add(id);
+    }
+    guard.enter();
+  }
+
+  BatchOutcome out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Outcome o = submit(session, ops[i].locks(), ops[i].armed(), policy);
+    out.add(o);
+    if (per_op != nullptr) per_op[i] = o;
+  }
+  return out;
 }
 
 }  // namespace wfl

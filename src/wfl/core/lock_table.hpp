@@ -60,6 +60,29 @@
 // stalls in a delay. Releasing the guard there is safe: during a delay the
 // process holds no borrowed references (its own descriptor is not retired
 // until the end of the attempt).
+//
+// --- Thin-word fast path (DelayMode::kOff only) ----------------------------
+//
+// Every lock carries a *thin word*. An uncontended single-lock attempt
+// CASes an encoding of (owner pid, attempt serial) into it, competes
+// through the handle's embedded descriptor — which the word logically
+// publishes, exactly as an active-set insert would — and CASes the word
+// back to free. The steady state is two thin-word CASes plus the
+// competition reads: zero descriptor-pool traffic, zero snapshot climbs,
+// zero EBR retires.
+//
+// On conflict a contender *revokes* the publication: it sets the word's
+// observed bit (announcing that it holds a reference to the embedded
+// descriptor) and then duels/helps that descriptor through the ordinary
+// Algorithm-3 machinery — eliminate, celebrate-if-won, thunk replay via
+// the idempotence log — so helping semantics and the step bound are
+// preserved verbatim. The owner, finding its release CAS failed, clears
+// the word and *cools down*: the embedded descriptor may not be reused
+// until a grace period of the publishing shard's EBR domain has passed
+// (a cooldown token retired into that domain flips the handle's
+// fast_ready flag back), because the observer may still be reading it.
+// Until then the process's single-lock attempts take the descriptor path.
+// Safety argument in DESIGN.md §5.1.
 #pragma once
 
 #include <algorithm>
@@ -119,9 +142,12 @@ class LockTable {
                                        : auto_shards(max_procs, num_locks)),
         serial_block_(sizing.serial_block != 0 ? sizing.serial_block
                                                : kDefaultSerialBlock),
+        thin_(static_cast<std::size_t>(std::max(num_locks, 1))),
         handles_(static_cast<std::size_t>(std::max(max_procs, 1))) {
     cfg_.validate();
     WFL_CHECK(max_procs > 0 && num_locks > 0);
+    WFL_CHECK_MSG(max_procs < (1 << 15),
+                  "thin-word owner encoding caps max_procs at 2^15 - 1");
     WFL_CHECK(cfg_.max_locks <= kMaxLocksPerAttempt);
     WFL_CHECK(cfg_.max_thunk_steps <= kMaxThunkOps);
     WFL_CHECK(cfg_.kappa <= kMaxSetCap);
@@ -155,6 +181,13 @@ class LockTable {
       locks_.push_back(std::make_unique<Set>(
           cfg_.kappa, set_mem_[shard_of(static_cast<std::uint32_t>(i))]));
     }
+    // The practical-mode optimizations are hard-gated on kOff: with the
+    // paper's delays on, every execution is bit-identical to the pre-
+    // fast-path tree (the thin words are never published, and the slow
+    // path's probes are skipped entirely).
+    fast_enabled_ = cfg_.delay_mode == DelayMode::kOff && cfg_.fast_path;
+    cooperative_ =
+        cfg_.delay_mode == DelayMode::kOff && cfg_.cooperative_help;
   }
 
   // Registers the calling logical process: one participant slot in every
@@ -180,7 +213,8 @@ class LockTable {
     }
     WFL_CHECK(pid >= 0 && pid < static_cast<int>(handles_.size()));
     handles_[static_cast<std::size_t>(pid)] = std::make_unique<Handle>(
-        pid, num_shards_, serial_hwm_, serial_block_);
+        pid, num_shards_, serial_hwm_, serial_block_,
+        /*with_fast_desc=*/true);
     registered_.store(pid + 1, std::memory_order_release);
     return Process{pid};
   }
@@ -262,6 +296,15 @@ class LockTable {
       return true;
     }
 
+    // Thin-word fast path: a single-lock attempt whose embedded descriptor
+    // is warm tries to decide through the lock's thin word. A contended or
+    // cooling-down attempt falls through to the descriptor path below with
+    // the thunk intact.
+    if (fast_enabled_ && lock_ids.size() == 1 && h.fast_ready()) {
+      bool won = false;
+      if (fast_attempt(h, lock_ids[0], thunk, info, won)) return won;
+    }
+
     const std::uint64_t start_steps = Plat::steps();
 
     // The attempt's shard footprint. `home` (the first lock's shard) hosts
@@ -297,7 +340,14 @@ class LockTable {
         multi_get_set<Plat>(*locks_[d.lock_ids[i]], members);
         for (Desc* q : members) {
           h.stats().add_help();
-          Engine::run(cx, *q);
+          Engine::help(cx, *q);
+        }
+        // A thin-word publication on this lock is a revealed competitor
+        // like any set member: drive it too (fast-path owners are helped,
+        // not just dueled).
+        if (Desc* r = cx.thin_rival(d.lock_ids[i])) {
+          h.stats().add_help();
+          Engine::help(cx, *r);
         }
       }
     }
@@ -343,6 +393,110 @@ class LockTable {
       info->total_steps = Plat::steps() - start_steps;
     }
     return won;
+  }
+
+  // --- thin-word fast path (see the header comment and DESIGN.md §5.1) ---
+
+  // Thin-word encoding: bit 0 = observed (a rival holds a reference to the
+  // publication), bits 1..15 = owner pid + 1, bits 16..63 = attempt serial.
+  // pid+1 keeps 0 meaning "free"; the serial makes (pid, serial) reuse —
+  // the only ABA that could confuse a rival's CAS — require a 2^48 serial
+  // wrap inside one rival's bounded probe window.
+  static constexpr std::uint64_t kThinObserved = 1;
+  static std::uint64_t thin_encode(int pid, std::uint64_t serial) {
+    return (static_cast<std::uint64_t>(pid + 1) << 1) | (serial << 16);
+  }
+  static int thin_pid(std::uint64_t word) {
+    return static_cast<int>((word >> 1) & 0x7FFF) - 1;
+  }
+
+  // One fast-path attempt on `lock_id`. Returns true when the attempt was
+  // decided here (won_out holds the outcome); false when the thin word was
+  // already held — the thunk is moved back out and the caller proceeds on
+  // the descriptor path. The embedded descriptor is fully formed BEFORE
+  // the publish CAS, so a rival that observes the word immediately after
+  // reads a complete, revealed (priority > 0) Algorithm-3 descriptor.
+  bool fast_attempt(Handle& h, std::uint32_t lock_id, Thunk& thunk,
+                    AttemptInfo* info, bool& won_out) {
+    Desc& fd = h.fast_desc();
+    const std::uint64_t start_steps = Plat::steps();
+    h.stats().add_log_slot_resets(fd.reinit(h.next_serial()));
+    fd.lock_count = 1;
+    fd.lock_ids[0] = lock_id;
+    fd.thunk = std::move(thunk);
+    fd.priority.init(draw_priority<Plat>());  // revealed by the publish CAS
+    const std::uint64_t enc = thin_encode(h.pid(), fd.serial);
+    ThinWord& w = *thin_[lock_id];
+    if (!w.cas(0, enc)) {
+      // Held by someone else: this attempt is contended, take the
+      // descriptor path (which duels/helps the holder via thin_rival).
+      thunk = std::move(fd.thunk);
+      return false;
+    }
+    const std::uint64_t pre_reveal_work = Plat::steps() - start_steps;
+
+    // Compete exactly as a slow-path attempt would: the engine reads the
+    // lock's set members AND the thin word (skipping our own publication)
+    // under the shard's guard, then decides and celebrates.
+    AttemptCtx cx{*this, h};
+    const std::uint64_t reveal_steps = Plat::steps();
+    Engine::run(cx, fd);
+
+    if (!w.cas(enc, 0)) {
+      // A rival set the observed bit (the only transition a non-owner
+      // makes) and may still be reading the embedded descriptor; clear the
+      // word, then cool the descriptor down through a grace period of this
+      // lock's shard before any reuse. Rivals that probe from here on see
+      // 0 — and any attempt that started after our publication already
+      // found us through the word or will see our effects as decided.
+      w.store(0);
+      h.begin_fast_cooldown();
+      ebr_[shard_of(lock_id)]->retire(h.pid(), &h, 0,
+                                      &Handle::fast_cooldown_expired);
+      h.stats().add_fastpath_revocation();
+    }
+    const std::uint64_t post_reveal_work = Plat::steps() - reveal_steps;
+
+    const bool won = fd.status.load() == kStatusWon;
+    if (won) h.stats().add_win();
+    h.stats().add_fastpath_hit();
+    if (info != nullptr) {
+      info->won = won;
+      info->pre_reveal_work = pre_reveal_work;
+      info->post_reveal_work = post_reveal_work;
+      info->total_steps = Plat::steps() - start_steps;
+    }
+    won_out = won;
+    return true;
+  }
+
+  // The observe protocol, called by the engine (under the shard's guard —
+  // every call site covers shard_of(lock_id)). Returns the lock's current
+  // fast-path publication as a duel-able descriptor, or nullptr when the
+  // word is free, owned by the caller, or too unstable to pin.
+  //
+  // Setting the observed bit BEFORE dereferencing is what makes the
+  // returned pointer stable: once the bit is set the owner's release CAS
+  // fails, so the owner clears the word and cools the descriptor through a
+  // grace period of this shard — which cannot expire while the caller
+  // holds the shard's guard. Giving up after two changed-word passes is
+  // safe: the word changing means the previous publication completed
+  // (decided and released), and any NEWER publication's competition scan
+  // happens after its publish CAS — which is after our own set insert —
+  // so the newer owner is guaranteed to see and duel us instead.
+  Desc* thin_rival(Handle& h, std::uint32_t lock_id) {
+    if (!fast_enabled_) return nullptr;
+    ThinWord& w = *thin_[lock_id];
+    for (int pass = 0; pass < 2; ++pass) {
+      const std::uint64_t v = w.load();
+      if (v == 0) return nullptr;
+      const int pid = thin_pid(v);
+      if (pid == h.pid()) return nullptr;  // own publication
+      if ((v & kThinObserved) != 0 || w.cas(v, v | kThinObserved)) {
+        return &handles_[static_cast<std::size_t>(pid)]->fast_desc();
+      }
+    }
+    return nullptr;
   }
 
  public:
@@ -408,6 +562,19 @@ class LockTable {
   // play the model's adaptive player, which may see all of history.
   Set& lock_set(std::uint32_t id) { return *locks_[id]; }
 
+  // Batch support (executor::submit_batch): pre-enter/exit ONE shard's
+  // guard through the handle's re-entrant depth counters, so a batch can
+  // cover exactly its lock sets' shard footprint instead of the whole
+  // table.
+  void guard_shard_enter(Process p, std::uint32_t shard) {
+    WFL_DASSERT(shard < num_shards_);
+    shard_guard_enter(handle(p), shard);
+  }
+  void guard_shard_exit(Process p, std::uint32_t shard) {
+    WFL_DASSERT(shard < num_shards_);
+    shard_guard_exit(handle(p), shard);
+  }
+
   // Inspector guard over the whole table (all shards): the player adversary
   // may look at any lock, so it gets reclamation protection everywhere.
   void ebr_enter(Process p) {
@@ -468,9 +635,19 @@ class LockTable {
     free_pids_.push_back(p.ebr_pid);
   }
 
+ public:
+  // Diagnostics for the fast path (tests, bench_scaling).
+  bool fast_path_enabled() const { return fast_enabled_; }
+  bool cooperative_help_enabled() const { return cooperative_; }
+  // Quiescent-only peek at a lock's thin word (0 = free).
+  std::uint64_t thin_word_peek(std::uint32_t lock_id) const {
+    return thin_[lock_id]->peek();
+  }
+
  private:
   struct AttemptCtx;
   using Engine = AttemptEngine<Plat, AttemptCtx>;
+  using ThinWord = typename Plat::template Atomic<std::uint64_t>;
   static constexpr std::uint32_t kDefaultSerialBlock = 1024;
 
   struct ShardMem {
@@ -524,6 +701,11 @@ class LockTable {
     StatsSlab& stats() { return h.stats(); }
     MemberList<Desc*>& run_scratch() { return h.run_scratch(); }
     GuardScope lock_guards(Desc& p) { return GuardScope(t, h, p); }
+    Desc* thin_rival(std::uint32_t lock_id) {
+      return t.thin_rival(h, lock_id);
+    }
+    int pid() { return h.pid(); }
+    bool cooperative() { return t.cooperative_; }
   };
   friend struct AttemptCtx;
 
@@ -599,21 +781,28 @@ class LockTable {
   int max_procs_;
   std::uint32_t num_shards_;
   std::uint32_t serial_block_;
+  bool fast_enabled_ = false;
+  bool cooperative_ = false;
+  // One thin word per lock, line-padded: under contention rivals hammer a
+  // lock's word with observe CASes and the owner with publish/release
+  // CASes — neighbouring locks must not share that line.
+  std::vector<CachePadded<ThinWord>> thin_;
   // Order matters: each EbrDomain's destructor drains retired objects back
   // into the per-process caches and pools — possibly of *other* shards
-  // (cross-shard descriptors) — so every pool and cache must outlive every
-  // domain: mem_ and caches_ are declared before ebr_ (members are
-  // destroyed in reverse order), and locks_/set_mem_ (which reference
-  // both) come after.
+  // (cross-shard descriptors) — and runs any pending fast-path cooldown
+  // deleters against their handles, so every pool, cache AND handle must
+  // outlive every domain: mem_, caches_ and handles_ are declared before
+  // ebr_ (members are destroyed in reverse order), and locks_/set_mem_
+  // (which reference both) come after.
   std::vector<std::unique_ptr<ShardMem>> mem_;
   std::vector<std::unique_ptr<ShardCaches>> caches_;
+  std::vector<std::unique_ptr<Handle>> handles_;  // indexed by pid; fixed size
   std::vector<std::unique_ptr<EbrDomain>> ebr_;
   std::vector<SetMem<Desc*>> set_mem_;
   std::vector<std::unique_ptr<Set>> locks_;
 
   std::atomic<std::uint64_t> serial_hwm_{1};
   std::mutex reg_mutex_;
-  std::vector<std::unique_ptr<Handle>> handles_;  // indexed by pid; fixed size
   std::vector<int> free_pids_;  // released slots awaiting reuse (reg_mutex_)
   std::atomic<int> registered_{0};
 };

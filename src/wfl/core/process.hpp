@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "wfl/active/multi_set.hpp"
@@ -63,6 +64,10 @@ struct StatsSlab {
   // Thunk-log slots re-initialized by descriptor reinit (the lazy-reset
   // figure: O(ops used) per attempt instead of O(kThunkLogCap)).
   std::atomic<std::uint64_t> log_slot_resets{0};
+  // Contended-path optimization counters (DESIGN.md §5):
+  std::atomic<std::uint64_t> fastpath_hits{0};
+  std::atomic<std::uint64_t> fastpath_revocations{0};
+  std::atomic<std::uint64_t> help_claim_skips{0};
 
   static void bump(std::atomic<std::uint64_t>& c) {
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
@@ -79,6 +84,9 @@ struct StatsSlab {
   void add_t1_overrun() { bump(t1_overruns); }
   void add_tbd_elimination() { bump(tbd_eliminations); }
   void add_log_slot_resets(std::uint64_t n) { bump_by(log_slot_resets, n); }
+  void add_fastpath_hit() { bump(fastpath_hits); }
+  void add_fastpath_revocation() { bump(fastpath_revocations); }
+  void add_help_claim_skip() { bump(help_claim_skips); }
 
   void accumulate_into(LockStats& s) const {
     s.attempts += attempts.load(std::memory_order_relaxed);
@@ -89,6 +97,10 @@ struct StatsSlab {
     s.t0_overruns += t0_overruns.load(std::memory_order_relaxed);
     s.t1_overruns += t1_overruns.load(std::memory_order_relaxed);
     s.log_slot_resets += log_slot_resets.load(std::memory_order_relaxed);
+    s.fastpath_hits += fastpath_hits.load(std::memory_order_relaxed);
+    s.fastpath_revocations +=
+        fastpath_revocations.load(std::memory_order_relaxed);
+    s.help_claim_skips += help_claim_skips.load(std::memory_order_relaxed);
   }
 };
 
@@ -102,12 +114,16 @@ static_assert(sizeof(CachePadded<StatsSlab>) % kCacheLine == 0);
 template <typename Plat, typename DescT>
 class ProcessHandle {
  public:
+  // `with_fast_desc` allocates the embedded fast-path descriptor (the
+  // known-bounds LockTable wants it; the adaptive space, whose descriptors
+  // carry kMaxLocksPerAttempt frozen snapshots each, does not pay for it).
   ProcessHandle(int pid, std::uint32_t num_shards,
                 std::atomic<std::uint64_t>& serial_hwm,
-                std::uint32_t serial_block)
+                std::uint32_t serial_block, bool with_fast_desc = false)
       : pid_(pid),
         serial_block_(serial_block),
         serial_hwm_(&serial_hwm),
+        fast_desc_(with_fast_desc ? std::make_unique<DescT>() : nullptr),
         guard_depth_(num_shards, 0),
         rng_(0x5EEDF00Du + static_cast<std::uint64_t>(pid) * 0x9E3779B9ULL) {
     WFL_CHECK(pid >= 0 && num_shards > 0 && serial_block > 0);
@@ -145,6 +161,35 @@ class ProcessHandle {
   // descriptor-less run.
   ThunkLog<Plat>& local_log() { return local_log_; }
 
+  // The embedded fast-path descriptor (DESIGN.md §5.1): uncontended
+  // single-lock attempts publish it through the lock's thin word instead
+  // of drawing a pooled descriptor, so the steady state performs zero pool
+  // and active-set traffic. It is pool-free and never EBR-retired; reuse
+  // safety comes from the thin-word observation protocol: the descriptor
+  // may be re-initialized only while fast_ready() is true — either no
+  // rival ever observed the previous publication (the release CAS
+  // succeeded untouched), or a full grace period of the publishing shard
+  // has passed since (the table retires a cooldown token whose deleter
+  // calls end_fast_cooldown()). Allocated only when the owning space
+  // requested it (with_fast_desc).
+  DescT& fast_desc() {
+    WFL_DASSERT(fast_desc_ != nullptr);
+    return *fast_desc_;
+  }
+  bool fast_ready() const {
+    return fast_ready_.load(std::memory_order_relaxed);
+  }
+  void begin_fast_cooldown() {
+    fast_ready_.store(false, std::memory_order_relaxed);
+  }
+  void end_fast_cooldown() {
+    fast_ready_.store(true, std::memory_order_relaxed);
+  }
+  // EbrDomain deleter shape for the cooldown token; ctx is the handle.
+  static void fast_cooldown_expired(void* ctx, std::uint32_t) {
+    static_cast<ProcessHandle*>(ctx)->end_fast_cooldown();
+  }
+
   // Re-entrancy depth of this process's EBR guard on `shard`. The table
   // enters the shard's domain when the depth rises from 0 and exits when it
   // returns to 0; everything in between is a plain private increment.
@@ -167,6 +212,10 @@ class ProcessHandle {
   MemberList<DescT*> help_scratch_;
   MemberList<DescT*> run_scratch_;
   ThunkLog<Plat> local_log_;
+  std::unique_ptr<DescT> fast_desc_;
+  // Raw atomic: flipped by the EBR cooldown deleter, which runs on the
+  // owning participant or under quiescent domain teardown (another thread).
+  std::atomic<bool> fast_ready_{true};
   std::vector<std::uint32_t> guard_depth_;
   Xoshiro256 rng_;
 };

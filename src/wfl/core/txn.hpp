@@ -173,4 +173,36 @@ class PreparedTxn {
   std::uint32_t step_budget_ = 0;
 };
 
+// Batch submission of several prepared transactions through one session:
+// the same per-batch EBR guard amortization as executor::submit_batch
+// (kOff mode only — see that function's contract), entering exactly the
+// shards the transactions' combined lock sets touch. Each transaction's L
+// and T budgets are still checked by its own submit() — once per
+// submission, off the attempt path, same as a plain loop. Transactions
+// keep their shared-program lifetime semantics, so helpers may replay a
+// txn thunk after the batch returns.
+template <typename Plat>
+BatchOutcome submit_txn_batch(Session<Plat>& session,
+                              std::span<PreparedTxn<Plat>> txns,
+                              Policy policy = Policy::one_shot(),
+                              Outcome* per_op = nullptr) {
+  LockTable<Plat>& space = session.space();
+  const bool hold_guards =
+      space.config().delay_mode == DelayMode::kOff && txns.size() > 1;
+  BatchShardGuard<LockTable<Plat>> guard(space, session.process());
+  if (hold_guards) {
+    for (const auto& txn : txns) {
+      for (const std::uint32_t id : txn.lock_set()) guard.add(id);
+    }
+    guard.enter();
+  }
+  BatchOutcome out;
+  for (std::size_t i = 0; i < txns.size(); ++i) {
+    const Outcome o = txns[i].submit(session, policy);
+    out.add(o);
+    if (per_op != nullptr) per_op[i] = o;
+  }
+  return out;
+}
+
 }  // namespace wfl

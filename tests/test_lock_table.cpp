@@ -111,12 +111,26 @@ TEST(LockTable, CrossShardMultiLockMutualExclusion) {
 
 // stats() must aggregate the striped per-process slabs to the same totals
 // the callers observed first-hand.
+//
+// The exactly-once audit uses PER-LOCK counter cells (count[r] is touched
+// only by attempts holding lock r): a single global cell would assert a
+// property the locks do not grant — attempts on DISJOINT lock sets (e.g.
+// {0,1} and {5,6}) may legitimately run their thunks concurrently, and
+// under a scheduler skewed enough to overlap them (TSan slowdown) a
+// shared unguarded cell loses updates by design, not by bug. (This test
+// asserted exactly that for several PRs and was latently flaky under
+// TSan.)
 TEST(LockTable, StripedStatsMatchPerAttemptGroundTruth) {
   const int threads = 4;
   const int attempts = 250;
-  auto t = std::make_unique<Table>(cfg_for(threads), threads, 16,
+  constexpr std::uint32_t kLocks = 16;
+  auto t = std::make_unique<Table>(cfg_for(threads), threads,
+                                   static_cast<int>(kLocks),
                                    SpaceSizing{.shards = 4});
-  Cell<RealPlat> c{0};
+  std::vector<std::unique_ptr<Cell<RealPlat>>> count;
+  for (std::uint32_t i = 0; i < kLocks; ++i) {
+    count.push_back(std::make_unique<Cell<RealPlat>>(0u));
+  }
   std::atomic<std::uint64_t> true_attempts{0};
   std::atomic<std::uint64_t> true_wins{0};
   std::vector<std::thread> ts;
@@ -128,9 +142,10 @@ TEST(LockTable, StripedStatsMatchPerAttemptGroundTruth) {
       for (int a = 0; a < attempts; ++a) {
         const auto r = static_cast<std::uint32_t>(rng.next_below(15));
         const std::uint32_t ids[] = {r, r + 1};
+        Cell<RealPlat>* cell = count[r].get();
         true_attempts.fetch_add(1, std::memory_order_relaxed);
-        if (t->try_locks(proc, ids, [&c](IdemCtx<RealPlat>& m) {
-              m.store(c, m.load(c) + 1);
+        if (t->try_locks(proc, ids, [cell](IdemCtx<RealPlat>& m) {
+              m.store(*cell, m.load(*cell) + 1);
             })) {
           true_wins.fetch_add(1, std::memory_order_relaxed);
         }
@@ -147,7 +162,9 @@ TEST(LockTable, StripedStatsMatchPerAttemptGroundTruth) {
   EXPECT_EQ(s.t0_overruns, 0u);
   EXPECT_EQ(s.t1_overruns, 0u);
   // The won thunks all executed exactly once logically.
-  EXPECT_EQ(c.peek(), true_wins.load());
+  std::uint64_t sum = 0;
+  for (const auto& cell : count) sum += cell->peek();
+  EXPECT_EQ(sum, true_wins.load());
 }
 
 // One registered handle serves locks in every shard, its serial blocks keep
@@ -219,7 +236,13 @@ TEST(LockTable, FacadeConvertsToTable) {
 // slots circulate entirely through the owner's caches (alloc pops the
 // cache, the EBR deleters push expired slots back).
 TEST(LockTable, SteadyStateUncontendedTouchesNoSharedFreelist) {
-  Table t(cfg_for(2, 1), 2, 16, SpaceSizing{.shards = 4});
+  // This test exercises the DESCRIPTOR path's cache circulation, so the
+  // thin-word fast path (which skips descriptor allocation entirely and
+  // would make the assertion vacuous) is disabled. test_fastpath covers
+  // the fast path's own zero-pool-traffic property.
+  LockConfig cfg = cfg_for(2, 1);
+  cfg.fast_path = false;
+  Table t(cfg, 2, 16, SpaceSizing{.shards = 4});
   auto proc = t.register_process();
   Cell<RealPlat> c{0};
   auto attempt = [&] {
@@ -246,7 +269,11 @@ TEST(LockTable, SteadyStateUncontendedTouchesNoSharedFreelist) {
 // crash-abandoned process (released while parked inside a guard) both
 // spill their caches back to the shared pools.
 TEST(LockTable, CachedSlotsSpillOnRelease) {
-  Table t(cfg_for(2, 1), 2, 16, SpaceSizing{.shards = 4});
+  // Descriptor-path machinery under test: disable the fast path so
+  // single-lock attempts actually populate the slot caches.
+  LockConfig cfg = cfg_for(2, 1);
+  cfg.fast_path = false;
+  Table t(cfg, 2, 16, SpaceSizing{.shards = 4});
   Cell<RealPlat> c{0};
 
   // Orderly: run enough attempts to populate the caches, then release.
