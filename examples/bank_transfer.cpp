@@ -10,6 +10,7 @@
 // Build & run:  ./examples/bank_transfer
 #include <chrono>
 #include <cstdio>
+#include <functional>
 #include <thread>
 #include <vector>
 

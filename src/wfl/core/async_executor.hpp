@@ -1,0 +1,751 @@
+// AsyncExecutor: fiber-multiplexed submission — 100k+ in-flight sessions
+// on a fixed worker pool.
+//
+// submit() burns an OS thread per in-flight submission: an attempt that
+// loses its locks idles `policy_backoff` own steps on its thread and
+// retries. That shape caps concurrency at "threads you can afford" and
+// wastes every backoff step spinning. The async executor inverts it:
+//
+//   Ticket t = exec.async_submit(client, locks, thunk, policy);
+//   ...                                  // 100k of these outstanding
+//   const Outcome& o = t.wait();
+//
+// A submission becomes an AsyncOp — a small heap record (~300 B), not a
+// thread and not a suspended stack. N worker threads (N ~ cores) pull
+// ready ops from per-worker run queues (with stealing, plus a shared
+// injector), draw a pooled fiber, and run ONE attempt cycle of the
+// existing engine on it: link wait nodes, submit_attempt(), then either
+// complete or park. Parking is returning: the fiber finishes and goes
+// back to the pool, the op stays linked on its locks' wait lists, and the
+// worker moves on. Zero own steps are spent backing off — the bench
+// asserts backoff_spin_steps == 0 under full contention.
+//
+// Wakes come from the lock table itself. LockTable::attempt() and the
+// thin-word fast path post a release event (WakeSink::on_release) for
+// every lock an attempt's descriptor left — on wins, losses, revocations
+// and claim expiry alike. The executor is the sink: an event on lock X
+// wakes one parked op from X's wait list (re-enqueueing it) or signals
+// one op whose attempt is currently running.
+//
+// Lost-wake soundness (the prepare-to-wait argument):
+//
+//   1. An op links its wait nodes on ALL its locks BEFORE its attempt
+//      reads any lock state, and stays linked until it completes.
+//   2. After a losing attempt, the worker CASes the op kRunning ->
+//      kParked. A release event delivered in between CASes kRunning ->
+//      kSignalled instead; the park CAS then fails and the cycle retries
+//      immediately. So every event that post-dates the node link either
+//      wakes a parked op, converts into an immediate retry, or is
+//      absorbed by an op that is already signalled — never dropped while
+//      a waiter could need it. Events that PRE-date the link are covered
+//      by the attempt that follows the link: it reads current lock state.
+//   3. Wake-one does not strand later waiters: every attempt — including
+//      a woken op's losing retry — ends by posting events on all its
+//      locks (its multiRemove changed them), so the baton passes down the
+//      list as long as any attempt is in flight. An op never parks
+//      without having posted events as its final shared-memory act.
+//      (Its own nodes are skipped during its own attempt's events — the
+//      running_by_pid_ slot of the event's origin pid — so it cannot
+//      signal itself into a hot self-retry loop.)
+//
+// Processes: attempts run under the WORKER's registered process, not the
+// submitter's — κ in the engine's O(κ²L²T) bound scales with workers,
+// not with in-flight submissions, and the thin-word pid encoding's
+// max_procs cap (< 2^15) never meets the 100k+ op count. The submitting
+// AsyncClient is liveness bookkeeping only: crash() makes its pending
+// ops complete as cancelled instead of wedging their wait lists. In
+// inline mode (workers == 0) there are no worker processes and cycles
+// run under the CLIENT's session on whatever fiber drives run_ready() —
+// which is what makes async_submit sim-deterministic and, uncontended,
+// step-identical to submit() (asserted in test_async.cpp).
+//
+// Guard-drop rule: a cycle must end — park or complete — with no EBR
+// guard held (a parked op holding a guard would stall reclamation for a
+// whole shard indefinitely). The engine already brackets guards inside
+// try_locks; the cycle WFL_CHECKs Space::any_guard_held on its way out.
+//
+// Modes: async submission is a DelayMode::kOff facility (checked at
+// construction). kTheory timing is owned by the paper's delay schedule;
+// parking would perturb the reveal-time argument, and bit-identical
+// kTheory step traces are a hard regression gate. The executor's own
+// plumbing (queues, wait lists, state CASes) is raw std::atomic/mutex,
+// outside the step model, same as reclamation (DESIGN.md #2).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "wfl/core/executor.hpp"
+#include "wfl/core/lock_set.hpp"
+#include "wfl/core/session.hpp"
+#include "wfl/util/assert.hpp"
+#include "wfl/util/fiber.hpp"
+
+// Capability probe for drivers that sweep backends: baselines without an
+// async executor fall back to synchronous B::submit (see backend.hpp).
+#define WFL_HAS_ASYNC_SUBMIT 1
+
+namespace wfl {
+
+// Liveness handle for one logical submitter. An AsyncClient is NOT a
+// registered process (that is the whole point — clients are cheap and
+// unbounded); it is the cancellation scope its submissions complete
+// under, plus the session inline mode runs them on. Must outlive its
+// in-flight ops: wait on the tickets, or crash() and drain, before
+// destroying it.
+template <typename Space>
+class BasicAsyncClient {
+ public:
+  explicit BasicAsyncClient(BasicSession<Space>& session)
+      : session_(&session) {}
+
+  BasicAsyncClient(const BasicAsyncClient&) = delete;
+  BasicAsyncClient& operator=(const BasicAsyncClient&) = delete;
+
+  bool live() const { return live_.load(std::memory_order_acquire); }
+
+  // Crash-harness hook: pending submissions complete as cancelled
+  // (won == false) the next time a worker touches them; parked ones are
+  // re-queued by AsyncExecutor::cancel_client. The session itself is the
+  // caller's to abandon (WflBackend::abandon) — the two are independent
+  // layers.
+  void crash() { live_.store(false, std::memory_order_release); }
+
+  BasicSession<Space>& session() const { return *session_; }
+
+  // Inline-mode cycle latch: one registered process runs one attempt at
+  // a time, so two fibers driving run_ready() must not both run cycles
+  // under this client's session. Claim-or-skip, never block.
+  bool try_acquire_inline() {
+    bool expect = false;
+    return inline_busy_.compare_exchange_strong(expect, true,
+                                                std::memory_order_acquire);
+  }
+  void release_inline() {
+    inline_busy_.store(false, std::memory_order_release);
+  }
+
+ private:
+  BasicSession<Space>* session_;
+  std::atomic<bool> live_{true};
+  std::atomic<bool> inline_busy_{false};
+};
+
+template <typename Plat>
+class AsyncExecutor {
+ public:
+  using Space = LockTable<Plat>;
+  using Session = BasicSession<Space>;
+  using Client = BasicAsyncClient<Space>;
+
+  struct Options {
+    // 0 = inline mode: no threads; cycles run on whoever calls
+    // run_ready() / Ticket::wait(). Deterministic under SimPlat.
+    int workers = 1;
+    // Cycle stacks. Cycles are shallow (one attempt, no recursion into
+    // user code beyond the thunk), so this is far below the simulator's
+    // default.
+    std::size_t stack_bytes = 64 * 1024;
+    std::size_t max_idle_fibers = 64;
+  };
+
+ private:
+  // The in-flight submission record. Everything a parked submission IS:
+  // no stack, no thread, no registered process.
+  struct AsyncOp {
+    // Cycle ownership state machine (raw atomics; plumbing, not steps):
+    //   kQueued    in a run queue, never yet attempted
+    //   kRunning   a cycle owns it (attempting, or queued for re-attempt)
+    //   kSignalled kRunning + a release event arrived: must re-attempt
+    //   kParked    linked on its locks' wait lists, waiting for an event
+    //   kDone      outcome final; ticket side may read out
+    static constexpr std::uint32_t kQueued = 0;
+    static constexpr std::uint32_t kRunning = 1;
+    static constexpr std::uint32_t kSignalled = 2;
+    static constexpr std::uint32_t kParked = 3;
+    static constexpr std::uint32_t kDone = 4;
+
+    AsyncOp(Client& c, LockSetView locks, typename PreparedOp<Plat>::Armed a,
+            Policy p)
+        : client(&c), policy(p), armed(a) {
+      n_locks = locks.size();
+      for (std::uint32_t i = 0; i < n_locks; ++i) ids[i] = locks[i];
+    }
+
+    LockSetView locks() const {
+      return LockSetView::presorted({ids, n_locks});
+    }
+
+    Client* client;
+    Policy policy;
+    typename PreparedOp<Plat>::Armed armed;
+    std::uint32_t ids[kMaxLocksPerAttempt] = {};
+    std::uint32_t n_locks = 0;
+    bool linked = false;   // nodes in wait lists (cycle-owned, no races)
+    bool cancelled = false;
+    Outcome out;
+
+    std::atomic<std::uint32_t> state{kQueued};
+    // Two owners: the Ticket and the executor. Last one out deletes.
+    std::atomic<std::uint32_t> refs{2};
+    typename Plat::Wake done_wake;
+
+    // Intrusive wait-list nodes, one per lock of the set. Touched only
+    // under the owning list's latch (and `linked` only by the cycle).
+    struct WaitNode {
+      AsyncOp* op = nullptr;
+      WaitNode* prev = nullptr;
+      WaitNode* next = nullptr;
+    };
+    WaitNode nodes[kMaxLocksPerAttempt];
+
+    AsyncOp* q_next = nullptr;  // run-queue link
+
+    // The owning executor's live-record gauge (see live_ops()).
+    std::atomic<std::uint64_t>* live_gauge = nullptr;
+
+    void unref() {
+      if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        live_gauge->fetch_sub(1, std::memory_order_relaxed);
+        delete this;
+      }
+    }
+  };
+
+ public:
+  // Completion handle for one async submission. Move-only; dropping it
+  // without wait() is fine (the op completes and self-frees). Tickets
+  // must not outlive their executor: the op record references the
+  // executor's live-record gauge until it is freed.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& o) noexcept
+        : op_(std::exchange(o.op_, nullptr)),
+          exec_(std::exchange(o.exec_, nullptr)) {}
+    Ticket& operator=(Ticket&& o) noexcept {
+      if (this != &o) {
+        reset();
+        op_ = std::exchange(o.op_, nullptr);
+        exec_ = std::exchange(o.exec_, nullptr);
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { reset(); }
+
+    bool valid() const { return op_ != nullptr; }
+    bool done() const {
+      return op_ != nullptr &&
+             op_->state.load(std::memory_order_acquire) == AsyncOp::kDone;
+    }
+
+    // Blocks until the submission completes and returns its Outcome.
+    // Worker mode blocks the calling thread (futex wait under RealPlat).
+    // Inline mode DRIVES the executor from here — it runs ready cycles
+    // on the caller, interleaving Plat::step() while idle so simulator
+    // peers get scheduled.
+    const Outcome& wait() {
+      WFL_CHECK(op_ != nullptr);
+      if (exec_->options_.workers == 0) {
+        while (!done()) {
+          if (exec_->run_ready(1) == 0) Plat::step();
+        }
+      } else {
+        while (!done()) {
+          const std::uint32_t seen = op_->done_wake.prepare();
+          if (done()) break;
+          op_->done_wake.wait(seen);
+        }
+      }
+      return op_->out;
+    }
+
+    // Non-blocking: the Outcome if complete, nullptr otherwise.
+    const Outcome* poll() const { return done() ? &op_->out : nullptr; }
+
+   private:
+    friend class AsyncExecutor;
+    Ticket(AsyncOp* op, AsyncExecutor* exec) : op_(op), exec_(exec) {}
+    void reset() {
+      if (op_ != nullptr) op_->unref();
+      op_ = nullptr;
+    }
+
+    AsyncOp* op_ = nullptr;
+    AsyncExecutor* exec_ = nullptr;
+  };
+
+  explicit AsyncExecutor(Space& space, Options opt = {})
+      : space_(&space),
+        options_(opt),
+        fibers_(opt.stack_bytes, opt.max_idle_fibers),
+        wait_lists_(static_cast<std::size_t>(space.num_locks())),
+        running_by_pid_(static_cast<std::size_t>(space.max_procs())) {
+    WFL_CHECK_MSG(space.config().delay_mode == DelayMode::kOff,
+                  "async submission requires DelayMode::kOff — kTheory "
+                  "owns an attempt's timing (see header)");
+    sink_.exec = this;
+    space_->set_wake_sink(&sink_);
+    workers_.reserve(static_cast<std::size_t>(options_.workers));
+    for (int w = 0; w < options_.workers; ++w) {
+      workers_.push_back(std::make_unique<Worker>(*space_));
+    }
+    for (int w = 0; w < options_.workers; ++w) {
+      workers_[static_cast<std::size_t>(w)]->thread =
+          std::thread([this, w] { worker_main(w); });
+    }
+  }
+
+  ~AsyncExecutor() { shutdown(); }
+
+  AsyncExecutor(const AsyncExecutor&) = delete;
+  AsyncExecutor& operator=(const AsyncExecutor&) = delete;
+
+  // Submits `f` on `locks` for `client` under `policy`. Returns
+  // immediately; the attempt cycles run on the worker pool (or on
+  // whoever drives run_ready() in inline mode). Same thunk contract as
+  // submit(): trivially copyable, <= PreparedOp inline capacity, capture
+  // only state outliving the space's grace period.
+  template <typename F>
+  Ticket async_submit(Client& client, LockSetView locks, F f,
+                      Policy policy = Policy::retry()) {
+    WFL_CHECK(!stopping_.load(std::memory_order_acquire));
+    WFL_CHECK_MSG(locks.size() <= space_->config().max_locks,
+                  "lock set exceeds the configured L bound");
+    const PreparedOp<Plat> prep(locks, std::move(f));
+    auto* op = new AsyncOp(client, locks, prep.armed(), policy);
+    op->live_gauge = &live_ops_;
+    live_ops_.fetch_add(1, std::memory_order_relaxed);
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    enqueue(op);
+    return Ticket(op, this);
+  }
+
+  // Inline-mode driver: run up to `max_cycles` ready cycles on the
+  // caller (0 = drain everything ready). Returns cycles run; an op
+  // whose client is mid-cycle on another fiber is requeued and the
+  // drain returns (the caller steps and retries — see Ticket::wait).
+  std::size_t run_ready(std::size_t max_cycles = 0) {
+    std::size_t ran = 0;
+    while (max_cycles == 0 || ran < max_cycles) {
+      AsyncOp* op = pop_injector();
+      if (op == nullptr) break;
+      if (!op->client->try_acquire_inline()) {
+        push_injector(op);
+        break;
+      }
+      run_cycle(op, op->client->session());
+      op->client->release_inline();
+      ++ran;
+    }
+    return ran;
+  }
+
+  // Crash path: every pending submission of `client` completes as
+  // cancelled. Running cycles are signalled (they re-check liveness and
+  // cancel themselves); parked ops are claimed and re-queued so a worker
+  // finishes them off. Waiters of OTHER clients on the same locks are
+  // untouched — cancellation posts no lock-table events and unlinking
+  // happens in the op's own final cycle.
+  void cancel_client(Client& client) {
+    client.crash();
+    for (WaitList& wl : wait_lists_) {
+      std::lock_guard<std::mutex> g(wl.mu);
+      for (typename AsyncOp::WaitNode* n = wl.head; n != nullptr;
+           n = n->next) {
+        AsyncOp* op = n->op;
+        if (op->client != &client) continue;
+        std::uint32_t expect = AsyncOp::kParked;
+        if (op->state.compare_exchange_strong(expect, AsyncOp::kRunning,
+                                              std::memory_order_acq_rel)) {
+          enqueue_claimed(op);
+        } else if (expect == AsyncOp::kRunning) {
+          op->state.compare_exchange_strong(expect, AsyncOp::kSignalled,
+                                            std::memory_order_acq_rel);
+        }
+      }
+    }
+  }
+
+  Space& space() const { return *space_; }
+  int workers() const { return options_.workers; }
+
+  // Submissions accepted and not yet complete (queued, attempting, or
+  // parked).
+  std::uint64_t in_flight() const {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+  // Live session records: submitted and the Outcome not yet consumed
+  // (the Ticket still open), whatever the op's state. This is the
+  // bench's headline gauge — holding >= 100k of these on a fixed pool
+  // is the point of the subsystem: a session costs ~300 B of heap, not
+  // a thread, a stack, or a registered process.
+  std::uint64_t live_ops() const {
+    return live_ops_.load(std::memory_order_acquire);
+  }
+  std::uint64_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+  std::uint64_t parks() const {
+    return parks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t wakes() const {
+    return wakes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t signals() const {
+    return signals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fibers_created() const { return fibers_.created(); }
+  std::uint64_t fibers_reused() const { return fibers_.reused(); }
+
+ private:
+  // One wait list per lock: intrusive doubly-linked, FIFO wake order
+  // (wakers scan from head, links push at tail). A plain mutex, not a
+  // Plat::Atomic spin: critical sections are a few pointer writes, and
+  // the latch must not count as model steps.
+  struct WaitList {
+    std::mutex mu;
+    typename AsyncOp::WaitNode* head = nullptr;
+    typename AsyncOp::WaitNode* tail = nullptr;
+  };
+
+  struct Worker {
+    explicit Worker(Space& s) : session(s) {}
+    Session session;  // the registered process attempts run under
+    std::mutex mu;
+    std::deque<AsyncOp*> q;  // owner pops front, thieves pop back
+    typename Plat::Wake wake;
+    std::thread thread;
+  };
+
+  // The WakeSink the lock table calls from inside attempt teardown.
+  // Member object (not base) so LockTable's header needs only the
+  // abstract interface.
+  struct Sink final : WakeSink {
+    AsyncExecutor* exec = nullptr;
+    void on_release(std::uint32_t lock_id, int origin_pid) override {
+      exec->deliver_event(lock_id, origin_pid);
+    }
+  };
+
+  // --- event delivery -----------------------------------------------------
+
+  // Events are posted synchronously by the attempting context, so the
+  // op to self-skip is whichever op is running under the origin pid —
+  // keyed by pid, not thread identity, because under SimPlat many
+  // cycles interleave mid-attempt on one OS thread.
+  void deliver_event(std::uint32_t lock_id, int origin_pid) {
+    AsyncOp* self =
+        origin_pid >= 0
+            ? running_by_pid_[static_cast<std::size_t>(origin_pid)].load(
+                  std::memory_order_relaxed)
+            : nullptr;
+    WaitList& wl = wait_lists_[lock_id];
+    std::lock_guard<std::mutex> g(wl.mu);
+    for (typename AsyncOp::WaitNode* n = wl.head; n != nullptr;
+         n = n->next) {
+      AsyncOp* op = n->op;
+      if (op == self) continue;
+      std::uint32_t s = op->state.load(std::memory_order_acquire);
+      if (s == AsyncOp::kParked) {
+        if (op->state.compare_exchange_strong(s, AsyncOp::kRunning,
+                                              std::memory_order_acq_rel)) {
+          wakes_.fetch_add(1, std::memory_order_relaxed);
+          enqueue_claimed(op);
+          return;  // wake-one
+        }
+        s = op->state.load(std::memory_order_acquire);
+      }
+      if (s == AsyncOp::kRunning) {
+        if (op->state.compare_exchange_strong(s, AsyncOp::kSignalled,
+                                              std::memory_order_acq_rel)) {
+          signals_.fetch_add(1, std::memory_order_relaxed);
+          return;  // converted into that op's immediate retry
+        }
+      }
+      if (s == AsyncOp::kSignalled) return;  // absorbed: a retry is owed
+    }
+    // Empty or self-only list: nobody to deliver to. Sound — any waiter
+    // that links later attempts after linking and reads current state.
+  }
+
+  // --- run queues ---------------------------------------------------------
+
+  void enqueue(AsyncOp* op) { push_injector(op); }
+
+  // Enqueue an op already claimed kRunning (woken or cancel-claimed).
+  void enqueue_claimed(AsyncOp* op) { push_injector(op); }
+
+  void push_injector(AsyncOp* op) {
+    {
+      std::lock_guard<std::mutex> g(inj_mu_);
+      if (inj_tail_ == nullptr) {
+        inj_head_ = inj_tail_ = op;
+      } else {
+        inj_tail_->q_next = op;
+        inj_tail_ = op;
+      }
+      op->q_next = nullptr;
+    }
+    if (!workers_.empty()) {
+      const std::size_t w =
+          rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+      workers_[w]->wake.post();
+    }
+  }
+
+  AsyncOp* pop_injector() {
+    std::lock_guard<std::mutex> g(inj_mu_);
+    AsyncOp* op = inj_head_;
+    if (op != nullptr) {
+      inj_head_ = op->q_next;
+      if (inj_head_ == nullptr) inj_tail_ = nullptr;
+      op->q_next = nullptr;
+    }
+    return op;
+  }
+
+  AsyncOp* pop_local(Worker& w) {
+    std::lock_guard<std::mutex> g(w.mu);
+    if (w.q.empty()) return nullptr;
+    AsyncOp* op = w.q.front();
+    w.q.pop_front();
+    return op;
+  }
+
+  AsyncOp* steal(std::size_t thief) {
+    for (std::size_t i = 1; i < workers_.size(); ++i) {
+      Worker& v = *workers_[(thief + i) % workers_.size()];
+      std::lock_guard<std::mutex> g(v.mu);
+      if (!v.q.empty()) {
+        AsyncOp* op = v.q.back();
+        v.q.pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        return op;
+      }
+    }
+    return nullptr;
+  }
+
+  // --- wait-list link/unlink ----------------------------------------------
+
+  void link_nodes(AsyncOp* op) {
+    for (std::uint32_t i = 0; i < op->n_locks; ++i) {
+      WaitList& wl = wait_lists_[op->ids[i]];
+      typename AsyncOp::WaitNode& n = op->nodes[i];
+      n.op = op;
+      std::lock_guard<std::mutex> g(wl.mu);
+      n.prev = wl.tail;
+      n.next = nullptr;
+      if (wl.tail != nullptr) {
+        wl.tail->next = &n;
+      } else {
+        wl.head = &n;
+      }
+      wl.tail = &n;
+    }
+    op->linked = true;
+  }
+
+  void unlink_nodes(AsyncOp* op) {
+    if (!op->linked) return;
+    for (std::uint32_t i = 0; i < op->n_locks; ++i) {
+      WaitList& wl = wait_lists_[op->ids[i]];
+      typename AsyncOp::WaitNode& n = op->nodes[i];
+      std::lock_guard<std::mutex> g(wl.mu);
+      if (n.prev != nullptr) {
+        n.prev->next = n.next;
+      } else {
+        wl.head = n.next;
+      }
+      if (n.next != nullptr) {
+        n.next->prev = n.prev;
+      } else {
+        wl.tail = n.prev;
+      }
+      n.prev = n.next = nullptr;
+    }
+    op->linked = false;
+  }
+
+  // --- the attempt cycle --------------------------------------------------
+
+  // One scheduling quantum of an op: attempt until it wins, exhausts its
+  // policy, is cancelled, or loses with no pending signal — in which
+  // case it parks and the cycle ENDS (the fiber running it finishes and
+  // is recycled; the op's only residue is its linked wait nodes).
+  void run_cycle(AsyncOp* op, Session& session) {
+    std::atomic<AsyncOp*>& slot =
+        running_by_pid_[static_cast<std::size_t>(session.pid())];
+    op->state.store(AsyncOp::kRunning, std::memory_order_release);
+    for (;;) {
+      if (op->cancelled || !op->client->live()) {
+        op->cancelled = true;
+        complete(op);
+        break;
+      }
+      if (!op->linked) link_nodes(op);
+      slot.store(op, std::memory_order_relaxed);
+      const bool won = submit_attempt(session, op->locks(), op->armed,
+                                      op->out);
+      slot.store(nullptr, std::memory_order_relaxed);
+      // Guard-drop rule: parking (or finishing) with an EBR guard held
+      // would stall a shard's reclamation behind a suspended op.
+      WFL_CHECK(!space_->any_guard_held(session.process()));
+      if (won || policy_exhausted(op->policy, op->out)) {
+        complete(op);
+        break;
+      }
+      // Re-check liveness before parking: a client cancelled mid-attempt
+      // must not park an op no future event may wake (cancel_client's
+      // sweep saw kRunning and signalled us, or will see kParked and
+      // claim us — but if it has already swept, the loop top is the only
+      // exit left).
+      if (op->cancelled || !op->client->live()) continue;
+      std::uint32_t expect = AsyncOp::kRunning;
+      if (op->state.compare_exchange_strong(expect, AsyncOp::kParked,
+                                            std::memory_order_acq_rel)) {
+        parks_.fetch_add(1, std::memory_order_relaxed);
+        break;  // parked: cycle over, wait nodes carry the wake
+      }
+      // A release event landed mid-attempt (kSignalled): consume it and
+      // re-attempt on this same quantum.
+      op->state.store(AsyncOp::kRunning, std::memory_order_release);
+    }
+  }
+
+  void complete(AsyncOp* op) {
+    unlink_nodes(op);
+    if (op->cancelled) op->out.won = false;
+    op->state.store(AsyncOp::kDone, std::memory_order_release);
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    op->done_wake.post_all();
+    op->unref();
+  }
+
+  // --- workers ------------------------------------------------------------
+
+  void worker_main(int index) {
+    Worker& self = *workers_[static_cast<std::size_t>(index)];
+    for (;;) {
+      AsyncOp* op = pop_local(self);
+      if (op == nullptr) op = pop_injector();
+      if (op == nullptr) op = steal(static_cast<std::size_t>(index));
+      if (op == nullptr) {
+        if (stopping_.load(std::memory_order_acquire)) return;
+        const std::uint32_t seen = self.wake.prepare();
+        if (peek_work(index)) continue;
+        if (stopping_.load(std::memory_order_acquire)) return;
+        self.wake.wait(seen);
+        continue;
+      }
+      // Each quantum runs on a pooled fiber: the cycle gets its own
+      // bounded stack (cheap to account, reusable across quanta) and the
+      // worker's frame stays flat no matter what the thunk does.
+      std::unique_ptr<Fiber> fiber = fibers_.acquire(Fiber::Body(
+          [this, op, &self] { run_cycle(op, self.session); }));
+      fiber->resume();
+      WFL_CHECK(fiber->finished());  // cycles end; they never suspend
+      fibers_.release(std::move(fiber));
+    }
+  }
+
+  bool peek_work(int index) {
+    {
+      std::lock_guard<std::mutex> g(inj_mu_);
+      if (inj_head_ != nullptr) return true;
+    }
+    Worker& self = *workers_[static_cast<std::size_t>(index)];
+    std::lock_guard<std::mutex> g(self.mu);
+    return !self.q.empty();
+  }
+
+  void shutdown() {
+    stopping_.store(true, std::memory_order_release);
+    if (options_.workers == 0) {
+      // Inline: cancel whatever is still parked, then drain on this
+      // thread. Clients may already be gone only if their ops are done
+      // (documented lifetime), so live() reads here are safe.
+      sweep_cancel_all();
+      while (in_flight_.load(std::memory_order_acquire) != 0) {
+        if (run_ready(0) == 0) sweep_cancel_all();
+      }
+    } else {
+      // Workers drain the queues; parked ops are swept in as cancelled
+      // work until nothing is left, then the pool is joined.
+      while (in_flight_.load(std::memory_order_acquire) != 0) {
+        sweep_cancel_all();
+        std::this_thread::yield();
+      }
+      for (auto& w : workers_) w->wake.post_all();
+      for (auto& w : workers_) {
+        if (w->thread.joinable()) w->thread.join();
+      }
+    }
+    space_->set_wake_sink(nullptr);
+    workers_.clear();
+  }
+
+  // Claim every parked op (any client) and queue it; its next cycle
+  // completes it as cancelled because shutdown marks no one live —
+  // cycles re-check stopping_ via client liveness only, so force the
+  // flag here.
+  void sweep_cancel_all() {
+    for (WaitList& wl : wait_lists_) {
+      std::lock_guard<std::mutex> g(wl.mu);
+      for (typename AsyncOp::WaitNode* n = wl.head; n != nullptr;
+           n = n->next) {
+        AsyncOp* op = n->op;
+        std::uint32_t expect = AsyncOp::kParked;
+        if (op->state.compare_exchange_strong(expect, AsyncOp::kRunning,
+                                              std::memory_order_acq_rel)) {
+          op->cancelled = true;
+          enqueue_claimed(op);
+        }
+      }
+    }
+  }
+
+  Space* space_;
+  Options options_;
+  Sink sink_;
+  FiberPool fibers_;
+  std::vector<WaitList> wait_lists_;
+  // Which op is attempting under each registered process right now; the
+  // event-delivery self-skip (see deliver_event).
+  std::vector<std::atomic<AsyncOp*>> running_by_pid_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex inj_mu_;
+  AsyncOp* inj_head_ = nullptr;
+  AsyncOp* inj_tail_ = nullptr;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::atomic<std::uint64_t> live_ops_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> wakes_{0};
+  std::atomic<std::uint64_t> signals_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+// The client type virtually all code wants (mirrors Session<Plat>).
+template <typename Plat>
+using AsyncClient = BasicAsyncClient<LockTable<Plat>>;
+
+}  // namespace wfl

@@ -40,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "wfl/core/async_executor.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_set.hpp"
@@ -142,6 +143,31 @@ struct WflBackend {
   static void abandon(Space& space, const Session& session) {
     space.abandon_process(session.process());
   }
+
+  // Async submission capability (core/async_executor.hpp): multiplex
+  // unbounded in-flight submissions onto a fixed worker pool, parking
+  // losers on per-lock wait lists instead of spinning backoff.
+  using AsyncExec = AsyncExecutor<Plat>;
+  static std::unique_ptr<AsyncExec> make_async(
+      Space& space, typename AsyncExec::Options opt = {}) {
+    return std::make_unique<AsyncExec>(space, opt);
+  }
+};
+
+// Capability probe for async submission. The baselines do not (and
+// mostly cannot) provide it — a blocking backend's attempt pins its
+// thread inside the acquisition, so there is nothing to park. Drivers
+// that sweep backends branch on this and fall back to synchronous
+// B::submit, which preserves semantics at the cost of one OS thread per
+// concurrent submission:
+//
+//   if constexpr (AsyncCapableBackend<B>) { ...B::make_async(space)... }
+//   else                                  { ...B::submit(session, ...)... }
+template <typename B>
+concept AsyncCapableBackend = requires(typename B::Space& space) {
+  typename B::AsyncExec;
+  { B::make_async(space) } ->
+      std::same_as<std::unique_ptr<typename B::AsyncExec>>;
 };
 
 // Defaulted batch submission over any LockBackend: backends that expose a

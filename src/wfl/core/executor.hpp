@@ -68,7 +68,13 @@ struct Policy {
                                 std::uint64_t cap = 0) const {
     Policy p = *this;
     p.backoff_base = base;
-    p.backoff_cap = cap != 0 ? cap : base << 10;
+    // Default cap: 1024x the base, saturating — `base << 10` silently
+    // overflowed for base >= 2^54, leaving a cap SMALLER than the base
+    // (or zero, i.e. uncapped).
+    constexpr std::uint64_t kMax = ~std::uint64_t{0};
+    p.backoff_cap = cap != 0         ? cap
+                    : base > kMax >> 10 ? kMax
+                                        : base << 10;
     return p;
   }
 };
@@ -192,6 +198,32 @@ struct BatchOutcome {
   }
 };
 
+// One tryLock attempt folded into an Outcome: the per-attempt core every
+// submission loop shares. submit() wraps it in a backoff-spin retry loop;
+// async_submit (core/async_executor.hpp) wraps the SAME core in a
+// park/wake loop — an attempt that loses suspends its submission instead
+// of idling `policy_backoff` steps on an OS thread. Returns out.won.
+template <typename Space, typename F>
+bool submit_attempt(BasicSession<Space>& session, LockSetView locks,
+                    const F& f, Outcome& out) {
+  AttemptInfo info;
+  typename Space::Thunk thunk{F(f)};
+  const bool won = session.space().try_locks(session.process(), locks,
+                                             std::move(thunk), &info);
+  ++out.attempts;
+  out.total_steps += info.total_steps;
+  out.pre_reveal_work = info.pre_reveal_work;
+  out.post_reveal_work = info.post_reveal_work;
+  out.won = won;
+  return won;
+}
+
+// True when `policy` has no attempts left after `out`'s. Shared by the
+// sync and async submission loops so the budget accounting cannot drift.
+inline bool policy_exhausted(const Policy& policy, const Outcome& out) {
+  return policy.max_attempts != 0 && out.attempts >= policy.max_attempts;
+}
+
 // Submits `f` on `locks` through `session` under `policy`. The lock-set
 // invariants (sorted, deduplicated, within capacity) are carried by the
 // LockSetView type; the configured L budget was enforced when the set was
@@ -211,21 +243,8 @@ Outcome submit(BasicSession<Space>& session, LockSetView locks, const F& f,
 
   Outcome out;
   for (;;) {
-    AttemptInfo info;
-    typename Space::Thunk thunk{F(f)};
-    const bool won =
-        space.try_locks(session.process(), locks, std::move(thunk), &info);
-    ++out.attempts;
-    out.total_steps += info.total_steps;
-    out.pre_reveal_work = info.pre_reveal_work;
-    out.post_reveal_work = info.post_reveal_work;
-    if (won) {
-      out.won = true;
-      return out;
-    }
-    if (policy.max_attempts != 0 && out.attempts >= policy.max_attempts) {
-      return out;
-    }
+    if (submit_attempt(session, locks, f, out)) return out;
+    if (policy_exhausted(policy, out)) return out;
     if (!theory_delays) {
       const std::uint64_t pause = policy_backoff<Plat>(policy, out.attempts);
       out.backoff_steps += pause;

@@ -118,6 +118,29 @@ struct SpaceSizing {
 
 inline constexpr std::uint32_t kMaxShards = 16;
 
+// Release-event sink: a runtime (the async executor) installs one to learn
+// when a lock's competition state changed — a descriptor left the lock's
+// active set (multiRemove, win or loss) or a thin-word publication was
+// released/revoked — i.e. exactly the moments a blocked submission may
+// have become runnable. Notifications are advisory (spurious ones are
+// fine; the executor's park protocol re-checks), posted OUTSIDE the step
+// model (like reclamation, DESIGN.md #2), and only ever posted while a
+// sink is installed — which the async executor gates on DelayMode::kOff,
+// so kTheory executions stay bit-identical.
+// `origin_pid` is the process whose attempt posted the event — the sink
+// uses it to skip that attempt's own submission when picking a waiter to
+// wake (an op must not consume its own release events; that would turn
+// every losing attempt into a hot self-retry). It is a pid rather than a
+// thread-identity because under SimPlat many logical processes interleave
+// mid-attempt on one OS thread.
+class WakeSink {
+ public:
+  virtual void on_release(std::uint32_t lock_id, int origin_pid) = 0;
+
+ protected:
+  ~WakeSink() = default;
+};
+
 template <typename Plat>
 class LockTable {
  public:
@@ -227,6 +250,19 @@ class LockTable {
   std::uint32_t shard_of(std::uint32_t lock_id) const {
     return lock_id & (num_shards_ - 1);
   }
+
+  // Installs (or clears, with nullptr) the release-event sink. Callers
+  // install before submitting any traffic they want notifications for;
+  // the async executor clears it only after its workers have drained.
+  void set_wake_sink(WakeSink* sink) {
+    wake_sink_.store(sink, std::memory_order_release);
+  }
+
+  // True iff `p` currently holds any shard's EBR guard. Attempts exit all
+  // guards before returning, so this is false between attempts — the
+  // async executor asserts it before parking a submission (a parked
+  // session holding a guard would stall reclamation indefinitely).
+  bool any_guard_held(Process p) { return handle(p).any_guard_depth(); }
 
   Handle& handle(Process proc) {
     WFL_CHECK(proc.ebr_pid >= 0 &&
@@ -373,6 +409,11 @@ class LockTable {
     exit_shards(h, att_shards, n_att_shards);
     const std::uint64_t post_reveal_work = Plat::steps() - reveal_steps;
 
+    // The descriptor left every lock's set: waiters parked on those locks
+    // may now be able to win — post the release events (no-op without a
+    // sink; never reached with one under kTheory).
+    notify_release(lock_ids, h.pid());
+
     // --- trailing delay pins the attempt's end time (line 24) ---
     Engine::delay_until(cfg_.delay_mode, reveal_steps, cfg_.t1_steps(),
                         [&h] { h.stats().add_t1_overrun(); });
@@ -442,7 +483,8 @@ class LockTable {
     const std::uint64_t reveal_steps = Plat::steps();
     Engine::run(cx, fd);
 
-    if (!w.cas(enc, 0)) {
+    bool released = w.cas(enc, 0);
+    if (!released) {
       // A rival set the observed bit (the only transition a non-owner
       // makes) and may still be reading the embedded descriptor; clear the
       // word, then cool the descriptor down through a grace period of this
@@ -455,6 +497,9 @@ class LockTable {
                                       &Handle::fast_cooldown_expired);
       h.stats().add_fastpath_revocation();
     }
+    // Publication gone (released or revoked+cleared): post the release
+    // event for parked waiters either way.
+    notify_release({&lock_id, 1}, h.pid());
     const std::uint64_t post_reveal_work = Plat::steps() - reveal_steps;
 
     const bool won = fd.status.load() == kStatusWon;
@@ -751,6 +796,17 @@ class LockTable {
     return n;
   }
 
+  // Posts release events to the installed sink, if any. One relaxed load
+  // on the hot path when no sink is installed; the sink's own ordering
+  // obligations are the executor's (its park protocol re-validates under
+  // its wait-list locks, so advisory ordering here suffices).
+  void notify_release(std::span<const std::uint32_t> lock_ids,
+                      int origin_pid) {
+    WakeSink* sink = wake_sink_.load(std::memory_order_acquire);
+    if (sink == nullptr) return;
+    for (const std::uint32_t id : lock_ids) sink->on_release(id, origin_pid);
+  }
+
   void shard_guard_enter(Handle& h, std::uint32_t s) {
     if (h.guard_depth(s)++ == 0) ebr_[s]->enter(h.pid());
   }
@@ -802,6 +858,10 @@ class LockTable {
   std::vector<std::unique_ptr<Set>> locks_;
 
   std::atomic<std::uint64_t> serial_hwm_{1};
+  // Raw atomic (not Plat::Atomic): loads of the sink are runtime plumbing,
+  // not steps of the paper's model — installing one must not perturb step
+  // accounting. Null whenever no async executor is attached.
+  std::atomic<WakeSink*> wake_sink_{nullptr};
   std::mutex reg_mutex_;
   std::vector<int> free_pids_;  // released slots awaiting reuse (reg_mutex_)
   std::atomic<int> registered_{0};

@@ -198,6 +198,17 @@ class ProcessHandle {
     return guard_depth_[shard];
   }
 
+  // True if this process currently holds any shard's EBR guard. A fiber
+  // must never suspend while this is true — a parked fiber would stall
+  // reclamation for the whole shard. The async executor asserts this at
+  // every park point.
+  bool any_guard_depth() const {
+    for (const std::uint32_t d : guard_depth_) {
+      if (d != 0) return true;
+    }
+    return false;
+  }
+
   // Harness-side randomness (workload generation, shard picking). NOT the
   // priority stream — see the header comment.
   Xoshiro256& rng() { return rng_; }

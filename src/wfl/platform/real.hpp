@@ -41,6 +41,38 @@ struct RealPlat {
   // Reseed the calling thread's PRNG (tests want reproducibility).
   static void seed_rng(std::uint64_t seed) { rng_ref().reseed(seed); }
 
+  // WakeHandle: the platform's thread-blocking primitive, used by runtimes
+  // (async executor workers, ticket waiters) to sleep until posted instead
+  // of spinning. Futex-backed: std::atomic<uint32_t>::wait lowers to
+  // FUTEX_WAIT on Linux. The sequence counter makes it race-free in the
+  // standard prepare/check/wait shape:
+  //
+  //   const auto seen = wake.prepare();
+  //   if (!work_available()) wake.wait(seen);
+  //
+  // A post() between prepare() and wait() advances the sequence, so the
+  // wait returns immediately — no lost wakeups. NOT part of the paper's
+  // step model (like reclamation and registration, DESIGN.md #2): nothing
+  // on an attempt path ever blocks on one.
+  class Wake {
+   public:
+    std::uint32_t prepare() const {
+      return seq_.load(std::memory_order_acquire);
+    }
+    void wait(std::uint32_t seen) const { seq_.wait(seen); }
+    void post() {
+      seq_.fetch_add(1, std::memory_order_release);
+      seq_.notify_one();
+    }
+    void post_all() {
+      seq_.fetch_add(1, std::memory_order_release);
+      seq_.notify_all();
+    }
+
+   private:
+    mutable std::atomic<std::uint32_t> seq_{0};
+  };
+
   template <typename T>
   class Atomic {
    public:

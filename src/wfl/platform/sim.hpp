@@ -44,6 +44,27 @@ struct SimPlat {
     return fallback.next();
   }
 
+  // WakeHandle, deterministic flavour: same prepare/wait/post shape as
+  // RealPlat::Wake, but wait() burns simulator-scheduled steps instead of
+  // blocking the OS thread — each step yields to the simulator, so the
+  // poster (another sim fiber) gets scheduled and the wait's duration is a
+  // pure function of the schedule. This is what lets the simulator drive
+  // the async executor's park/wake paths bit-for-bit reproducibly.
+  class Wake {
+   public:
+    std::uint32_t prepare() const {
+      return seq_.load(std::memory_order_acquire);
+    }
+    void wait(std::uint32_t seen) const {
+      while (seq_.load(std::memory_order_acquire) == seen) SimPlat::step();
+    }
+    void post() { seq_.fetch_add(1, std::memory_order_release); }
+    void post_all() { post(); }
+
+   private:
+    mutable std::atomic<std::uint32_t> seq_{0};
+  };
+
   template <typename T>
   class Atomic {
    public:

@@ -1,52 +1,6 @@
-// Minimal stackful fiber on ucontext.
-//
-// The simulator runs every logical process as a fiber on one OS thread, so a
-// "schedule" is simply the order in which fibers are resumed; execution is
-// bit-for-bit deterministic given the schedule, which is what lets us play
-// the paper's oblivious adversarial scheduler exactly.
+// Compatibility shim: the fiber runtime moved to util/fiber.hpp when the
+// async executor started sharing it with the simulator. Include that
+// directly in new code.
 #pragma once
 
-#include <ucontext.h>
-
-#include <cstddef>
-#include <functional>
-#include <memory>
-
-namespace wfl {
-
-class Fiber {
- public:
-  using Body = std::function<void()>;
-
-  explicit Fiber(Body body, std::size_t stack_bytes = 128 * 1024);
-  ~Fiber();
-
-  Fiber(const Fiber&) = delete;
-  Fiber& operator=(const Fiber&) = delete;
-
-  // Switches into the fiber; returns when the fiber yields or its body
-  // returns. Must not be called on a finished fiber.
-  void resume();
-
-  // Called from inside a running fiber: suspends it and returns control to
-  // the resume() caller.
-  static void yield();
-
-  bool finished() const { return finished_; }
-
-  // The fiber currently executing on this thread, or nullptr.
-  static Fiber* current();
-
- private:
-  static void trampoline(unsigned hi, unsigned lo);
-  void run_body();
-
-  Body body_;
-  std::unique_ptr<char[]> stack_;
-  ucontext_t ctx_{};
-  ucontext_t return_ctx_{};
-  bool started_ = false;
-  bool finished_ = false;
-};
-
-}  // namespace wfl
+#include "wfl/util/fiber.hpp"  // IWYU pragma: export

@@ -79,8 +79,7 @@ Simulator::Simulator(std::uint64_t seed) : seed_(seed) {}
 
 Simulator::~Simulator() = default;
 
-int Simulator::add_process(std::function<void()> body,
-                           std::size_t stack_bytes) {
+int Simulator::add_process(Fiber::Body body, std::size_t stack_bytes) {
   WFL_CHECK_MSG(!in_run_, "add_process during run()");
   auto proc = std::make_unique<Proc>();
   const int pid = static_cast<int>(procs_.size());

@@ -14,11 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
-#include "wfl/sim/fiber.hpp"
+#include "wfl/util/fiber.hpp"
 #include "wfl/util/rng.hpp"
 
 namespace wfl {
@@ -118,8 +117,9 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   // Registers a logical process. All processes must be added before run().
-  int add_process(std::function<void()> body,
-                  std::size_t stack_bytes = 128 * 1024);
+  // The body is a Fiber::Body (inline-storage FixedFunction): capture packs
+  // beyond its capacity belong in a struct the lambda references.
+  int add_process(Fiber::Body body, std::size_t stack_bytes = 128 * 1024);
 
   // Grants steps per `sched` until every process body returned or max_slots
   // slots were consumed. Returns true iff all processes finished. Slots

@@ -1,0 +1,116 @@
+#include "wfl/util/fiber.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+namespace {
+thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+Fiber* Fiber::current() { return g_current_fiber; }
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : body_(std::move(body)),
+      stack_(new char[stack_bytes]),
+      stack_bytes_(stack_bytes) {
+  WFL_CHECK(static_cast<bool>(body_));
+  arm();
+}
+
+void Fiber::arm() {
+  WFL_CHECK(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = &return_ctx_;  // body return falls back to the resumer
+  // makecontext only passes ints; smuggle the this-pointer as two halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xFFFFFFFFu));
+  started_ = false;
+  finished_ = false;
+}
+
+void Fiber::reset(Body body) {
+  WFL_CHECK_MSG(finished_ || !started_,
+                "reset() on a suspended fiber (live frames on its stack)");
+  WFL_CHECK(static_cast<bool>(body));
+  body_ = std::move(body);
+  arm();
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended (unfinished) fiber leaks whatever its stack owns;
+  // the runtimes only destroy fibers after draining them or at teardown,
+  // where that is acceptable by construction.
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  const auto self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run_body();
+}
+
+void Fiber::run_body() {
+  body_();
+  finished_ = true;
+  // uc_link returns to return_ctx_ (the most recent resume()).
+}
+
+void Fiber::resume() {
+  WFL_CHECK_MSG(!finished_, "resume() on a finished fiber");
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  started_ = true;
+  WFL_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
+  g_current_fiber = prev;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current_fiber;
+  WFL_CHECK_MSG(self != nullptr, "Fiber::yield() outside a fiber");
+  WFL_CHECK(swapcontext(&self->ctx_, &self->return_ctx_) == 0);
+}
+
+std::unique_ptr<Fiber> FiberPool::acquire(Fiber::Body body) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<Fiber> f = std::move(idle_.back());
+      idle_.pop_back();
+      ++reused_;
+      f->reset(std::move(body));
+      return f;
+    }
+    ++created_;
+  }
+  return std::make_unique<Fiber>(std::move(body), stack_bytes_);
+}
+
+void FiberPool::release(std::unique_ptr<Fiber> fiber) {
+  WFL_CHECK_MSG(fiber->finished(), "released fiber still has live frames");
+  std::lock_guard<std::mutex> lk(mu_);
+  if (idle_.size() < max_idle_) idle_.push_back(std::move(fiber));
+  // else: drop — the unique_ptr frees the stack.
+}
+
+std::uint64_t FiberPool::created() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return created_;
+}
+
+std::uint64_t FiberPool::reused() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reused_;
+}
+
+std::size_t FiberPool::idle() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return idle_.size();
+}
+
+}  // namespace wfl

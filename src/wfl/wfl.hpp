@@ -38,6 +38,7 @@
 #include "wfl/baseline/turek_backend.hpp"
 #include "wfl/core/adaptive.hpp"
 #include "wfl/core/adaptive_backend.hpp"
+#include "wfl/core/async_executor.hpp"
 #include "wfl/core/attempt.hpp"
 #include "wfl/core/backend.hpp"
 #include "wfl/core/config.hpp"

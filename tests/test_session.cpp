@@ -458,5 +458,29 @@ TEST(PolicyEquivalence, BackoffOnlyAppliesWithDelaysOff) {
   EXPECT_EQ(theory_backoff, 0u);  // theory mode owns the timing
 }
 
+// The defaulted cap is 1024x the base, SATURATING: `base << 10` silently
+// overflowed for base >= 2^54, producing a cap smaller than the base (or
+// zero — i.e. uncapped growth, the opposite of what the default promises).
+TEST(Policy, WithBackoffDefaultCapSaturatesInsteadOfOverflowing) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+
+  // Normal range: cap = base << 10.
+  EXPECT_EQ(Policy::retry().with_backoff(8).backoff_cap,
+            std::uint64_t{8} << 10);
+  // Largest base whose 1024x still fits.
+  EXPECT_EQ(Policy::retry().with_backoff(kMax >> 10).backoff_cap,
+            (kMax >> 10) << 10);
+  // One past it — and the extreme — must clamp to the maximum, never
+  // wrap below the base.
+  const std::uint64_t big = (kMax >> 10) + 1;
+  EXPECT_EQ(Policy::retry().with_backoff(big).backoff_cap, kMax);
+  EXPECT_EQ(Policy::retry().with_backoff(kMax).backoff_cap, kMax);
+  EXPECT_GE(Policy::retry().with_backoff(std::uint64_t{1} << 60).backoff_cap,
+            std::uint64_t{1} << 60);
+
+  // An explicit cap is always taken verbatim.
+  EXPECT_EQ(Policy::retry().with_backoff(8, 5).backoff_cap, 5u);
+}
+
 }  // namespace
 }  // namespace wfl
