@@ -12,8 +12,10 @@
 //
 // A submission becomes an AsyncOp — a small heap record (~300 B), not a
 // thread and not a suspended stack. N worker threads (N ~ cores) pull
-// ready ops from per-worker run queues (with stealing, plus a shared
-// injector), draw a pooled fiber, and run ONE attempt cycle of the
+// ready ops from per-worker run queues (dispatch is round-robin, idle
+// peers steal from the back; inline mode funnels everything through a
+// shared injector instead), draw a pooled fiber, and run ONE attempt
+// cycle of the
 // existing engine on it: link wait nodes, submit_attempt(), then either
 // complete or park. Parking is returning: the fiber finishes and goes
 // back to the pool, the op stays linked on its locks' wait lists, and the
@@ -34,7 +36,11 @@
 //   2. After a losing attempt, the worker CASes the op kRunning ->
 //      kParked. A release event delivered in between CASes kRunning ->
 //      kSignalled instead; the park CAS then fails and the cycle retries
-//      immediately. So every event that post-dates the node link either
+//      immediately. If instead that final attempt won (or exhausted its
+//      policy), complete() observes the kSignalled on its kDone exchange
+//      and re-delivers the wake across the op's locks — a signal
+//      consumed by an op that will never retry is re-posted, not
+//      swallowed. So every event that post-dates the node link either
 //      wakes a parked op, converts into an immediate retry, or is
 //      absorbed by an op that is already signalled — never dropped while
 //      a waiter could need it. Events that PRE-date the link are covered
@@ -293,6 +299,15 @@ class AsyncExecutor {
     WFL_CHECK_MSG(space.config().delay_mode == DelayMode::kOff,
                   "async submission requires DelayMode::kOff — kTheory "
                   "owns an attempt's timing (see header)");
+    // SimPlat's Wake::wait spins on Plat::step(), which yields into the
+    // fiber scheduler — only valid on a simulator fiber. Worker OS
+    // threads would drive the scheduler from foreign threads; the
+    // simulator gets inline mode only (which is also what makes it
+    // deterministic).
+    WFL_CHECK_MSG(!Plat::kSimulated || options_.workers == 0,
+                  "simulated platforms require workers == 0 (inline "
+                  "mode): worker threads cannot drive the fiber "
+                  "scheduler");
     sink_.exec = this;
     space_->set_wake_sink(&sink_);
     workers_.reserve(static_cast<std::size_t>(options_.workers));
@@ -483,27 +498,39 @@ class AsyncExecutor {
 
   // --- run queues ---------------------------------------------------------
 
-  void enqueue(AsyncOp* op) { push_injector(op); }
+  void enqueue(AsyncOp* op) { dispatch(op); }
 
   // Enqueue an op already claimed kRunning (woken or cancel-claimed).
-  void enqueue_claimed(AsyncOp* op) { push_injector(op); }
+  void enqueue_claimed(AsyncOp* op) { dispatch(op); }
+
+  // Worker mode: round-robin onto a worker's LOCAL run queue — the owner
+  // pops front, idle peers steal from the back, so a worker stuck in a
+  // long thunk sheds its backlog. Inline mode has no workers; everything
+  // funnels through the shared injector that run_ready() drains.
+  void dispatch(AsyncOp* op) {
+    if (workers_.empty()) {
+      push_injector(op);
+      return;
+    }
+    const std::size_t w =
+        rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+    Worker& tgt = *workers_[w];
+    {
+      std::lock_guard<std::mutex> g(tgt.mu);
+      tgt.q.push_back(op);
+    }
+    tgt.wake.post();
+  }
 
   void push_injector(AsyncOp* op) {
-    {
-      std::lock_guard<std::mutex> g(inj_mu_);
-      if (inj_tail_ == nullptr) {
-        inj_head_ = inj_tail_ = op;
-      } else {
-        inj_tail_->q_next = op;
-        inj_tail_ = op;
-      }
-      op->q_next = nullptr;
+    std::lock_guard<std::mutex> g(inj_mu_);
+    if (inj_tail_ == nullptr) {
+      inj_head_ = inj_tail_ = op;
+    } else {
+      inj_tail_->q_next = op;
+      inj_tail_ = op;
     }
-    if (!workers_.empty()) {
-      const std::size_t w =
-          rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
-      workers_[w]->wake.post();
-    }
+    op->q_next = nullptr;
   }
 
   AsyncOp* pop_injector() {
@@ -629,7 +656,20 @@ class AsyncExecutor {
   void complete(AsyncOp* op) {
     unlink_nodes(op);
     if (op->cancelled) op->out.won = false;
-    op->state.store(AsyncOp::kDone, std::memory_order_release);
+    const std::uint32_t prev =
+        op->state.exchange(AsyncOp::kDone, std::memory_order_acq_rel);
+    // A release event that raced with this op's final attempt CASed
+    // kRunning -> kSignalled and counted itself delivered (wake-one).
+    // This op is not retrying, so re-post the wake or a parked waiter
+    // on the same lock strands until unrelated traffic arrives. The
+    // event does not record which lock fired, so re-deliver across the
+    // whole set; our nodes are unlinked above, so this op cannot be its
+    // own target.
+    if (prev == AsyncOp::kSignalled) {
+      for (std::uint32_t i = 0; i < op->n_locks; ++i) {
+        deliver_event(op->ids[i], -1);
+      }
+    }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     completed_.fetch_add(1, std::memory_order_relaxed);
     op->done_wake.post_all();
@@ -642,13 +682,20 @@ class AsyncExecutor {
     Worker& self = *workers_[static_cast<std::size_t>(index)];
     for (;;) {
       AsyncOp* op = pop_local(self);
-      if (op == nullptr) op = pop_injector();
       if (op == nullptr) op = steal(static_cast<std::size_t>(index));
       if (op == nullptr) {
-        if (stopping_.load(std::memory_order_acquire)) return;
+        // Exit only once stopping_ AND nothing is in flight: shutdown
+        // sweeps parked ops back into the run queues as cancelled work,
+        // and a worker that left on "queues momentarily empty" would
+        // strand that work and wedge shutdown's in_flight_ drain.
+        if (stopping_.load(std::memory_order_acquire)) {
+          if (in_flight_.load(std::memory_order_acquire) == 0) return;
+          std::this_thread::yield();  // sweep in progress; stay pollable
+          continue;
+        }
         const std::uint32_t seen = self.wake.prepare();
         if (peek_work(index)) continue;
-        if (stopping_.load(std::memory_order_acquire)) return;
+        if (stopping_.load(std::memory_order_acquire)) continue;
         self.wake.wait(seen);
         continue;
       }
@@ -663,11 +710,11 @@ class AsyncExecutor {
     }
   }
 
+  // Own-queue recheck between prepare() and wait(): dispatch() posts the
+  // target's wake after pushing, so only the self queue can race the
+  // sleep. Work landing in a PEER's queue woke that peer; stealing is
+  // load-shedding, not the wake path.
   bool peek_work(int index) {
-    {
-      std::lock_guard<std::mutex> g(inj_mu_);
-      if (inj_head_ != nullptr) return true;
-    }
     Worker& self = *workers_[static_cast<std::size_t>(index)];
     std::lock_guard<std::mutex> g(self.mu);
     return !self.q.empty();

@@ -20,6 +20,9 @@
 namespace wfl {
 
 struct RealPlat {
+  // Safe to drive from arbitrary OS threads (cf. SimPlat::kSimulated).
+  static constexpr bool kSimulated = false;
+
   static std::uint64_t& steps_ref() {
     thread_local std::uint64_t steps = 0;
     return steps;

@@ -19,6 +19,11 @@
 namespace wfl {
 
 struct SimPlat {
+  // Runtimes must not drive this platform from worker OS threads: step()
+  // yields into the fiber scheduler, which is only valid on a simulator
+  // fiber (AsyncExecutor checks this at construction).
+  static constexpr bool kSimulated = true;
+
   static void step() {
     Simulator* sim = Simulator::current();
     if (sim != nullptr && sim->current_pid() >= 0) {

@@ -264,6 +264,45 @@ TEST(Async, CrashedClientDoesNotWedgeOtherWaiters) {
   EXPECT_EQ(exec.in_flight(), 0u);
 }
 
+// --- shutdown --------------------------------------------------------------
+
+TEST(Async, ShutdownWithInFlightOpsDrainsAndJoins) {
+  const LockConfig cfg = off_cfg();
+  LockTable<RealPlat> space(cfg, 8, 4);
+  Session<RealPlat> s(space);
+  Cell<RealPlat> counter{0};
+
+  // Pile contended submissions up, wait for only ONE, and destroy the
+  // executor: most ops are still queued or parked when shutdown starts.
+  // Workers must stay alive until shutdown's sweep has pushed every
+  // remaining op through a final (cancelling) cycle — a worker that
+  // exits on "queues momentarily empty" while in_flight > 0 strands the
+  // swept ops and wedges the drain loop forever (regression: the
+  // destructor used to hang here).
+  constexpr int kOps = 300;
+  {
+    AsyncExecutor<RealPlat> exec(space, {.workers = 2});
+    AsyncClient<RealPlat> client(s);
+    StaticLockSet<1> locks({0}, cfg);
+    std::vector<AsyncExecutor<RealPlat>::Ticket> tickets;
+    tickets.reserve(kOps);
+    for (int i = 0; i < kOps; ++i) {
+      tickets.push_back(exec.async_submit(
+          client, locks,
+          [&counter](IdemCtx<RealPlat>& m) {
+            m.store(counter, m.load(counter) + 1);
+          },
+          Policy::retry()));
+    }
+    EXPECT_TRUE(tickets.front().wait().won);
+    // Tickets (declared after exec) are destroyed first, then ~exec
+    // drains the remaining in-flight ops and joins the pool.
+  }
+  // Every thunk that won ran exactly once; cancelled ones not at all.
+  EXPECT_GE(counter.peek(), 1u);
+  EXPECT_LE(counter.peek(), static_cast<std::uint32_t>(kOps));
+}
+
 // --- fiber pool economy ----------------------------------------------------
 
 TEST(Async, WorkerQuantaReuseStacksFromTheFiberPool) {
