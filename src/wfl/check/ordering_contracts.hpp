@@ -1,0 +1,262 @@
+// Machine-checked memory-ordering contracts for every weakened operation.
+//
+// The paper's model is sequentially consistent shared memory: every
+// Plat::Atomic operation is seq_cst and counted as a step. PRs 4-6 weakened
+// orderings at a closed set of *infrastructure* sites (reclamation, pools,
+// advisory scheduling state — all outside the step model, DESIGN.md
+// substitution #2), each justified by a hand-written argument in DESIGN.md
+// §4.4/§5.1/§6.1. This header turns those arguments into data: one Site per
+// weakened operation, one Contract naming the *kind* of argument that makes
+// the weakening sound, and a rationale string quoting it. The analysis
+// engine (check/race.hpp) looks every hooked operation up here and verifies
+// the declared contract dynamically:
+//
+//   * strength contracts (kSeqCstOnly/kAcquireLoad/kReleaseStore/kAcqRelRmw)
+//     check the declared memory_order of the operation that actually ran —
+//     a seeded mutation (or a future refactor that silently downgrades an
+//     order) is reported at the first occurrence;
+//   * kFencedAnnounce drives a structural Dekker check: a relaxed announce
+//     store must be separated from its seq_cst verify load by a seq_cst
+//     fence (the EBR publication-point pattern, DESIGN.md §4.4);
+//   * kOrderedWrites runs a happens-before race check over all writes to
+//     the word: relaxed is sound only because every pair of writes is
+//     ordered by some *other* hooked synchronization (e.g. retire_refs:
+//     all drops run on the retiring participant);
+//   * kAdvisory and kAtomicOnly document that the value is never trusted
+//     for safety (claims, gauges) or that only RMW atomicity is load-
+//     bearing (serial refill); no dynamic check beyond event logging.
+//
+// Sites NOT listed here are intentionally unhooked: pool segment-directory
+// publication (serialized by grow()'s mutex, consumed with acquire loads),
+// pure monotone gauges (freelist_ops, executor wake/park counters), and
+// quiescent teardown reads. A hooked atomic operation that arrives with a
+// weakened order and NO site is itself a finding ("undeclared weakening").
+#pragma once
+
+#include <cstdint>
+
+namespace wfl::race {
+
+enum class Site : std::uint8_t {
+  kUnknown = 0,
+
+  // --- EBR (mem/ebr.hpp, DESIGN.md §4.4) ---
+  kEbrAnnounce,         // p.active relaxed store (publication-point fence)
+  kEbrEpochAnnounce,    // p.epoch relaxed store (same fence pattern)
+  kEbrPublishFence,     // the seq_cst publication-point fence
+  kEbrVerifyLoad,       // global_epoch seq_cst load closing the window
+  kEbrEpochSelfLoad,    // own epoch word, relaxed (single-writer)
+  kEbrExit,             // p.active release store (guard exit)
+  kEbrAbandon,          // p.active seq_cst store (crash harness)
+  kEbrRetireEpochLoad,  // global_epoch seq_cst load in retire()
+  kEbrCollectEpochLoad, // global_epoch seq_cst load in collect()/free
+  kEbrScanActive,       // participant scan: active seq_cst load
+  kEbrScanEpoch,        // participant scan: epoch seq_cst load
+  kEbrEpochAdvanceCas,  // global_epoch seq_cst CAS (one advance per value)
+  kEbrParticipantCount, // next_participant_ counter (register + scan bound)
+
+  // --- IndexPool (mem/arena.hpp) ---
+  kPoolHeadLoad,        // freelist head acquire load
+  kPoolHeadCas,         // freelist head acq_rel CAS (pop/push)
+  kPoolNextLoad,        // next-link relaxed load (valid-or-null)
+  kPoolNextStore,       // next-link relaxed store (pre-CAS linking)
+
+  // --- Descriptor bookkeeping (core/descriptor.hpp, core/lock_table.hpp) ---
+  kRetireRefsInit,      // retire_refs relaxed store, pre-publication
+  kRetireRefsDrop,      // retire_refs acq_rel fetch_sub (last frees)
+  kHelpClaimLoad,       // help_claim relaxed load (DESIGN.md §5.2)
+  kHelpClaimStore,      // help_claim relaxed store (take/revoke)
+  kHelpClaimRelease,    // help_claim relaxed CAS (release own claim)
+  kClaimSkipsBump,      // claim_skips relaxed fetch_add (patience)
+  kClaimSkipsReset,     // claim_skips relaxed store
+
+  // --- Per-process hot state (core/process.hpp) ---
+  kStatsBump,           // StatsSlab relaxed load-then-store (single writer)
+  kSerialRefill,        // serial high-water relaxed fetch_add
+  kFastReadyLoad,       // fast_ready relaxed load (cooldown flag)
+  kFastReadyStore,      // fast_ready relaxed store
+
+  // --- Thunk log bookkeeping (idem/idem.hpp) ---
+  kLogNoteUsed,         // used_ops_ relaxed store/load (equal-value racers)
+
+  // --- Thin-word fast path (core/lock_table.hpp, DESIGN.md §5.1) ---
+  kThinPublish,         // publish CAS 0 -> (pid, serial); must stay seq_cst
+  kThinRelease,         // release CAS/store back to 0
+
+  // --- Wake plumbing (platforms, core/lock_table.hpp) ---
+  kWakeSeq,             // Wake sequence word (acquire/release)
+  kWakeSinkInstall,     // wake_sink_ release store
+  kWakeSinkLoad,        // wake_sink_ acquire load (hot-path null check)
+
+  // --- Async executor (core/async_executor.hpp, DESIGN.md §6.1) ---
+  kAsyncStateCas,       // AsyncOp state acq_rel CAS (park/wake/signal)
+  kAsyncStateStore,     // AsyncOp state release store (begin cycle/retry)
+  kAsyncStateLoad,      // AsyncOp state acquire load
+  kAsyncRefsDrop,       // AsyncOp refs acq_rel fetch_sub (last deletes)
+  kAsyncClientLive,     // client live flag release store / acquire load
+  kAsyncInlineLatch,    // inline_busy_ acquire CAS / release store
+  kAsyncInFlight,       // in_flight_ acquire load / acq_rel sub (shutdown)
+
+  // --- Annotated plain-memory regions (FastTrack-style epochs) ---
+  kDescPlain,           // descriptor line group A: owner-written, helper-read
+  kSlotCacheBatch,      // SlotCache slot array (single owner)
+  kFiberStack,          // fiber stack re-arm (pool reuse)
+  kAsyncOutcome,        // AsyncOp outcome fields (runner-written, ticket-read)
+
+  // --- Platform surface (intrinsic checks; listed for reporting) ---
+  kAtomicInit,          // Plat::Atomic::init — construction-only
+  kAtomicPeek,          // Plat::Atomic::peek — quiescent debug read
+
+  kSiteCount,
+};
+
+enum class Contract : std::uint8_t {
+  kSeqCstOnly,     // the paper's step model: nothing below seq_cst is sound
+  kAcquireLoad,    // load must be >= acquire (consumes a publication)
+  kReleaseStore,   // store must be >= release (publishes preceding work)
+  kAcqRelRmw,      // RMW must be >= acq_rel (link in a hand-off chain)
+  kFutexSeq,       // one-way hand-off word: writes/RMWs publish (>= release),
+                   // loads consume (>= acquire); the RMW never reads payload
+  kFencedAnnounce, // relaxed store ordered by the publication-point fence
+  kSeqCstFence,    // the fence itself must be seq_cst
+  kOrderedWrites,  // relaxed ok; all writes must be pairwise HB-ordered
+  kAdvisory,       // value is a hint; correctness never depends on it
+  kAtomicOnly,     // RMW atomicity load-bearing, ordering is not
+  kInitOnly,       // construction-only: location must be quiescent
+  kQuiescentRead,  // debug read: no unordered writer may exist
+};
+
+struct SiteInfo {
+  Site site;
+  const char* name;
+  Contract contract;
+  const char* why;
+};
+
+// Indexed by Site value; keep in enum order (verified by site_info()).
+inline constexpr SiteInfo kSiteTable[] = {
+    {Site::kUnknown, "unknown", Contract::kSeqCstOnly,
+     "unannotated operations carry the paper's full seq_cst obligation"},
+
+    {Site::kEbrAnnounce, "ebr.announce", Contract::kFencedAnnounce,
+     "ordered before the verify load by the publication-point fence"},
+    {Site::kEbrEpochAnnounce, "ebr.epoch_announce", Contract::kFencedAnnounce,
+     "same fence pattern; stale value conservatively blocks advancement"},
+    {Site::kEbrPublishFence, "ebr.publish_fence", Contract::kSeqCstFence,
+     "the Dekker publication point: orders announce vs. scan either-or"},
+    {Site::kEbrVerifyLoad, "ebr.verify_load", Contract::kSeqCstOnly,
+     "must be seq_cst to close the fence's either-or window"},
+    {Site::kEbrEpochSelfLoad, "ebr.epoch_self_load", Contract::kAdvisory,
+     "own single-writer word; skip-reannounce fast path only"},
+    {Site::kEbrExit, "ebr.exit", Contract::kReleaseStore,
+     "publishes the guard's critical-section reads to the collector scan"},
+    {Site::kEbrAbandon, "ebr.abandon", Contract::kSeqCstOnly,
+     "crash path keeps the strongest order; not performance sensitive"},
+    {Site::kEbrRetireEpochLoad, "ebr.retire_epoch_load",
+     Contract::kSeqCstOnly, "bucket epoch must not run ahead of the scan"},
+    {Site::kEbrCollectEpochLoad, "ebr.collect_epoch_load",
+     Contract::kSeqCstOnly, "grace arithmetic relies on the advance chain"},
+    {Site::kEbrScanActive, "ebr.scan_active", Contract::kSeqCstOnly,
+     "observing exit's release store closes the grace period"},
+    {Site::kEbrScanEpoch, "ebr.scan_epoch", Contract::kSeqCstOnly,
+     "paired with scan_active; fence-published epoch must be visible"},
+    {Site::kEbrEpochAdvanceCas, "ebr.epoch_advance_cas",
+     Contract::kSeqCstOnly, "advance chain carries every scanner's reads"},
+    {Site::kEbrParticipantCount, "ebr.participant_count",
+     Contract::kAtomicOnly,
+     "gates iteration over construction-time participant slots"},
+
+    {Site::kPoolHeadLoad, "pool.head_load", Contract::kAcquireLoad,
+     "pairs with the pushing CAS: slot payload visible before reuse"},
+    {Site::kPoolHeadCas, "pool.head_cas", Contract::kAcqRelRmw,
+     "the hand-off edge of the freelist; tag increment kills ABA"},
+    {Site::kPoolNextLoad, "pool.next_load", Contract::kAdvisory,
+     "valid-or-null: a stale link loses the CAS, never derefs garbage"},
+    {Site::kPoolNextStore, "pool.next_store", Contract::kAdvisory,
+     "private until the head CAS publishes the chain"},
+
+    {Site::kRetireRefsInit, "desc.retire_refs_init", Contract::kOrderedWrites,
+     "owner-written before publication; ordered by the set-insert CAS"},
+    {Site::kRetireRefsDrop, "desc.retire_refs_drop", Contract::kOrderedWrites,
+     "all drops run on the retiring participant (EBR deleters), so acq_rel "
+     "chains them; checked as writes that must be pairwise ordered"},
+    {Site::kHelpClaimLoad, "desc.help_claim_load", Contract::kAdvisory,
+     "claim is revocable; correctness never depends on who holds it"},
+    {Site::kHelpClaimStore, "desc.help_claim_store", Contract::kAdvisory,
+     "last-writer-wins is fine for an advisory claim"},
+    {Site::kHelpClaimRelease, "desc.help_claim_release", Contract::kAdvisory,
+     "failed release means someone revoked us; equally fine"},
+    {Site::kClaimSkipsBump, "desc.claim_skips_bump", Contract::kAdvisory,
+     "patience counter; bounded staleness only delays, never wedges"},
+    {Site::kClaimSkipsReset, "desc.claim_skips_reset", Contract::kAdvisory,
+     "reset races with bumps by design; bounded patience still holds"},
+
+    {Site::kStatsBump, "proc.stats_bump", Contract::kOrderedWrites,
+     "unsynchronized load-then-store is exact iff the slab has one writer; "
+     "checked: all writes to a counter must be pairwise HB-ordered"},
+    {Site::kSerialRefill, "proc.serial_refill", Contract::kAtomicOnly,
+     "block handout needs uniqueness (RMW atomicity), not ordering"},
+    {Site::kFastReadyLoad, "proc.fast_ready_load", Contract::kAdvisory,
+     "cooldown gate; a stale read only routes to the slower path"},
+    {Site::kFastReadyStore, "proc.fast_ready_store", Contract::kAdvisory,
+     "flipped by the owner or its own EBR deleter; monotone per cycle"},
+
+    {Site::kLogNoteUsed, "idem.log_note_used", Contract::kAdvisory,
+     "racing writers store identical values (deterministic replay)"},
+
+    {Site::kThinPublish, "thin.publish", Contract::kSeqCstOnly,
+     "Dekker vs. the slow path's set insert (DESIGN.md §5.1): publish "
+     "before reading the set, insert before probing the word"},
+    {Site::kThinRelease, "thin.release", Contract::kSeqCstOnly,
+     "failure detection (observed bit) gates descriptor reuse"},
+
+    {Site::kWakeSeq, "wake.seq", Contract::kFutexSeq,
+     "post's release RMW publishes work; prepare/wait's acquire loads "
+     "consume it (futex shape — post never reads the protected payload)"},
+    {Site::kWakeSinkInstall, "table.wake_sink_install",
+     Contract::kReleaseStore, "sink vtable/state visible before any event"},
+    {Site::kWakeSinkLoad, "table.wake_sink_load", Contract::kAcquireLoad,
+     "one acquire load on the hot path when no sink is installed"},
+
+    {Site::kAsyncStateCas, "async.state_cas", Contract::kAcqRelRmw,
+     "park/wake/signal transitions hand the op between threads"},
+    {Site::kAsyncStateStore, "async.state_store", Contract::kReleaseStore,
+     "cycle start publishes the op's fields to release-event CASers"},
+    {Site::kAsyncStateLoad, "async.state_load", Contract::kAcquireLoad,
+     "done() consumers read the Outcome the completer published"},
+    {Site::kAsyncRefsDrop, "async.refs_drop", Contract::kAcqRelRmw,
+     "last unref deletes; both sides' accesses must be ordered"},
+    {Site::kAsyncClientLive, "async.client_live", Contract::kReleaseStore,
+     "crash() publishes; workers acquire-load before touching the session"},
+    {Site::kAsyncInlineLatch, "async.inline_latch", Contract::kAdvisory,
+     "a lock, not an RMW site: acquire-CAS take / release-store give; "
+     "clock transfer is modeled through the engine's mutex events"},
+    {Site::kAsyncInFlight, "async.in_flight", Contract::kAcqRelRmw,
+     "shutdown's drain loop joins every completer's final writes"},
+
+    {Site::kDescPlain, "desc.plain_fields", Contract::kOrderedWrites,
+     "line group A: owner-written before publication, helper-read after "
+     "observing the publication (set insert or thin word)"},
+    {Site::kSlotCacheBatch, "pool.slot_cache", Contract::kOrderedWrites,
+     "single-owner by construction (arena.hpp); deleters run on the owner"},
+    {Site::kFiberStack, "fiber.stack", Contract::kOrderedWrites,
+     "re-armed only when finished; pool hand-off via the pool mutex"},
+    {Site::kAsyncOutcome, "async.outcome", Contract::kOrderedWrites,
+     "runner-written before the kDone transition; ticket reads after"},
+
+    {Site::kAtomicInit, "plat.atomic_init", Contract::kInitOnly,
+     "relaxed store legal only while the location is quiescent"},
+    {Site::kAtomicPeek, "plat.atomic_peek", Contract::kQuiescentRead,
+     "relaxed debug read legal only with no unordered concurrent writer"},
+};
+
+static_assert(sizeof(kSiteTable) / sizeof(kSiteTable[0]) ==
+                  static_cast<std::size_t>(Site::kSiteCount),
+              "kSiteTable must have exactly one row per Site");
+
+inline const SiteInfo& site_info(Site s) {
+  const auto i = static_cast<std::size_t>(s);
+  return kSiteTable[i < static_cast<std::size_t>(Site::kSiteCount) ? i : 0];
+}
+
+}  // namespace wfl::race

@@ -1,0 +1,209 @@
+// Dynamic happens-before analysis over the simulator's deterministic
+// interleavings (the tentpole of the analysis layer; see DESIGN.md §7).
+//
+// Three cooperating pieces:
+//
+//   1. CheckedPlat (platform/checked.hpp) forwards every Plat::Atomic
+//      operation — with its address, operation kind, declared memory_order
+//      and value — into the engine via the hooks below.
+//   2. Raw std::atomic sites that PRs 4-6 weakened below seq_cst carry
+//      WFL_CHK_ATOMIC/WFL_CHK_FENCE annotations naming their Site in
+//      check/ordering_contracts.hpp; the engine audits the declared
+//      contract and feeds the same vector-clock model.
+//   3. Known plain-memory protocols (descriptor line group A, SlotCache
+//      batches, fiber stacks, AsyncOp outcomes) carry WFL_PLAIN_READ /
+//      WFL_PLAIN_WRITE region annotations checked FastTrack-style against
+//      the clocks.
+//
+// The model: one vector clock per logical process (simulator pid; the
+// setup/teardown main context is process slot 0). Synchronization edges are
+// derived from the *declared* orders — a release-class store replaces the
+// location's sync clock, an RMW joins into it (release-sequence
+// continuation), an acquire-class load joins it into the reader, relaxed
+// loads defer the join until an acquire fence, release fences arm
+// subsequent relaxed stores, and seq_cst operations additionally join a
+// global SC clock both ways (the simulator executes one total order, and
+// C++ guarantees a single total order S over seq_cst operations, so
+// treating observed SC predecessors as ordered is sound for auditing this
+// execution). A conflicting plain access not ordered by those edges is a
+// finding; so is an operation weaker than its site's contract. Findings
+// carry a reproducer: the simulator seed plus the slot trace of the
+// unordered pair.
+//
+// When no engine is installed every hook is one relaxed load and a
+// predicted branch; RealPlat builds and benches pay nothing else.
+// Engine state is owned by the installing thread. Events raised from other
+// OS threads (RealPlat tests in the same binary) only *poison* the touched
+// location under the engine mutex — cross-thread interleavings are TSan's
+// job (ci: tsan), not this model's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wfl/check/ordering_contracts.hpp"
+
+namespace wfl::race {
+
+enum class Op : std::uint8_t {
+  kLoad,
+  kStore,
+  kCasOk,
+  kCasFail,  // value = the observed (expected-out) word
+  kExchange,
+  kFetchAdd,  // value = the post-add word
+  kInit,
+  kPeek,
+};
+
+struct Finding {
+  const char* kind;  // "contract" | "unfenced-announce" | "plain-race" |
+                     // "init-race" | "peek-race" | "shadow"
+  Site site;
+  const void* addr;
+  std::string message;  // full text, includes the seed+slot reproducer
+};
+
+class RaceEngine {
+ public:
+  RaceEngine();
+  ~RaceEngine();
+
+  RaceEngine(const RaceEngine&) = delete;
+  RaceEngine& operator=(const RaceEngine&) = delete;
+
+  // Make this engine the process-global event sink. One at a time; the
+  // destructor uninstalls. Must be called on the owning (constructing)
+  // thread — the thread that runs the simulator.
+  void install();
+  void uninstall();
+
+  // Seeded-mutation support for detector self-tests: the engine *model* is
+  // mutated, not the program. kDropFence ignores fence events at `site`
+  // (the detector behaves as if the fence were deleted); kDowngradeOrder
+  // treats operations at `site` as having `order` instead of their declared
+  // order. Under the simulator all fibers share one OS thread, so really
+  // weakening an order is unobservable at runtime — mutating the model is
+  // the faithful way to test "would we catch this edit?".
+  struct Mutation {
+    enum class Kind : std::uint8_t { kNone, kDropFence, kDowngradeOrder };
+    Kind kind = Kind::kNone;
+    Site site = Site::kUnknown;
+    std::memory_order order = std::memory_order_relaxed;
+  };
+  void set_mutation(Mutation m);
+
+  const std::vector<Finding>& findings() const;
+  void clear_findings();
+
+  std::uint64_t events() const;         // processed on the owner thread
+  std::uint64_t foreign_events() const; // poison-only, from other threads
+  std::uint64_t last_seed() const;      // seed of the most recent sim run
+
+  // Print all findings plus, per finding, the tail of the event trace
+  // filtered to the conflicting address (the "shrunk" reproducer).
+  void report(std::ostream& os) const;
+
+  struct Impl;
+  Impl& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+// Process-global engine pointer. Relaxed access: installation happens-before
+// use via test sequencing on the owner thread; other threads only ever
+// poison under the engine's own mutex.
+inline std::atomic<RaceEngine*> g_engine{nullptr};
+
+inline RaceEngine* engine() {
+  return g_engine.load(std::memory_order_relaxed);
+}
+
+// Out-of-line event sinks (race.cpp).
+void atomic_event_slow(RaceEngine* e, const void* addr, Op op,
+                       std::memory_order order, Site site, std::uint64_t val);
+void fence_event_slow(RaceEngine* e, std::memory_order order, Site site);
+void plain_event_slow(RaceEngine* e, const void* region, bool is_write,
+                      Site site);
+void lifetime_event_slow(RaceEngine* e, const void* addr, bool created,
+                         std::uint64_t val);
+void mutex_event_slow(RaceEngine* e, const void* mtx, bool acquire);
+void tag_next_slow(RaceEngine* e, Site site);
+void run_boundary_slow(RaceEngine* e, bool entering, std::uint64_t seed);
+
+// Inline front doors: a relaxed load + branch when no engine is installed.
+inline void atomic_event(const void* addr, Op op, std::memory_order order,
+                         Site site, std::uint64_t val) {
+  if (RaceEngine* e = engine()) atomic_event_slow(e, addr, op, order, site, val);
+}
+inline void fence_event(std::memory_order order, Site site) {
+  if (RaceEngine* e = engine()) fence_event_slow(e, order, site);
+}
+inline void plain_read(const void* region, Site site) {
+  if (RaceEngine* e = engine()) plain_event_slow(e, region, false, site);
+}
+inline void plain_write(const void* region, Site site) {
+  if (RaceEngine* e = engine()) plain_event_slow(e, region, true, site);
+}
+// Atomic cell lifetime (CheckedPlat ctor/dtor): seeds the shadow value and
+// retires the address so heap reuse cannot alias stale state.
+inline void created(const void* addr, std::uint64_t val) {
+  if (RaceEngine* e = engine()) lifetime_event_slow(e, addr, true, val);
+}
+inline void destroyed(const void* addr) {
+  if (RaceEngine* e = engine()) lifetime_event_slow(e, addr, false, 0);
+}
+inline void mutex_acquire(const void* mtx) {
+  if (RaceEngine* e = engine()) mutex_event_slow(e, mtx, true);
+}
+inline void mutex_release(const void* mtx) {
+  if (RaceEngine* e = engine()) mutex_event_slow(e, mtx, false);
+}
+
+// RAII companion for a std::lock_guard: declare one right after the guard
+// so lock-model events bracket the critical section even on early returns.
+class MutexScope {
+ public:
+  explicit MutexScope(const void* mtx) : mtx_(mtx) { mutex_acquire(mtx_); }
+  ~MutexScope() { mutex_release(mtx_); }
+  MutexScope(const MutexScope&) = delete;
+  MutexScope& operator=(const MutexScope&) = delete;
+
+ private:
+  const void* mtx_;
+};
+// Tag the *next* atomic event of the calling logical process with `site`
+// (for Plat::Atomic ops, whose call sites can't pass one — e.g. the
+// thin-word publish CAS).
+inline void tag_next(Site site) {
+  if (RaceEngine* e = engine()) tag_next_slow(e, site);
+}
+// Simulator run boundary: joins all clocks (everything before the run
+// happens-before everything in it, and the run happens-before teardown)
+// and records the seed for reproducers. Called from Simulator::run().
+inline void run_boundary(bool entering, std::uint64_t seed) {
+  if (RaceEngine* e = engine()) run_boundary_slow(e, entering, seed);
+}
+
+}  // namespace wfl::race
+
+// Annotation macros used at product call sites. `op` is an Op enumerator
+// name, `ord` a memory_order suffix (relaxed/acquire/...), `site` a Site
+// enumerator name.
+#define WFL_CHK_ATOMIC(addr, op, ord, site, val)                            \
+  ::wfl::race::atomic_event((addr), ::wfl::race::Op::op,                    \
+                            std::memory_order_##ord,                        \
+                            ::wfl::race::Site::site,                        \
+                            static_cast<std::uint64_t>(val))
+#define WFL_CHK_FENCE(ord, site) \
+  ::wfl::race::fence_event(std::memory_order_##ord, ::wfl::race::Site::site)
+#define WFL_PLAIN_READ(region, site) \
+  ::wfl::race::plain_read((region), ::wfl::race::Site::site)
+#define WFL_PLAIN_WRITE(region, site) \
+  ::wfl::race::plain_write((region), ::wfl::race::Site::site)
+#define WFL_CHK_TAG(site) ::wfl::race::tag_next(::wfl::race::Site::site)

@@ -88,6 +88,7 @@
 #include <utility>
 #include <vector>
 
+#include "wfl/check/race.hpp"
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_set.hpp"
 #include "wfl/core/session.hpp"
@@ -115,14 +116,21 @@ class BasicAsyncClient {
   BasicAsyncClient(const BasicAsyncClient&) = delete;
   BasicAsyncClient& operator=(const BasicAsyncClient&) = delete;
 
-  bool live() const { return live_.load(std::memory_order_acquire); }
+  bool live() const {
+    const bool r = live_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&live_, kLoad, acquire, kAsyncClientLive, r ? 1 : 0);
+    return r;
+  }
 
   // Crash-harness hook: pending submissions complete as cancelled
   // (won == false) the next time a worker touches them; parked ones are
   // re-queued by AsyncExecutor::cancel_client. The session itself is the
   // caller's to abandon (WflBackend::abandon) — the two are independent
   // layers.
-  void crash() { live_.store(false, std::memory_order_release); }
+  void crash() {
+    live_.store(false, std::memory_order_release);
+    WFL_CHK_ATOMIC(&live_, kStore, release, kAsyncClientLive, 0);
+  }
 
   BasicSession<Space>& session() const { return *session_; }
 
@@ -131,10 +139,14 @@ class BasicAsyncClient {
   // under this client's session. Claim-or-skip, never block.
   bool try_acquire_inline() {
     bool expect = false;
-    return inline_busy_.compare_exchange_strong(expect, true,
-                                                std::memory_order_acquire);
+    const bool ok = inline_busy_.compare_exchange_strong(
+        expect, true, std::memory_order_acquire);
+    // A lock in all but name; the analysis layer models it as one.
+    if (ok) race::mutex_acquire(&inline_busy_);
+    return ok;
   }
   void release_inline() {
+    race::mutex_release(&inline_busy_);
     inline_busy_.store(false, std::memory_order_release);
   }
 
@@ -183,6 +195,8 @@ class AsyncExecutor {
         : client(&c), policy(p), armed(a) {
       n_locks = locks.size();
       for (std::uint32_t i = 0; i < n_locks; ++i) ids[i] = locks[i];
+      race::created(&state, kQueued);
+      race::created(&refs, 2);
     }
 
     LockSetView locks() const {
@@ -218,8 +232,14 @@ class AsyncExecutor {
     std::atomic<std::uint64_t>* live_gauge = nullptr;
 
     void unref() {
-      if (refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      const std::uint32_t prev = refs.fetch_sub(1, std::memory_order_acq_rel);
+      WFL_CHK_ATOMIC(&refs, kFetchAdd, acq_rel, kAsyncRefsDrop, prev - 1);
+      if (prev == 1) {
         live_gauge->fetch_sub(1, std::memory_order_relaxed);
+        // Retire tracked addresses before the storage can be heap-reused.
+        race::destroyed(&state);
+        race::destroyed(&refs);
+        race::destroyed(&out);
         delete this;
       }
     }
@@ -250,8 +270,10 @@ class AsyncExecutor {
 
     bool valid() const { return op_ != nullptr; }
     bool done() const {
-      return op_ != nullptr &&
-             op_->state.load(std::memory_order_acquire) == AsyncOp::kDone;
+      if (op_ == nullptr) return false;
+      const std::uint32_t s = op_->state.load(std::memory_order_acquire);
+      WFL_CHK_ATOMIC(&op_->state, kLoad, acquire, kAsyncStateLoad, s);
+      return s == AsyncOp::kDone;
     }
 
     // Blocks until the submission completes and returns its Outcome.
@@ -272,11 +294,16 @@ class AsyncExecutor {
           op_->done_wake.wait(seen);
         }
       }
+      WFL_PLAIN_READ(&op_->out, kAsyncOutcome);
       return op_->out;
     }
 
     // Non-blocking: the Outcome if complete, nullptr otherwise.
-    const Outcome* poll() const { return done() ? &op_->out : nullptr; }
+    const Outcome* poll() const {
+      if (!done()) return nullptr;
+      WFL_PLAIN_READ(&op_->out, kAsyncOutcome);
+      return &op_->out;
+    }
 
    private:
     friend class AsyncExecutor;
@@ -340,7 +367,11 @@ class AsyncExecutor {
     auto* op = new AsyncOp(client, locks, prep.armed(), policy);
     op->live_gauge = &live_ops_;
     live_ops_.fetch_add(1, std::memory_order_relaxed);
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    // acq_rel, matching the drain side: the shutdown loop's acquire load
+    // must never observe a count weaker than the queue state it mirrors.
+    const std::uint64_t now =
+        in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    WFL_CHK_ATOMIC(&in_flight_, kFetchAdd, acq_rel, kAsyncInFlight, now);
     enqueue(op);
     return Ticket(op, this);
   }
@@ -375,6 +406,7 @@ class AsyncExecutor {
     client.crash();
     for (WaitList& wl : wait_lists_) {
       std::lock_guard<std::mutex> g(wl.mu);
+      race::MutexScope chk(&wl.mu);
       for (typename AsyncOp::WaitNode* n = wl.head; n != nullptr;
            n = n->next) {
         AsyncOp* op = n->op;
@@ -382,10 +414,23 @@ class AsyncExecutor {
         std::uint32_t expect = AsyncOp::kParked;
         if (op->state.compare_exchange_strong(expect, AsyncOp::kRunning,
                                               std::memory_order_acq_rel)) {
+          WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
+                         AsyncOp::kRunning);
           enqueue_claimed(op);
-        } else if (expect == AsyncOp::kRunning) {
-          op->state.compare_exchange_strong(expect, AsyncOp::kSignalled,
-                                            std::memory_order_acq_rel);
+        } else {
+          WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas,
+                         expect);
+          if (expect == AsyncOp::kRunning) {
+            const bool sig = op->state.compare_exchange_strong(
+                expect, AsyncOp::kSignalled, std::memory_order_acq_rel);
+            if (sig) {
+              WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
+                             AsyncOp::kSignalled);
+            } else {
+              WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas,
+                             expect);
+            }
+          }
         }
       }
     }
@@ -397,7 +442,9 @@ class AsyncExecutor {
   // Submissions accepted and not yet complete (queued, attempting, or
   // parked).
   std::uint64_t in_flight() const {
-    return in_flight_.load(std::memory_order_acquire);
+    const std::uint64_t n = in_flight_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&in_flight_, kLoad, acquire, kAsyncInFlight, n);
+    return n;
   }
   // Live session records: submitted and the Outcome not yet consumed
   // (the Ticket still open), whatever the op's state. This is the
@@ -469,26 +516,35 @@ class AsyncExecutor {
             : nullptr;
     WaitList& wl = wait_lists_[lock_id];
     std::lock_guard<std::mutex> g(wl.mu);
+    race::MutexScope chk(&wl.mu);
     for (typename AsyncOp::WaitNode* n = wl.head; n != nullptr;
          n = n->next) {
       AsyncOp* op = n->op;
       if (op == self) continue;
       std::uint32_t s = op->state.load(std::memory_order_acquire);
+      WFL_CHK_ATOMIC(&op->state, kLoad, acquire, kAsyncStateLoad, s);
       if (s == AsyncOp::kParked) {
         if (op->state.compare_exchange_strong(s, AsyncOp::kRunning,
                                               std::memory_order_acq_rel)) {
+          WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
+                         AsyncOp::kRunning);
           wakes_.fetch_add(1, std::memory_order_relaxed);
           enqueue_claimed(op);
           return;  // wake-one
         }
+        WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas, s);
         s = op->state.load(std::memory_order_acquire);
+        WFL_CHK_ATOMIC(&op->state, kLoad, acquire, kAsyncStateLoad, s);
       }
       if (s == AsyncOp::kRunning) {
         if (op->state.compare_exchange_strong(s, AsyncOp::kSignalled,
                                               std::memory_order_acq_rel)) {
+          WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
+                         AsyncOp::kSignalled);
           signals_.fetch_add(1, std::memory_order_relaxed);
           return;  // converted into that op's immediate retry
         }
+        WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas, s);
       }
       if (s == AsyncOp::kSignalled) return;  // absorbed: a retry is owed
     }
@@ -524,6 +580,7 @@ class AsyncExecutor {
 
   void push_injector(AsyncOp* op) {
     std::lock_guard<std::mutex> g(inj_mu_);
+    race::MutexScope chk(&inj_mu_);
     if (inj_tail_ == nullptr) {
       inj_head_ = inj_tail_ = op;
     } else {
@@ -535,6 +592,7 @@ class AsyncExecutor {
 
   AsyncOp* pop_injector() {
     std::lock_guard<std::mutex> g(inj_mu_);
+    race::MutexScope chk(&inj_mu_);
     AsyncOp* op = inj_head_;
     if (op != nullptr) {
       inj_head_ = op->q_next;
@@ -574,6 +632,7 @@ class AsyncExecutor {
       typename AsyncOp::WaitNode& n = op->nodes[i];
       n.op = op;
       std::lock_guard<std::mutex> g(wl.mu);
+      race::MutexScope chk(&wl.mu);
       n.prev = wl.tail;
       n.next = nullptr;
       if (wl.tail != nullptr) {
@@ -592,6 +651,7 @@ class AsyncExecutor {
       WaitList& wl = wait_lists_[op->ids[i]];
       typename AsyncOp::WaitNode& n = op->nodes[i];
       std::lock_guard<std::mutex> g(wl.mu);
+      race::MutexScope chk(&wl.mu);
       if (n.prev != nullptr) {
         n.prev->next = n.next;
       } else {
@@ -617,6 +677,8 @@ class AsyncExecutor {
     std::atomic<AsyncOp*>& slot =
         running_by_pid_[static_cast<std::size_t>(session.pid())];
     op->state.store(AsyncOp::kRunning, std::memory_order_release);
+    WFL_CHK_ATOMIC(&op->state, kStore, release, kAsyncStateStore,
+                   AsyncOp::kRunning);
     for (;;) {
       if (op->cancelled || !op->client->live()) {
         op->cancelled = true;
@@ -625,6 +687,7 @@ class AsyncExecutor {
       }
       if (!op->linked) link_nodes(op);
       slot.store(op, std::memory_order_relaxed);
+      WFL_PLAIN_WRITE(&op->out, kAsyncOutcome);  // the attempt fills it
       const bool won = submit_attempt(session, op->locks(), op->armed,
                                       op->out);
       slot.store(nullptr, std::memory_order_relaxed);
@@ -644,20 +707,30 @@ class AsyncExecutor {
       std::uint32_t expect = AsyncOp::kRunning;
       if (op->state.compare_exchange_strong(expect, AsyncOp::kParked,
                                             std::memory_order_acq_rel)) {
+        WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
+                       AsyncOp::kParked);
         parks_.fetch_add(1, std::memory_order_relaxed);
         break;  // parked: cycle over, wait nodes carry the wake
       }
+      WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas, expect);
       // A release event landed mid-attempt (kSignalled): consume it and
       // re-attempt on this same quantum.
       op->state.store(AsyncOp::kRunning, std::memory_order_release);
+      WFL_CHK_ATOMIC(&op->state, kStore, release, kAsyncStateStore,
+                     AsyncOp::kRunning);
     }
   }
 
   void complete(AsyncOp* op) {
     unlink_nodes(op);
-    if (op->cancelled) op->out.won = false;
+    if (op->cancelled) {
+      WFL_PLAIN_WRITE(&op->out, kAsyncOutcome);
+      op->out.won = false;
+    }
     const std::uint32_t prev =
         op->state.exchange(AsyncOp::kDone, std::memory_order_acq_rel);
+    WFL_CHK_ATOMIC(&op->state, kExchange, acq_rel, kAsyncStateCas,
+                   AsyncOp::kDone);
     // A release event that raced with this op's final attempt CASed
     // kRunning -> kSignalled and counted itself delivered (wake-one).
     // This op is not retrying, so re-post the wake or a parked waiter
@@ -670,7 +743,9 @@ class AsyncExecutor {
         deliver_event(op->ids[i], -1);
       }
     }
-    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    const std::uint64_t left =
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    WFL_CHK_ATOMIC(&in_flight_, kFetchAdd, acq_rel, kAsyncInFlight, left);
     completed_.fetch_add(1, std::memory_order_relaxed);
     op->done_wake.post_all();
     op->unref();
@@ -753,14 +828,20 @@ class AsyncExecutor {
   void sweep_cancel_all() {
     for (WaitList& wl : wait_lists_) {
       std::lock_guard<std::mutex> g(wl.mu);
+      race::MutexScope chk(&wl.mu);
       for (typename AsyncOp::WaitNode* n = wl.head; n != nullptr;
            n = n->next) {
         AsyncOp* op = n->op;
         std::uint32_t expect = AsyncOp::kParked;
         if (op->state.compare_exchange_strong(expect, AsyncOp::kRunning,
                                               std::memory_order_acq_rel)) {
+          WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
+                         AsyncOp::kRunning);
           op->cancelled = true;
           enqueue_claimed(op);
+        } else {
+          WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas,
+                         expect);
         }
       }
     }

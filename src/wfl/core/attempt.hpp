@@ -33,6 +33,7 @@
 #include <cstdint>
 
 #include "wfl/active/multi_set.hpp"
+#include "wfl/check/race.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/descriptor.hpp"
 #include "wfl/idem/idem.hpp"
@@ -69,6 +70,9 @@ struct AttemptEngine {
   // each other — the same visibility property Lemma 6.3 needs.
   static void run(Ctx& cx, Desc& p) {
     auto guards = cx.lock_guards(p);
+    // Reads line group A (lock_ids/lock_count) — must be ordered after the
+    // owner's publication writes.
+    WFL_PLAIN_READ(&p, kDescPlain);
     auto& members = cx.run_scratch();
     for (std::uint32_t i = 0; i < p.lock_count; ++i) {
       multi_get_set<Plat>(cx.set(p.lock_ids[i]), members);
@@ -121,22 +125,35 @@ struct AttemptEngine {
     }
     const std::uint64_t mine = static_cast<std::uint64_t>(cx.pid()) + 1;
     const std::uint64_t claim = q.help_claim.load(std::memory_order_relaxed);
-    if (claim != 0 && claim != mine &&
-        q.claim_skips.fetch_add(1, std::memory_order_relaxed) <
-            kClaimPatience) {
-      cx.stats().add_help_claim_skip();
-      celebrate_if_won(cx, q);
-      return;
+    WFL_CHK_ATOMIC(&q.help_claim, kLoad, relaxed, kHelpClaimLoad, claim);
+    if (claim != 0 && claim != mine) {
+      const std::uint32_t skips =
+          q.claim_skips.fetch_add(1, std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&q.claim_skips, kFetchAdd, relaxed, kClaimSkipsBump,
+                     skips + 1);
+      if (skips < kClaimPatience) {
+        cx.stats().add_help_claim_skip();
+        celebrate_if_won(cx, q);
+        return;
+      }
     }
     // Unclaimed, or the claim went stale: take (or revoke) it and drive.
     // Plain store, not CAS — the claim is advisory, so the last writer
     // winning is fine; correctness never depends on who holds it.
     q.help_claim.store(mine, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&q.help_claim, kStore, relaxed, kHelpClaimStore, mine);
     q.claim_skips.store(0, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&q.claim_skips, kStore, relaxed, kClaimSkipsReset, 0);
     run(cx, q);
     std::uint64_t expect = mine;  // release unless someone revoked us
-    q.help_claim.compare_exchange_strong(expect, 0,
-                                         std::memory_order_relaxed);
+    const bool released = q.help_claim.compare_exchange_strong(
+        expect, 0, std::memory_order_relaxed);
+    if (released) {
+      WFL_CHK_ATOMIC(&q.help_claim, kCasOk, relaxed, kHelpClaimRelease, 0);
+    } else {
+      WFL_CHK_ATOMIC(&q.help_claim, kCasFail, relaxed, kHelpClaimRelease,
+                     expect);
+    }
   }
 
   static void decide(Desc& p) { p.status.cas(kStatusActive, kStatusWon); }
@@ -149,6 +166,8 @@ struct AttemptEngine {
 
   static void celebrate_if_won(Ctx& cx, Desc& p) {
     if (p.status.load() != kStatusWon) return;
+    // Replays the thunk and reads tag_base — line group A again.
+    WFL_PLAIN_READ(&p, kDescPlain);
     cx.stats().add_thunk_run();
     if (p.thunk) {
       IdemCtx<Plat> m(p.log, p.tag_base);

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "wfl/check/race.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
@@ -47,6 +48,23 @@ enum : std::uint32_t {
 template <typename Plat>
 struct alignas(kCacheLine) Descriptor {
   using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
+
+  // Lifetime hooks for the raw atomics below: descriptors sit in pool
+  // segments whose heap addresses get reused across table generations, so
+  // the analysis layer must see construction reset their shadow state.
+  Descriptor() {
+    race::created(&retire_refs, 0);
+    race::created(&help_claim, 0);
+    race::created(&claim_skips, 0);
+  }
+  ~Descriptor() {
+    race::destroyed(&retire_refs);
+    race::destroyed(&help_claim);
+    race::destroyed(&claim_skips);
+  }
+
+  Descriptor(const Descriptor&) = delete;
+  Descriptor& operator=(const Descriptor&) = delete;
 
   // --- line group A: written by the owner before publication, read-only
   // afterwards ---
@@ -95,6 +113,10 @@ struct alignas(kCacheLine) Descriptor {
   // thunk-log slots re-initialized (the lazy reset's O(ops used) figure,
   // surfaced through the lock-space stats).
   std::uint32_t reinit(std::uint64_t new_serial) {
+    // The owner re-claims line group A; any helper of the previous
+    // generation must be ordered before this point (EBR grace + retire_refs
+    // chain — the analysis layer checks exactly that).
+    WFL_PLAIN_WRITE(this, kDescPlain);
     lock_count = 0;
     thunk.reset();
     serial = new_serial;
@@ -102,7 +124,9 @@ struct alignas(kCacheLine) Descriptor {
     priority.init(kPriorityPending);
     status.init(kStatusActive);
     help_claim.store(0, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&help_claim, kStore, relaxed, kHelpClaimStore, 0);
     claim_skips.store(0, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&claim_skips, kStore, relaxed, kClaimSkipsReset, 0);
     return log.reset_used();
   }
 };

@@ -256,6 +256,8 @@ class LockTable {
   // the async executor clears it only after its workers have drained.
   void set_wake_sink(WakeSink* sink) {
     wake_sink_.store(sink, std::memory_order_release);
+    WFL_CHK_ATOMIC(&wake_sink_, kStore, release, kWakeSinkInstall,
+                   reinterpret_cast<std::uintptr_t>(sink));
   }
 
   // True iff `p` currently holds any shard's EBR guard. Attempts exit all
@@ -364,7 +366,11 @@ class LockTable {
       d.lock_ids[i] = lock_ids[i];
     }
     d.thunk = std::move(thunk);
+    // Line group A is complete; the set insert below publishes it.
+    WFL_PLAIN_WRITE(&d, kDescPlain);
     d.retire_refs.store(n_att_shards, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&d.retire_refs, kStore, relaxed, kRetireRefsInit,
+                   n_att_shards);
 
     AttemptCtx cx{*this, h};
 
@@ -466,8 +472,10 @@ class LockTable {
     fd.lock_ids[0] = lock_id;
     fd.thunk = std::move(thunk);
     fd.priority.init(draw_priority<Plat>());  // revealed by the publish CAS
+    WFL_PLAIN_WRITE(&fd, kDescPlain);  // complete before the publish CAS
     const std::uint64_t enc = thin_encode(h.pid(), fd.serial);
     ThinWord& w = *thin_[lock_id];
+    WFL_CHK_TAG(kThinPublish);  // contract: the publish CAS must stay seq_cst
     if (!w.cas(0, enc)) {
       // Held by someone else: this attempt is contended, take the
       // descriptor path (which duels/helps the holder via thin_rival).
@@ -483,6 +491,7 @@ class LockTable {
     const std::uint64_t reveal_steps = Plat::steps();
     Engine::run(cx, fd);
 
+    WFL_CHK_TAG(kThinRelease);
     bool released = w.cas(enc, 0);
     if (!released) {
       // A rival set the observed bit (the only transition a non-owner
@@ -491,6 +500,7 @@ class LockTable {
       // lock's shard before any reuse. Rivals that probe from here on see
       // 0 — and any attempt that started after our publication already
       // found us through the word or will see our effects as decided.
+      WFL_CHK_TAG(kThinRelease);
       w.store(0);
       h.begin_fast_cooldown();
       ebr_[shard_of(lock_id)]->retire(h.pid(), &h, 0,
@@ -803,6 +813,8 @@ class LockTable {
   void notify_release(std::span<const std::uint32_t> lock_ids,
                       int origin_pid) {
     WakeSink* sink = wake_sink_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&wake_sink_, kLoad, acquire, kWakeSinkLoad,
+                   reinterpret_cast<std::uintptr_t>(sink));
     if (sink == nullptr) return;
     for (const std::uint32_t id : lock_ids) sink->on_release(id, origin_pid);
   }
@@ -828,7 +840,11 @@ class LockTable {
   static void release_descriptor(void* ctx, std::uint32_t handle) {
     auto* cache = static_cast<SlotCache<Desc>*>(ctx);
     Desc& d = cache->pool().at(handle);
-    if (d.retire_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    const std::uint32_t prev =
+        d.retire_refs.fetch_sub(1, std::memory_order_acq_rel);
+    WFL_CHK_ATOMIC(&d.retire_refs, kFetchAdd, acq_rel, kRetireRefsDrop,
+                   prev - 1);
+    if (prev == 1) {
       cache->free(handle);
     }
   }

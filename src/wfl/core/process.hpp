@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "wfl/active/multi_set.hpp"
+#include "wfl/check/race.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/util/align.hpp"
@@ -70,10 +71,14 @@ struct StatsSlab {
   std::atomic<std::uint64_t> help_claim_skips{0};
 
   static void bump(std::atomic<std::uint64_t>& c) {
-    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    const std::uint64_t nv = c.load(std::memory_order_relaxed) + 1;
+    c.store(nv, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&c, kStore, relaxed, kStatsBump, nv);
   }
   static void bump_by(std::atomic<std::uint64_t>& c, std::uint64_t n) {
-    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+    const std::uint64_t nv = c.load(std::memory_order_relaxed) + n;
+    c.store(nv, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&c, kStore, relaxed, kStatsBump, nv);
   }
   void add_attempt() { bump(attempts); }
   void add_win() { bump(wins); }
@@ -141,6 +146,8 @@ class ProcessHandle {
     if (serial_next_ == serial_end_) {
       serial_next_ = serial_hwm_->fetch_add(serial_block_,
                                             std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(serial_hwm_, kFetchAdd, relaxed, kSerialRefill,
+                     serial_next_ + serial_block_);
       serial_end_ = serial_next_ + serial_block_;
     }
     return serial_next_++;
@@ -177,13 +184,17 @@ class ProcessHandle {
     return *fast_desc_;
   }
   bool fast_ready() const {
-    return fast_ready_.load(std::memory_order_relaxed);
+    const bool r = fast_ready_.load(std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&fast_ready_, kLoad, relaxed, kFastReadyLoad, r ? 1 : 0);
+    return r;
   }
   void begin_fast_cooldown() {
     fast_ready_.store(false, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&fast_ready_, kStore, relaxed, kFastReadyStore, 0);
   }
   void end_fast_cooldown() {
     fast_ready_.store(true, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&fast_ready_, kStore, relaxed, kFastReadyStore, 1);
   }
   // EbrDomain deleter shape for the cooldown token; ctx is the handle.
   static void fast_cooldown_expired(void* ctx, std::uint32_t) {

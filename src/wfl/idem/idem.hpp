@@ -42,6 +42,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "wfl/check/race.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -99,7 +100,15 @@ class ThunkLog {
  public:
   ThunkLog() {
     for (auto& s : slots_) s.init(kCellEmptySlot);
+    // Logs live inside pool-segment descriptors whose heap addresses get
+    // reused across LockSpace generations; retire the raw note word so a
+    // successor at the same address starts from fresh shadow state.
+    race::created(&used_ops_, 0);
   }
+  ~ThunkLog() { race::destroyed(&used_ops_); }
+
+  ThunkLog(const ThunkLog&) = delete;
+  ThunkLog& operator=(const ThunkLog&) = delete;
 
   // High-water mark for the lazy reset: recorded by every *completed* run
   // of the thunk (IdemCtx::ops_used() at return). Slot consumption is
@@ -110,6 +119,7 @@ class ThunkLog {
   // values.
   void note_used(std::uint32_t ops) {
     used_ops_.store(ops, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&used_ops_, kStore, relaxed, kLogNoteUsed, ops);
   }
 
   // Quiescent-only full reset: for logs whose runs do not maintain the
@@ -117,6 +127,7 @@ class ThunkLog {
   void reset() {
     for (auto& s : slots_) s.init(kCellEmptySlot);
     used_ops_.store(0, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&used_ops_, kStore, relaxed, kLogNoteUsed, 0);
   }
 
   // Quiescent-only LAZY reset: called when the owning descriptor is
@@ -130,9 +141,11 @@ class ThunkLog {
   // lock-space stats).
   std::uint32_t reset_used() {
     const std::uint32_t used = used_ops_.load(std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&used_ops_, kLoad, relaxed, kLogNoteUsed, used);
     const std::uint32_t n = std::min(2 * used, kThunkLogCap);
     for (std::uint32_t i = 0; i < n; ++i) slots_[i].init(kCellEmptySlot);
     used_ops_.store(0, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&used_ops_, kStore, relaxed, kLogNoteUsed, 0);
     return n;
   }
 

@@ -27,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "wfl/check/race.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -86,18 +87,22 @@ class IndexPool {
   std::uint32_t alloc() {
     for (;;) {
       std::uint64_t head = head_.load(std::memory_order_acquire);
+      WFL_CHK_ATOMIC(&head_, kLoad, acquire, kPoolHeadLoad, head);
       while (index_of(head) != kNullIndex) {
         const std::uint32_t idx = index_of(head);
         const std::uint32_t next =
             next_slot(idx).load(std::memory_order_relaxed);
+        WFL_CHK_ATOMIC(&next_slot(idx), kLoad, relaxed, kPoolNextLoad, next);
         const std::uint64_t desired = pack(next, tag_of(head) + 1);
         if (head_.compare_exchange_weak(head, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+          WFL_CHK_ATOMIC(&head_, kCasOk, acq_rel, kPoolHeadCas, desired);
           free_count_.fetch_sub(1, std::memory_order_relaxed);
           freelist_ops_.fetch_add(1, std::memory_order_relaxed);
           return idx;
         }
+        WFL_CHK_ATOMIC(&head_, kCasFail, acquire, kPoolHeadCas, head);
       }
       grow();
     }
@@ -113,21 +118,27 @@ class IndexPool {
     WFL_DASSERT(want > 0);
     for (;;) {
       std::uint64_t head = head_.load(std::memory_order_acquire);
+      WFL_CHK_ATOMIC(&head_, kLoad, acquire, kPoolHeadLoad, head);
       while (index_of(head) != kNullIndex) {
         std::uint32_t got = 0;
         std::uint32_t idx = index_of(head);
         while (got < want && idx != kNullIndex) {
           out[got++] = idx;
-          idx = next_slot(idx).load(std::memory_order_relaxed);
+          const std::uint32_t nxt =
+              next_slot(idx).load(std::memory_order_relaxed);
+          WFL_CHK_ATOMIC(&next_slot(idx), kLoad, relaxed, kPoolNextLoad, nxt);
+          idx = nxt;
         }
         const std::uint64_t desired = pack(idx, tag_of(head) + 1);
         if (head_.compare_exchange_weak(head, desired,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+          WFL_CHK_ATOMIC(&head_, kCasOk, acq_rel, kPoolHeadCas, desired);
           free_count_.fetch_sub(got, std::memory_order_relaxed);
           freelist_ops_.fetch_add(1, std::memory_order_relaxed);
           return got;
         }
+        WFL_CHK_ATOMIC(&head_, kCasFail, acquire, kPoolHeadCas, head);
       }
       grow();
     }
@@ -136,16 +147,21 @@ class IndexPool {
   void free(std::uint32_t idx) {
     WFL_DASSERT(idx < capacity());
     std::uint64_t head = head_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&head_, kLoad, acquire, kPoolHeadLoad, head);
     for (;;) {
       next_slot(idx).store(index_of(head), std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&next_slot(idx), kStore, relaxed, kPoolNextStore,
+                     index_of(head));
       const std::uint64_t desired = pack(idx, tag_of(head) + 1);
       if (head_.compare_exchange_weak(head, desired,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        WFL_CHK_ATOMIC(&head_, kCasOk, acq_rel, kPoolHeadCas, desired);
         free_count_.fetch_add(1, std::memory_order_relaxed);
         freelist_ops_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      WFL_CHK_ATOMIC(&head_, kCasFail, acquire, kPoolHeadCas, head);
     }
   }
 
@@ -156,18 +172,25 @@ class IndexPool {
     for (std::uint32_t i = 0; i + 1 < n; ++i) {
       WFL_DASSERT(idxs[i] < capacity());
       next_slot(idxs[i]).store(idxs[i + 1], std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&next_slot(idxs[i]), kStore, relaxed, kPoolNextStore,
+                     idxs[i + 1]);
     }
     std::uint64_t head = head_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&head_, kLoad, acquire, kPoolHeadLoad, head);
     for (;;) {
       next_slot(idxs[n - 1]).store(index_of(head), std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&next_slot(idxs[n - 1]), kStore, relaxed, kPoolNextStore,
+                     index_of(head));
       const std::uint64_t desired = pack(idxs[0], tag_of(head) + 1);
       if (head_.compare_exchange_weak(head, desired,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
+        WFL_CHK_ATOMIC(&head_, kCasOk, acq_rel, kPoolHeadCas, desired);
         free_count_.fetch_add(n, std::memory_order_relaxed);
         freelist_ops_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
+      WFL_CHK_ATOMIC(&head_, kCasFail, acquire, kPoolHeadCas, head);
     }
   }
 
@@ -274,11 +297,15 @@ class SlotCache {
   IndexPool<T>& pool() { return *pool_; }
 
   std::uint32_t alloc() {
+    // Single-owner plain region: every access must be ordered against every
+    // other (the owner's program order, or EBR's deleter-runs-on-owner).
+    WFL_PLAIN_WRITE(&slots_[0], kSlotCacheBatch);
     if (n_ == 0) n_ = pool_->alloc_batch(slots_, kBatch);
     return slots_[--n_];
   }
 
   void free(std::uint32_t idx) {
+    WFL_PLAIN_WRITE(&slots_[0], kSlotCacheBatch);
     if (n_ == Cap) {
       pool_->free_batch(slots_, kBatch);  // spill the cold (bottom) end
       std::memmove(slots_, slots_ + kBatch,
@@ -291,6 +318,7 @@ class SlotCache {
   // Returns every cached slot to the shared pool (session release, crash
   // cleanup — the allocation-locality tests assert nothing is leaked).
   void drain() {
+    WFL_PLAIN_WRITE(&slots_[0], kSlotCacheBatch);
     pool_->free_batch(slots_, n_);
     n_ = 0;
   }

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "wfl/check/race.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -32,6 +33,11 @@ class EbrDomain {
   explicit EbrDomain(int max_participants)
       : parts_(static_cast<std::size_t>(max_participants)) {
     WFL_CHECK(max_participants > 0);
+    // Lifetime hooks: domains are heap members of LockTables, so their raw
+    // atomics land on reused addresses across table generations; reset the
+    // analysis layer's shadow state at construction.
+    race::created(&global_epoch_, 0);
+    race::created(&next_participant_, 0);
   }
 
   EbrDomain(const EbrDomain&) = delete;
@@ -48,10 +54,14 @@ class EbrDomain {
         bucket.items.clear();
       }
     }
+    race::destroyed(&global_epoch_);
+    race::destroyed(&next_participant_);
   }
 
   int register_participant() {
     const int id = next_participant_.fetch_add(1, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&next_participant_, kFetchAdd, relaxed,
+                   kEbrParticipantCount, id + 1);
     WFL_CHECK_MSG(id < static_cast<int>(parts_.size()),
                   "EbrDomain participant capacity exceeded");
     return id;
@@ -83,14 +93,22 @@ class EbrDomain {
     WFL_CHECK_MSG(!p.active.load(std::memory_order_relaxed),
                   "EBR enter() while already in a critical region");
     p.active.store(true, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&p.active, kStore, relaxed, kEbrAnnounce, 1);
     std::atomic_thread_fence(std::memory_order_seq_cst);  // publication point
+    WFL_CHK_FENCE(seq_cst, kEbrPublishFence);
     std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-    if (e == p.epoch.load(std::memory_order_relaxed)) return;
+    WFL_CHK_ATOMIC(&global_epoch_, kLoad, seq_cst, kEbrVerifyLoad, e);
+    const std::uint64_t mine = p.epoch.load(std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&p.epoch, kLoad, relaxed, kEbrEpochSelfLoad, mine);
+    if (e == mine) return;
     for (;;) {
       p.epoch.store(e, std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&p.epoch, kStore, relaxed, kEbrEpochAnnounce, e);
       std::atomic_thread_fence(std::memory_order_seq_cst);
+      WFL_CHK_FENCE(seq_cst, kEbrPublishFence);
       const std::uint64_t e2 =
           global_epoch_.load(std::memory_order_seq_cst);
+      WFL_CHK_ATOMIC(&global_epoch_, kLoad, seq_cst, kEbrVerifyLoad, e2);
       if (e2 == e) return;
       e = e2;
     }
@@ -103,6 +121,7 @@ class EbrDomain {
     // store, and a collector's seq_cst scan that observes false acquires
     // it, so retired objects are freed only after our reads completed.
     p.active.store(false, std::memory_order_release);
+    WFL_CHK_ATOMIC(&p.active, kStore, release, kEbrExit, 0);
   }
 
   // Crash support: drops `pid`'s guard (if held) on its behalf. ONLY legal
@@ -114,6 +133,7 @@ class EbrDomain {
   // any post-crash measurement phase.
   void abandon(int pid) {
     part(pid).active.store(false, std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&part(pid).active, kStore, seq_cst, kEbrAbandon, 0);
   }
 
   // Defers `deleter(ctx, handle)` until two epoch advances have passed since
@@ -121,6 +141,7 @@ class EbrDomain {
   void retire(int pid, void* ctx, std::uint32_t handle, Deleter deleter) {
     Participant& p = part(pid);
     const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&global_epoch_, kLoad, seq_cst, kEbrRetireEpochLoad, e);
     Bucket& b = p.buckets[e % kBuckets];
     if (!b.items.empty() && b.epoch != e) {
       // Same slot, older epoch: epochs sharing a slot differ by >= kBuckets,
@@ -139,10 +160,18 @@ class EbrDomain {
   // Attempts an epoch advance, then frees this participant's safe buckets.
   void collect(int pid) {
     const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&global_epoch_, kLoad, seq_cst, kEbrCollectEpochLoad, e);
     if (all_participants_at(e)) {
       std::uint64_t expected = e;  // racing collectors: one advance per value
-      global_epoch_.compare_exchange_strong(expected, e + 1,
-                                            std::memory_order_seq_cst);
+      const bool advanced = global_epoch_.compare_exchange_strong(
+          expected, e + 1, std::memory_order_seq_cst);
+      if (advanced) {
+        WFL_CHK_ATOMIC(&global_epoch_, kCasOk, seq_cst, kEbrEpochAdvanceCas,
+                       e + 1);
+      } else {
+        WFL_CHK_ATOMIC(&global_epoch_, kCasFail, seq_cst, kEbrEpochAdvanceCas,
+                       expected);
+      }
     }
     free_safe_buckets(pid);
   }
@@ -181,6 +210,14 @@ class EbrDomain {
   };
 
   struct Participant {
+    Participant() {
+      race::created(&active, 0);
+      race::created(&epoch, 0);
+    }
+    ~Participant() {
+      race::destroyed(&active);
+      race::destroyed(&epoch);
+    }
     std::atomic<bool> active{false};
     std::atomic<std::uint64_t> epoch{0};
     Bucket buckets[kBuckets];
@@ -199,12 +236,16 @@ class EbrDomain {
 
   bool all_participants_at(std::uint64_t e) const {
     const int n = next_participant_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&next_participant_, kLoad, acquire, kEbrParticipantCount,
+                   n);
     for (int i = 0; i < n; ++i) {
       const Participant& p = *parts_[static_cast<std::size_t>(i)];
-      if (p.active.load(std::memory_order_seq_cst) &&
-          p.epoch.load(std::memory_order_seq_cst) != e) {
-        return false;
-      }
+      const bool act = p.active.load(std::memory_order_seq_cst);
+      WFL_CHK_ATOMIC(&p.active, kLoad, seq_cst, kEbrScanActive, act ? 1 : 0);
+      if (!act) continue;
+      const std::uint64_t pe = p.epoch.load(std::memory_order_seq_cst);
+      WFL_CHK_ATOMIC(&p.epoch, kLoad, seq_cst, kEbrScanEpoch, pe);
+      if (pe != e) return false;
     }
     return true;
   }
@@ -212,6 +253,7 @@ class EbrDomain {
   void free_safe_buckets(int pid) {
     Participant& p = part(pid);
     const std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&global_epoch_, kLoad, seq_cst, kEbrCollectEpochLoad, e);
     for (Bucket& b : p.buckets) {
       if (!b.items.empty() && b.epoch + 2 <= e) drain(b);
     }

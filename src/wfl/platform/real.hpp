@@ -116,7 +116,12 @@ struct RealPlat {
     // Initialization-time access: not a step, not concurrency-safe. Only for
     // construction/reset paths that happen-before any sharing.
     void init(T v) { v_.store(v, std::memory_order_relaxed); }
-    T peek() const { return v_.load(std::memory_order_seq_cst); }
+    // Quiescent debug read: not a step. Relaxed, matching the documented
+    // contract — callers (post-run assertions, stats snapshots, the thin
+    // table debug peek) must already be ordered after every writer; nothing
+    // load-bearing consumes a peek. Audited dynamically by CheckedPlat's
+    // kQuiescentRead check (check/ordering_contracts.hpp).
+    T peek() const { return v_.load(std::memory_order_relaxed); }
 
    private:
     std::atomic<T> v_;

@@ -109,7 +109,8 @@ struct SimPlat {
     }
 
     void init(T v) { v_.store(v, std::memory_order_relaxed); }
-    T peek() const { return v_.load(std::memory_order_seq_cst); }
+    // Relaxed quiescent debug read; same contract as RealPlat::peek().
+    T peek() const { return v_.load(std::memory_order_relaxed); }
 
    private:
     std::atomic<T> v_;

@@ -1,5 +1,6 @@
 #include "wfl/sim/sim.hpp"
 
+#include "wfl/check/race.hpp"
 #include "wfl/util/assert.hpp"
 
 namespace wfl {
@@ -100,6 +101,8 @@ bool Simulator::run(Schedule& sched, std::uint64_t max_slots,
   WFL_CHECK(required <= static_cast<int>(procs_.size()));
   in_run_ = true;
   g_current_sim = this;
+  // Analysis-layer boundary: setup happens-before everything in the run.
+  race::run_boundary(/*entering=*/true, seed_);
 
   while (finished_ < required && slots_used_ < max_slots) {
     const int pid = sched.next();
@@ -116,6 +119,8 @@ bool Simulator::run(Schedule& sched, std::uint64_t max_slots,
     }
   }
 
+  // Everything in the run happens-before teardown on the main context.
+  race::run_boundary(/*entering=*/false, seed_);
   g_current_sim = nullptr;
   in_run_ = false;
   return finished_ >= required;

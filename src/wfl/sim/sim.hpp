@@ -138,6 +138,7 @@ class Simulator {
   bool is_finished(int pid) const;
   std::uint64_t steps_of(int pid) const;
   std::uint64_t slots_used() const { return slots_used_; }
+  std::uint64_t seed() const { return seed_; }
 
   // --- hooks used by SimPlat (valid only while run() is active) ---
   static Simulator* current();

@@ -3,7 +3,38 @@
 #include <cstdint>
 #include <utility>
 
+#include "wfl/check/race.hpp"
 #include "wfl/util/assert.hpp"
+
+// ASan cannot follow ucontext switches by itself: every switch must report
+// the destination stack (start) and re-establish the fake-stack state on
+// arrival (finish), or stack-use-after-return shadows go stale and the
+// first deep frame on a reused fiber stack is reported as an overflow.
+#if defined(__SANITIZE_ADDRESS__)
+#define WFL_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define WFL_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(WFL_ASAN_FIBERS)
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    std::size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     std::size_t* stack_size_old);
+}
+#define WFL_FIBER_SWITCH_START(save, bottom, size) \
+  __sanitizer_start_switch_fiber((save), (bottom), (size))
+#define WFL_FIBER_SWITCH_FINISH(save, bottom, size) \
+  __sanitizer_finish_switch_fiber((save), (bottom), (size))
+#else
+#define WFL_FIBER_SWITCH_START(save, bottom, size) ((void)0)
+#define WFL_FIBER_SWITCH_FINISH(save, bottom, size) ((void)0)
+#endif
 
 namespace wfl {
 
@@ -22,6 +53,9 @@ Fiber::Fiber(Body body, std::size_t stack_bytes)
 }
 
 void Fiber::arm() {
+  // The armer claims the whole stack: any prior generation's frames (pool
+  // reuse) must be happens-before ordered with this re-arm.
+  WFL_PLAIN_WRITE(stack_.get(), kFiberStack);
   WFL_CHECK(getcontext(&ctx_) == 0);
   ctx_.uc_stack.ss_sp = stack_.get();
   ctx_.uc_stack.ss_size = stack_bytes_;
@@ -47,6 +81,7 @@ Fiber::~Fiber() {
   // Destroying a suspended (unfinished) fiber leaks whatever its stack owns;
   // the runtimes only destroy fibers after draining them or at teardown,
   // where that is acceptable by construction.
+  race::destroyed(stack_.get());  // retire the region: heap reuse != reuse
 }
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
@@ -56,9 +91,14 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 }
 
 void Fiber::run_body() {
+  // First activation: complete the switch that brought us here and learn
+  // the resumer's stack extent (needed to switch back out).
+  WFL_FIBER_SWITCH_FINISH(nullptr, &asan_caller_bottom_, &asan_caller_size_);
   body_();
   finished_ = true;
-  // uc_link returns to return_ctx_ (the most recent resume()).
+  // uc_link returns to return_ctx_ (the most recent resume()). Passing a
+  // null save slot tells ASan this fiber is dying: free its fake stack.
+  WFL_FIBER_SWITCH_START(nullptr, asan_caller_bottom_, asan_caller_size_);
 }
 
 void Fiber::resume() {
@@ -66,27 +106,38 @@ void Fiber::resume() {
   Fiber* prev = g_current_fiber;
   g_current_fiber = this;
   started_ = true;
+  void* save = nullptr;
+  WFL_FIBER_SWITCH_START(&save, stack_.get(), stack_bytes_);
   WFL_CHECK(swapcontext(&return_ctx_, &ctx_) == 0);
+  WFL_FIBER_SWITCH_FINISH(save, nullptr, nullptr);
   g_current_fiber = prev;
 }
 
 void Fiber::yield() {
   Fiber* self = g_current_fiber;
   WFL_CHECK_MSG(self != nullptr, "Fiber::yield() outside a fiber");
+  WFL_FIBER_SWITCH_START(&self->asan_save_, self->asan_caller_bottom_,
+                         self->asan_caller_size_);
   WFL_CHECK(swapcontext(&self->ctx_, &self->return_ctx_) == 0);
+  // Resumed again, possibly by a different caller: refresh its extent.
+  WFL_FIBER_SWITCH_FINISH(self->asan_save_, &self->asan_caller_bottom_,
+                          &self->asan_caller_size_);
 }
 
 std::unique_ptr<Fiber> FiberPool::acquire(Fiber::Body body) {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    race::mutex_acquire(&mu_);
     if (!idle_.empty()) {
       std::unique_ptr<Fiber> f = std::move(idle_.back());
       idle_.pop_back();
       ++reused_;
       f->reset(std::move(body));
+      race::mutex_release(&mu_);
       return f;
     }
     ++created_;
+    race::mutex_release(&mu_);
   }
   return std::make_unique<Fiber>(std::move(body), stack_bytes_);
 }
@@ -94,8 +145,10 @@ std::unique_ptr<Fiber> FiberPool::acquire(Fiber::Body body) {
 void FiberPool::release(std::unique_ptr<Fiber> fiber) {
   WFL_CHECK_MSG(fiber->finished(), "released fiber still has live frames");
   std::lock_guard<std::mutex> lk(mu_);
+  race::mutex_acquire(&mu_);
   if (idle_.size() < max_idle_) idle_.push_back(std::move(fiber));
   // else: drop — the unique_ptr frees the stack.
+  race::mutex_release(&mu_);
 }
 
 std::uint64_t FiberPool::created() const {

@@ -75,6 +75,12 @@ class Fiber {
   ucontext_t return_ctx_{};
   bool started_ = false;
   bool finished_ = false;
+  // AddressSanitizer fiber-switch bookkeeping (unused in plain builds):
+  // the fiber's saved fake stack while it is switched out, and the stack
+  // extent of whoever last resumed it (needed to switch back out).
+  void* asan_save_ = nullptr;
+  const void* asan_caller_bottom_ = nullptr;
+  std::size_t asan_caller_size_ = 0;
 };
 
 // A bounded cache of finished fibers keyed by one stack size. acquire()

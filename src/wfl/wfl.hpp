@@ -55,6 +55,7 @@
 #include "wfl/idem/idem.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/mem/ebr.hpp"
+#include "wfl/platform/checked.hpp"
 #include "wfl/platform/real.hpp"
 #include "wfl/platform/sim.hpp"
 #include "wfl/sim/sim.hpp"

@@ -20,7 +20,11 @@
 
 #include "wfl/wfl.hpp"
 
+#include "test_plat.hpp"
+
 namespace wfl {
+
+using test::TestPlat;
 namespace {
 
 LockConfig off_cfg() {
@@ -32,7 +36,7 @@ LockConfig off_cfg() {
   return cfg;
 }
 
-// --- equivalence (SimPlat, inline mode) ------------------------------------
+// --- equivalence (TestPlat, inline mode) ------------------------------------
 
 // One process, no contention: run the same single submission through
 // submit() and through async_submit()+wait() in two identically-seeded
@@ -41,20 +45,20 @@ LockConfig off_cfg() {
 // so the Outcomes must match field for field.
 Outcome run_uncontended_sim(bool use_async) {
   const LockConfig cfg = off_cfg();
-  LockTable<SimPlat> space(cfg, 2, 4);
-  AsyncExecutor<SimPlat> exec(space, {.workers = 0});
-  Cell<SimPlat> cell{0};
+  LockTable<TestPlat> space(cfg, 2, 4);
+  AsyncExecutor<TestPlat> exec(space, {.workers = 0});
+  Cell<TestPlat> cell{0};
   Outcome out;
 
   Simulator sim(7);
   sim.add_process([&] {
-    Session<SimPlat> s(space);
+    Session<TestPlat> s(space);
     StaticLockSet<2> locks({1, 2}, cfg);
-    auto thunk = [&cell](IdemCtx<SimPlat>& m) {
+    auto thunk = [&cell](IdemCtx<TestPlat>& m) {
       m.store(cell, m.load(cell) + 1);
     };
     if (use_async) {
-      AsyncClient<SimPlat> client(s);
+      AsyncClient<TestPlat> client(s);
       auto t = exec.async_submit(client, locks, thunk, Policy::retry());
       out = t.wait();
     } else {
@@ -80,7 +84,7 @@ TEST(Async, InlineUncontendedIsStepIdenticalToSubmit) {
   EXPECT_EQ(async.backoff_steps, 0u);
 }
 
-// --- determinism + conservation (SimPlat, inline, contended) ---------------
+// --- determinism + conservation (TestPlat, inline, contended) ---------------
 
 struct SimRunTotals {
   std::uint64_t wins = 0;
@@ -99,9 +103,9 @@ struct SimRunTotals {
 // park/wake/signal traffic — must be a pure function of the seed.
 SimRunTotals run_contended_sim(std::uint64_t seed) {
   const LockConfig cfg = off_cfg();
-  LockTable<SimPlat> space(cfg, 8, 4);
-  AsyncExecutor<SimPlat> exec(space, {.workers = 0});
-  Cell<SimPlat> counter{0};
+  LockTable<TestPlat> space(cfg, 8, 4);
+  AsyncExecutor<TestPlat> exec(space, {.workers = 0});
+  Cell<TestPlat> counter{0};
 
   constexpr int kProcs = 4;
   constexpr int kRounds = 4;
@@ -111,15 +115,15 @@ SimRunTotals run_contended_sim(std::uint64_t seed) {
   Simulator sim(seed);
   for (int p = 0; p < kProcs; ++p) {
     sim.add_process([&, p] {
-      Session<SimPlat> s(space);
-      AsyncClient<SimPlat> client(s);
+      Session<TestPlat> s(space);
+      AsyncClient<TestPlat> client(s);
       StaticLockSet<2> both({0, 1}, cfg);
       StaticLockSet<1> one({0}, cfg);
-      auto thunk = [&counter](IdemCtx<SimPlat>& m) {
+      auto thunk = [&counter](IdemCtx<TestPlat>& m) {
         m.store(counter, m.load(counter) + 1);
       };
       for (int r = 0; r < kRounds; ++r) {
-        AsyncExecutor<SimPlat>::Ticket tickets[kPipeline];
+        AsyncExecutor<TestPlat>::Ticket tickets[kPipeline];
         for (int i = 0; i < kPipeline; ++i) {
           const LockSetView view =
               (p + r + i) % 2 == 0 ? LockSetView(both) : LockSetView(one);

@@ -24,10 +24,14 @@
 
 #include "wfl/wfl.hpp"
 
+#include "test_plat.hpp"
+
 namespace wfl {
+
+using test::TestPlat;
 namespace {
 
-using Space = LockSpace<SimPlat>;
+using Space = LockSpace<TestPlat>;
 
 // Runs the simulation until every non-victim process finished (or the slot
 // budget is exhausted). A plain `required_finishers = procs - victims` is
@@ -73,11 +77,11 @@ CrashRunResult run_with_crash(int procs, int locks, int attempts,
                               std::uint64_t crash_slot, std::uint64_t seed) {
   LockConfig cfg = crash_cfg(static_cast<std::uint32_t>(procs), 2);
   auto space = std::make_unique<Space>(cfg, procs, locks);
-  std::vector<std::unique_ptr<Cell<SimPlat>>> busy;
-  std::vector<std::unique_ptr<Cell<SimPlat>>> count;
+  std::vector<std::unique_ptr<Cell<TestPlat>>> busy;
+  std::vector<std::unique_ptr<Cell<TestPlat>>> count;
   for (int i = 0; i < locks; ++i) {
-    busy.push_back(std::make_unique<Cell<SimPlat>>(0u));
-    count.push_back(std::make_unique<Cell<SimPlat>>(0u));
+    busy.push_back(std::make_unique<Cell<TestPlat>>(0u));
+    count.push_back(std::make_unique<Cell<TestPlat>>(0u));
   }
 
   const int victim = procs - 1;
@@ -96,11 +100,11 @@ CrashRunResult run_with_crash(int procs, int locks, int attempts,
             static_cast<std::uint32_t>(rng.next_below(locks));
         const std::uint32_t ids[] = {r, (r + 1) % static_cast<std::uint32_t>(
                                             locks)};
-        Cell<SimPlat>& flag = *busy[r];
-        Cell<SimPlat>& cnt = *count[r];
+        Cell<TestPlat>& flag = *busy[r];
+        Cell<TestPlat>& cnt = *count[r];
         std::uint64_t* viol = &violations[r];
         const bool won = space->try_locks(
-            proc, ids, [&flag, &cnt, viol](IdemCtx<SimPlat>& m) {
+            proc, ids, [&flag, &cnt, viol](IdemCtx<TestPlat>& m) {
               if (m.load(flag) != 0) ++*viol;
               m.store(flag, 1);
               const std::uint32_t v = m.load(cnt);
@@ -180,7 +184,7 @@ TEST(Crash, TwoSimultaneousCrashesTolerated) {
   const int procs = 6;
   LockConfig cfg = crash_cfg(6, 2);
   Space space(cfg, procs, 2);
-  Cell<SimPlat> cnt(0u);
+  Cell<TestPlat> cnt(0u);
   std::vector<std::uint64_t> wins(static_cast<std::size_t>(procs), 0);
   std::vector<typename Space::Process> procs_of(
       static_cast<std::size_t>(procs));
@@ -193,7 +197,7 @@ TEST(Crash, TwoSimultaneousCrashesTolerated) {
       const std::uint32_t ids[] = {0, 1};
       for (int a = 0; a < 10; ++a) {
         const bool won =
-            space.try_locks(proc, ids, [&cnt](IdemCtx<SimPlat>& m) {
+            space.try_locks(proc, ids, [&cnt](IdemCtx<TestPlat>& m) {
               const std::uint32_t v = m.load(cnt);
               m.store(cnt, v + 1);
             });
@@ -232,9 +236,9 @@ TEST(Crash, PhilosopherNeighborsOfCrashedStillEat) {
   const int n = 6;
   LockConfig cfg = crash_cfg(2, 2);  // ring: kappa = 2 per chopstick
   Space space(cfg, n, n);
-  std::vector<std::unique_ptr<Cell<SimPlat>>> meals;
+  std::vector<std::unique_ptr<Cell<TestPlat>>> meals;
   for (int i = 0; i < n; ++i) {
-    meals.push_back(std::make_unique<Cell<SimPlat>>(0u));
+    meals.push_back(std::make_unique<Cell<TestPlat>>(0u));
   }
   std::vector<std::uint64_t> eaten(static_cast<std::size_t>(n), 0);
   std::vector<typename Space::Process> procs_of(static_cast<std::size_t>(n));
@@ -247,10 +251,10 @@ TEST(Crash, PhilosopherNeighborsOfCrashedStillEat) {
       const auto left = static_cast<std::uint32_t>(p);
       const auto right = static_cast<std::uint32_t>((p + 1) % n);
       const std::uint32_t ids[] = {left, right};
-      Cell<SimPlat>& my_meals = *meals[static_cast<std::size_t>(p)];
+      Cell<TestPlat>& my_meals = *meals[static_cast<std::size_t>(p)];
       for (int a = 0; a < 40; ++a) {
         const bool won =
-            space.try_locks(proc, ids, [&my_meals](IdemCtx<SimPlat>& m) {
+            space.try_locks(proc, ids, [&my_meals](IdemCtx<TestPlat>& m) {
               const std::uint32_t v = m.load(my_meals);
               m.store(my_meals, v + 1);
             });
@@ -284,7 +288,7 @@ TEST(Crash, CrashInsideDelayDoesNotStallReclamation) {
   const int procs = 4;
   LockConfig cfg = crash_cfg(4, 2);
   Space space(cfg, procs, 2);
-  Cell<SimPlat> cnt(0u);
+  Cell<TestPlat> cnt(0u);
 
   std::vector<typename Space::Process> procs_of(
       static_cast<std::size_t>(procs));
@@ -296,7 +300,7 @@ TEST(Crash, CrashInsideDelayDoesNotStallReclamation) {
       const std::uint32_t ids[] = {0, 1};
       const int rounds = p == procs - 1 ? 4 : 60;
       for (int a = 0; a < rounds; ++a) {
-        space.try_locks(proc, ids, [&cnt](IdemCtx<SimPlat>& m) {
+        space.try_locks(proc, ids, [&cnt](IdemCtx<TestPlat>& m) {
           const std::uint32_t v = m.load(cnt);
           m.store(cnt, v + 1);
         });

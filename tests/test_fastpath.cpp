@@ -19,11 +19,15 @@
 
 #include "wfl/wfl.hpp"
 
+#include "test_plat.hpp"
+
 namespace wfl {
+
+using test::TestPlat;
 namespace {
 
 using Table = LockTable<RealPlat>;
-using SimTable = LockTable<SimPlat>;
+using SimTable = LockTable<TestPlat>;
 
 LockConfig off_cfg(std::uint32_t kappa, std::uint32_t max_locks = 2,
                    std::uint32_t thunk_steps = 8) {
@@ -144,8 +148,8 @@ SimRunResult run_contended_sim(int procs, int attempts,
                                std::uint64_t crash_slot, std::uint64_t seed) {
   auto space = std::make_unique<SimTable>(
       off_cfg(static_cast<std::uint32_t>(procs), 1), procs, 4);
-  auto busy = std::make_unique<Cell<SimPlat>>(0u);
-  auto cnt = std::make_unique<Cell<SimPlat>>(0u);
+  auto busy = std::make_unique<Cell<TestPlat>>(0u);
+  auto cnt = std::make_unique<Cell<TestPlat>>(0u);
   std::vector<std::uint64_t> wins(static_cast<std::size_t>(procs), 0);
   std::uint64_t violations = 0;
   const int victim = crash_slot > 0 ? procs - 1 : -1;
@@ -161,11 +165,11 @@ SimRunResult run_contended_sim(int procs, int attempts,
       // fast and the (contended) descriptor path many times.
       while (won_count < attempts) {
         const std::uint32_t ids[] = {0};
-        Cell<SimPlat>* flag = busy.get();
-        Cell<SimPlat>* counter = cnt.get();
+        Cell<TestPlat>* flag = busy.get();
+        Cell<TestPlat>* counter = cnt.get();
         std::uint64_t* viol = &violations;
         const bool won = space->try_locks(
-            proc, ids, [flag, counter, viol](IdemCtx<SimPlat>& m) {
+            proc, ids, [flag, counter, viol](IdemCtx<TestPlat>& m) {
               if (m.load(*flag) != 0) ++*viol;
               m.store(*flag, 1);
               m.store(*counter, m.load(*counter) + 1);
@@ -284,7 +288,7 @@ INSTANTIATE_TEST_SUITE_P(
 // pause, not a permanent demotion).
 TEST(FastPath, CooldownResumesAfterGrace) {
   auto space = std::make_unique<SimTable>(off_cfg(2, 1), 2, 4);
-  auto c = std::make_unique<Cell<SimPlat>>(0u);
+  auto c = std::make_unique<Cell<TestPlat>>(0u);
   std::uint64_t hits_after_contention = 0;
 
   Simulator sim(31);
@@ -293,7 +297,7 @@ TEST(FastPath, CooldownResumesAfterGrace) {
     // Phase 1: contended window (proc 1 racing on the same lock).
     for (int a = 0; a < 200; ++a) {
       const std::uint32_t ids[] = {0};
-      space->try_locks(proc, ids, [&](IdemCtx<SimPlat>& m) {
+      space->try_locks(proc, ids, [&](IdemCtx<TestPlat>& m) {
         m.store(*c, m.load(*c) + 1);
       });
     }
@@ -303,7 +307,7 @@ TEST(FastPath, CooldownResumesAfterGrace) {
     const std::uint64_t hits_before = space->stats().fastpath_hits;
     for (int a = 0; a < 400; ++a) {
       const std::uint32_t ids[] = {0};
-      space->try_locks(proc, ids, [&](IdemCtx<SimPlat>& m) {
+      space->try_locks(proc, ids, [&](IdemCtx<TestPlat>& m) {
         m.store(*c, m.load(*c) + 1);
       });
     }
@@ -313,7 +317,7 @@ TEST(FastPath, CooldownResumesAfterGrace) {
     auto proc = space->register_process();
     for (int a = 0; a < 150; ++a) {
       const std::uint32_t ids[] = {0};
-      space->try_locks(proc, ids, [&](IdemCtx<SimPlat>& m) {
+      space->try_locks(proc, ids, [&](IdemCtx<TestPlat>& m) {
         m.store(*c, m.load(*c) + 1);
       });
     }
@@ -390,19 +394,19 @@ struct BatchSimOut {
 BatchSimOut run_batch_sim(bool batched, std::uint64_t seed) {
   BatchSimOut out;
   auto space = std::make_unique<SimTable>(off_cfg(2, 2), 2, 8);
-  std::vector<std::unique_ptr<Cell<SimPlat>>> cells;
+  std::vector<std::unique_ptr<Cell<TestPlat>>> cells;
   for (int i = 0; i < 3; ++i) {
-    cells.push_back(std::make_unique<Cell<SimPlat>>(0u));
+    cells.push_back(std::make_unique<Cell<TestPlat>>(0u));
   }
   Simulator sim(seed);
   sim.add_process([&] {
     BasicSession<SimTable> session(*space);
-    using Op = PreparedOp<SimPlat>;
+    using Op = PreparedOp<TestPlat>;
     std::vector<Op> ops;
     for (std::uint32_t i = 0; i < 3; ++i) {
-      Cell<SimPlat>* cell = cells[i].get();
+      Cell<TestPlat>* cell = cells[i].get();
       const StaticLockSet<1> locks{i};
-      ops.push_back(Op(locks, [cell](IdemCtx<SimPlat>& m) {
+      ops.push_back(Op(locks, [cell](IdemCtx<TestPlat>& m) {
         m.store(*cell, m.load(*cell) + 1);
       }));
     }

@@ -8,10 +8,14 @@
 
 #include "wfl/wfl.hpp"
 
+#include "test_plat.hpp"
+
 namespace wfl {
+
+using test::TestPlat;
 namespace {
 
-using Space = LockSpace<SimPlat>;
+using Space = LockSpace<TestPlat>;
 
 struct SimWorkload {
   // Each process repeatedly tryLocks a lock set chosen by `pick` and runs a
@@ -33,11 +37,11 @@ struct SimWorkload {
   template <typename Pick, typename Sched>
   LockStats run(Pick pick, Sched& sched, std::uint64_t max_slots) {
     auto space = std::make_unique<Space>(cfg, procs, locks);
-    std::vector<std::unique_ptr<Cell<SimPlat>>> busy;   // in-CS flags
-    std::vector<std::unique_ptr<Cell<SimPlat>>> count;  // per-resource counts
+    std::vector<std::unique_ptr<Cell<TestPlat>>> busy;   // in-CS flags
+    std::vector<std::unique_ptr<Cell<TestPlat>>> count;  // per-resource counts
     for (int i = 0; i < locks; ++i) {
-      busy.push_back(std::make_unique<Cell<SimPlat>>(0u));
-      count.push_back(std::make_unique<Cell<SimPlat>>(0u));
+      busy.push_back(std::make_unique<Cell<TestPlat>>(0u));
+      count.push_back(std::make_unique<Cell<TestPlat>>(0u));
     }
     wins_per_resource.assign(static_cast<std::size_t>(locks), 0);
     flag_violations.assign(static_cast<std::size_t>(locks), 0);
@@ -55,11 +59,11 @@ struct SimWorkload {
           std::vector<std::uint32_t> ids = pick(p, a, rng);
           // The first lock id doubles as the "resource" the thunk touches.
           const std::uint32_t r = ids[0];
-          Cell<SimPlat>& flag = *busy[r];
-          Cell<SimPlat>& cnt = *count[r];
+          Cell<TestPlat>& flag = *busy[r];
+          Cell<TestPlat>& cnt = *count[r];
           std::uint64_t* viol = &violations[r];
           const bool won = space->try_locks(
-              proc, ids, [&flag, &cnt, viol](IdemCtx<SimPlat>& m) {
+              proc, ids, [&flag, &cnt, viol](IdemCtx<TestPlat>& m) {
                 if (m.load(flag) != 0) ++*viol;  // someone else inside
                 m.store(flag, 1);
                 const std::uint32_t v = m.load(cnt);

@@ -9,7 +9,11 @@
 
 #include "wfl/wfl.hpp"
 
+#include "test_plat.hpp"
+
 namespace wfl {
+
+using test::TestPlat;
 namespace {
 
 using Table = LockTable<RealPlat>;
@@ -318,10 +322,10 @@ TEST(LockTable, DeterministicUnderSimWithShards) {
     cfg.max_thunk_steps = 8;
     cfg.c0 = 8.0;
     cfg.c1 = 8.0;
-    auto space = std::make_unique<LockTable<SimPlat>>(
+    auto space = std::make_unique<LockTable<TestPlat>>(
         cfg, 4, 4, SpaceSizing{.shards = 4});
-    auto counter = std::make_unique<Cell<SimPlat>>(0u);
-    Cell<SimPlat>* cp = counter.get();
+    auto counter = std::make_unique<Cell<TestPlat>>(0u);
+    Cell<TestPlat>* cp = counter.get();
     std::uint64_t wins = 0;
     Simulator sim(42);
     for (int p = 0; p < 4; ++p) {
@@ -330,7 +334,7 @@ TEST(LockTable, DeterministicUnderSimWithShards) {
         for (int a = 0; a < 12; ++a) {
           const std::uint32_t ids[] = {static_cast<std::uint32_t>(p % 4),
                                        static_cast<std::uint32_t>((p + 1) % 4)};
-          if (space->try_locks(proc, ids, [cp](IdemCtx<SimPlat>& m) {
+          if (space->try_locks(proc, ids, [cp](IdemCtx<TestPlat>& m) {
                 m.store(*cp, m.load(*cp) + 1);
               })) {
             ++wins;

@@ -1,0 +1,67 @@
+// Test platform selector: the simulator test matrix is written against
+// wfl::test::TestPlat, which is SimPlat by default and CheckedPlat when the
+// target is compiled with -DWFL_TEST_CHECKED_PLAT (the `_checked` twins in
+// tests/CMakeLists.txt). The checked twins re-run the same workloads, on the
+// same seeds and schedules, under the vector-clock race and ordering-audit
+// engine (check/race.hpp) — a listener fails any test whose run produced a
+// finding, so "clean tree, zero findings" is enforced test-by-test.
+#pragma once
+
+#include "wfl/platform/checked.hpp"
+#include "wfl/platform/sim.hpp"
+
+#if defined(WFL_TEST_CHECKED_PLAT)
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+
+#include "wfl/check/race.hpp"
+
+namespace wfl::test {
+
+using TestPlat = CheckedPlat;
+
+// One engine per test binary, installed at static init on the main thread
+// (the thread that owns the simulator; see race.hpp's threading contract).
+inline race::RaceEngine& checked_engine() {
+  static race::RaceEngine engine;
+  return engine;
+}
+
+class RaceListener : public ::testing::EmptyTestEventListener {
+ public:
+  explicit RaceListener(race::RaceEngine& e) : eng_(&e) {}
+
+  void OnTestEnd(const ::testing::TestInfo&) override {
+    if (eng_->findings().empty()) return;
+    eng_->report(std::cerr);
+    ADD_FAILURE() << "race/ordering engine reported "
+                  << eng_->findings().size()
+                  << " finding(s); see the [wfl-race] report above "
+                  << "(reproduce with the printed seed)";
+    eng_->clear_findings();
+  }
+
+ private:
+  race::RaceEngine* eng_;
+};
+
+struct CheckedInit {
+  CheckedInit() {
+    checked_engine().install();
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new RaceListener(checked_engine()));  // gtest takes ownership
+  }
+};
+inline CheckedInit g_checked_init{};
+
+}  // namespace wfl::test
+
+#else  // !WFL_TEST_CHECKED_PLAT
+
+namespace wfl::test {
+using TestPlat = SimPlat;
+}  // namespace wfl::test
+
+#endif
