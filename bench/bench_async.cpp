@@ -11,7 +11,10 @@
 //                           executor under that load.
 //   Async_RoundTrip         latency shape: one async_submit + wait()
 //                           round trip through the worker pool,
-//                           uncontended
+//                           uncontended. Every round trip is timed into
+//                           a LatencyReservoirs distribution, so the
+//                           pinned p99_ns/p999_ns are real percentiles
+//                           (no p99_is_mean degradation)
 //   Async_SyncBaseline      the same submission through plain submit()
 //                           on the caller's thread — the executor's
 //                           overhead reference point
@@ -28,6 +31,10 @@
 //                        ops — MUST be 0: parking replaces spinning
 //   parks_per_op         park events per completed op
 //   wakes_per_op         release-event wakeups per completed op
+//   steals_per_op        Chase-Lev cross-worker steals per completed op
+//   wake_skip_ratio      wake requests resolved WITHOUT a futex syscall
+//                        (target already awake/signalled) over all wake
+//                        requests — the wake-coalescing hit rate
 //   fiber_reuse_ratio    pool reuses / (creates + reuses) — stack
 //                        recycling across quanta
 //   wfl_threads          actual worker count (reserved key: overrides
@@ -38,6 +45,7 @@
 // bench_scaling's job).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -141,6 +149,14 @@ void Async_InFlightChurn(benchmark::State& state) {
   state.counters["backoff_spin_steps"] = static_cast<double>(backoff_spin);
   state.counters["parks_per_op"] = static_cast<double>(exec.parks()) / done;
   state.counters["wakes_per_op"] = static_cast<double>(exec.wakes()) / done;
+  // Lock-free scheduler core gauges: cross-worker steals per completed op
+  // and the fraction of wake requests the coalescer resolved without a
+  // futex syscall (target already awake or signalled).
+  state.counters["steals_per_op"] = static_cast<double>(exec.steals()) / done;
+  const double posts = static_cast<double>(exec.wake_posts());
+  const double skips = static_cast<double>(exec.wake_skips());
+  state.counters["wake_skip_ratio"] =
+      posts + skips > 0 ? skips / (posts + skips) : 0.0;
   const double created = static_cast<double>(exec.fibers_created());
   const double reused = static_cast<double>(exec.fibers_reused());
   state.counters["fiber_reuse_ratio"] =
@@ -165,15 +181,24 @@ void Async_RoundTrip(benchmark::State& state) {
   Cell<RealPlat> cell{0};
   const wfl::StaticLockSet<1> locks{3};
 
+  // One sample per round trip: each iteration IS one latency, so the
+  // reservoir holds the full distribution, not a thread-average.
+  std::vector<double> lat_ns;
+  lat_ns.reserve(1 << 16);
   for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
     auto t = exec.async_submit(
         client, locks,
         [&cell](IdemCtx<RealPlat>& m) { m.store(cell, m.load(cell) + 1); },
         Policy::retry());
     benchmark::DoNotOptimize(t.wait().won);
+    const auto t1 = std::chrono::steady_clock::now();
+    lat_ns.push_back(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["wfl_threads"] = 1;
+  wfl_bench::LatencyReservoirs::instance().record("Async_RoundTrip", lat_ns);
 }
 BENCHMARK(Async_RoundTrip);
 

@@ -30,6 +30,11 @@
 //             degrades to the mean, flagged by "p99_is_mean": true. The
 //             flag is DROPPED whenever a real distribution (reservoir)
 //             backed the figure
+//   p999_ns   99.9th percentile, same source rules as p99_ns. Only
+//             emitted when a reservoir backed it: a fallback p999 from a
+//             handful of per-repetition means is noise, not a tail, so
+//             absent-key means "no real distribution was registered"
+//             (v1-additive; consumers must ignore unknown keys)
 //
 // Additive (v1-compatible — consumers must ignore unknown keys): any
 // user counter a benchmark registers through state.counters is emitted
@@ -203,6 +208,10 @@ class JsonSchemaReporter : public benchmark::BenchmarkReporter {
         << ", \"p99_ns\": " << p99;
       if (reservoir == nullptr) {
         o << ", \"p99_is_mean\": " << (n > 1 ? "false" : "true");
+      } else {
+        // A real distribution also supports a deeper tail figure;
+        // without one, p999 of a few repetition means would be noise.
+        o << ", \"p999_ns\": " << percentile(*reservoir, 0.999);
       }
       const std::string backend = segment_of(e.name, "backend:");
       if (!backend.empty()) {

@@ -72,8 +72,10 @@ class LockedHashMap {
                   "configure LockConfig::max_thunk_steps >= "
                   "LockedHashMap::thunk_step_budget()");
     heads_.reserve(nbuckets);
+    sinks_.reserve(nbuckets);
     for (std::uint32_t b = 0; b < nbuckets; ++b) {
       heads_.push_back(std::make_unique<Cell<Plat>>(kMapNil));
+      sinks_.push_back(std::make_unique<Cell<Plat>>(0u));
     }
     for (int i = 0; i < space.max_procs(); ++i) {
       results_.push_back(std::make_unique<Cell<Plat>>(0u));
@@ -289,6 +291,53 @@ class LockedHashMap {
     return kMapAbsent;
   }
 
+  // Service-facing prepared ops (the open-loop bench / async_submit
+  // path): fixed-key linearizable read and update-in-place over keys the
+  // caller pre-populated. No node allocation and no per-process result
+  // cell, so ONE client may hold arbitrarily many in flight (the async
+  // executor's model — per-process cells would alias across concurrent
+  // requests). Results land in a per-bucket sink cell: the serviced unit
+  // of work is the locked chain walk, and the sink is written under the
+  // same bucket lock, so it adds no cross-bucket contention.
+  PreparedOp<Plat> prepared_get(std::uint64_t key) {
+    const std::uint32_t b = bucket_of(key);
+    Cell<Plat>* sink = sinks_[b].get();
+    const StaticLockSet<1> locks{b};
+    return PreparedOp<Plat>(
+        locks, [this, b, key, sink](IdemCtx<Plat>& m) {
+          std::uint32_t cur = m.load(*heads_[b]);
+          while (cur != kMapNil) {
+            Node& n = pool_.at(cur);
+            if (n.key == key) {
+              m.store(*sink, m.load(n.val));
+              return;
+            }
+            cur = m.load(n.next);
+          }
+          m.store(*sink, kMapAbsent);
+        });
+  }
+
+  PreparedOp<Plat> prepared_update(std::uint64_t key, std::uint32_t value) {
+    const std::uint32_t b = bucket_of(key);
+    Cell<Plat>* sink = sinks_[b].get();
+    const StaticLockSet<1> locks{b};
+    return PreparedOp<Plat>(
+        locks, [this, b, key, value, sink](IdemCtx<Plat>& m) {
+          std::uint32_t cur = m.load(*heads_[b]);
+          while (cur != kMapNil) {
+            Node& n = pool_.at(cur);
+            if (n.key == key) {
+              m.store(n.val, value);
+              m.store(*sink, kMapOk);
+              return;
+            }
+            cur = m.load(n.next);
+          }
+          m.store(*sink, kMapAbsent);
+        });
+  }
+
   // Weakly consistent unlocked probe (may race with unlinking).
   bool get(std::uint64_t key, std::uint32_t* out) const {
     std::uint32_t cur = heads_[bucket_of(key)]->load_direct();
@@ -411,6 +460,7 @@ class LockedHashMap {
   std::uint32_t nbuckets_;
   IndexPool<Node> pool_;
   std::vector<std::unique_ptr<Cell<Plat>>> heads_;
+  std::vector<std::unique_ptr<Cell<Plat>>> sinks_;  // per-bucket, prepared ops
   std::vector<std::unique_ptr<Cell<Plat>>> results_;
   std::vector<std::unique_ptr<Cell<Plat>>> out_vals_;
   std::vector<std::vector<std::unique_ptr<Cell<Plat>>>> batch_results_;

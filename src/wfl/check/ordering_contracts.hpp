@@ -97,6 +97,23 @@ enum class Site : std::uint8_t {
   kAsyncInlineLatch,    // inline_busy_ acquire CAS / release store
   kAsyncInFlight,       // in_flight_ acquire load / acq_rel sub (shutdown)
 
+  // --- Lock-free work queue (util/work_queue.hpp, DESIGN.md §8) ---
+  kWqTopLoad,           // top acquire load (steal open; push/take recheck)
+  kWqTopCas,            // top seq_cst CAS (steal vs. take on one element)
+  kWqBottomOwnLoad,     // owner's own bottom read (single-writer word)
+  kWqBottomPublish,     // push's bottom release store (publishes the slot)
+  kWqBottomReserve,     // take's speculative decrement (fence-ordered)
+  kWqBottomStealLoad,   // steal's bottom acquire load
+  kWqFence,             // take/steal seq_cst fences (the Dekker points)
+  kWqRingPublish,       // grow's ring-pointer release store
+  kWqRingLoad,          // ring-pointer acquire load
+  kWqSlot,              // ring slot store/load (valid-or-discarded)
+  kInjPushCas,          // injector head push CAS (Dekker vs. worker sleep)
+  kInjTakeAll,          // injector head take-all exchange (consumer side)
+  kInjPeek,             // injector head emptiness probe (sleep recheck)
+  kInjNext,             // injector next link (private until the push CAS)
+  kWkrState,            // worker idle-state word (awake/idle/signalled)
+
   // --- Annotated plain-memory regions (FastTrack-style epochs) ---
   kDescPlain,           // descriptor line group A: owner-written, helper-read
   kSlotCacheBatch,      // SlotCache slot array (single owner)
@@ -233,6 +250,52 @@ inline constexpr SiteInfo kSiteTable[] = {
      "clock transfer is modeled through the engine's mutex events"},
     {Site::kAsyncInFlight, "async.in_flight", Contract::kAcqRelRmw,
      "shutdown's drain loop joins every completer's final writes"},
+
+    {Site::kWqTopLoad, "wq.top_load", Contract::kAcquireLoad,
+     "joins the last successful top CAS: slots at or past top are the "
+     "thieves'; anything older is settled before we size the deque"},
+    {Site::kWqTopCas, "wq.top_cas", Contract::kSeqCstOnly,
+     "the linearization point of steal/take-last: both racers CAS the same "
+     "top value and exactly one wins; seq_cst closes the Dekker with the "
+     "owner's bottom reservation (Lê et al. 2013, DESIGN.md §8)"},
+    {Site::kWqBottomOwnLoad, "wq.bottom_own_load", Contract::kAdvisory,
+     "the owner is bottom's only writer; its own read needs no ordering"},
+    {Site::kWqBottomPublish, "wq.bottom_publish", Contract::kReleaseStore,
+     "push's bottom bump publishes the slot write to steal's acquire load"},
+    {Site::kWqBottomReserve, "wq.bottom_reserve", Contract::kAdvisory,
+     "take's speculative decrement; ordered against thieves' top reads by "
+     "the seq_cst fence that follows it (wq.fence), not by this store"},
+    {Site::kWqBottomStealLoad, "wq.bottom_steal_load", Contract::kAcquireLoad,
+     "consumes push's release bump: the slot is visible before it is read"},
+    {Site::kWqFence, "wq.fence", Contract::kSeqCstFence,
+     "the owner-vs-thief Dekker point: reserve-then-read-top on the owner, "
+     "read-top-then-read-bottom on the thief — one of them must see the "
+     "other or both would claim the last element"},
+    {Site::kWqRingPublish, "wq.ring_publish", Contract::kReleaseStore,
+     "grow() publishes the copied ring before thieves can dereference it"},
+    {Site::kWqRingLoad, "wq.ring_load", Contract::kAcquireLoad,
+     "pairs with wq.ring_publish; old rings stay mapped until destruction, "
+     "so a stale pointer still reads valid (if superseded) slots"},
+    {Site::kWqSlot, "wq.slot", Contract::kAdvisory,
+     "valid-or-discarded: a slot read is only trusted after the top CAS "
+     "wins; a torn-or-stale value loses the CAS and is dropped"},
+    {Site::kInjPushCas, "inj.push_cas", Contract::kSeqCstOnly,
+     "producer side of the sleep Dekker: push-then-read-worker-state must "
+     "not reorder against the worker's set-idle-then-probe (DESIGN.md §8)"},
+    {Site::kInjTakeAll, "inj.take_all", Contract::kAcqRelRmw,
+     "the exchange(nullptr) batch take — consumer pop() or a thief's "
+     "drain_all(): acquire joins every producer's release, release "
+     "continues the hand-off chain; rival exchanges get disjoint chains"},
+    {Site::kInjPeek, "inj.peek", Contract::kSeqCstOnly,
+     "worker side of the sleep Dekker: the pre-sleep emptiness probe must "
+     "order after the set-idle store, or a push could be missed forever"},
+    {Site::kInjNext, "inj.next", Contract::kAdvisory,
+     "private until the head CAS publishes the node; the consumer reads it "
+     "only after its exchange's acquire joined that publication"},
+    {Site::kWkrState, "async.worker_state", Contract::kSeqCstOnly,
+     "the wake-coalescing word: producer CAS idle->signalled vs. worker "
+     "store idle + inbox probe is a store-buffering pattern; any weakening "
+     "legalizes the lost-wake interleaving (DESIGN.md §8)"},
 
     {Site::kDescPlain, "desc.plain_fields", Contract::kOrderedWrites,
      "line group A: owner-written before publication, helper-read after "

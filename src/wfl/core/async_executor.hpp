@@ -12,15 +12,35 @@
 //
 // A submission becomes an AsyncOp — a small heap record (~300 B), not a
 // thread and not a suspended stack. N worker threads (N ~ cores) pull
-// ready ops from per-worker run queues (dispatch is round-robin, idle
-// peers steal from the back; inline mode funnels everything through a
-// shared injector instead), draw a pooled fiber, and run ONE attempt
-// cycle of the
+// ready ops from LOCK-FREE per-worker run queues (util/work_queue.hpp):
+// external dispatch targets a per-worker MPSC inbox — preferring a
+// worker that is already awake, falling back to round-robin when all are
+// parked — each worker spills its inbox into its own Chase–Lev deque and
+// self-pushes ops it wakes during its own cycles (owner push/take at the
+// bottom), and idle peers steal from the top of peer deques AND from
+// peer inboxes (drain_all): work never waits on a specific thread's
+// timeslice — no mutex anywhere on the run-queue path. Inline mode funnels everything through one shared MPSC injector
+// drained claim-or-skip by run_ready(). A worker with work draws a
+// pooled fiber and runs ONE attempt cycle of the
 // existing engine on it: link wait nodes, submit_attempt(), then either
 // complete or park. Parking is returning: the fiber finishes and goes
 // back to the pool, the op stays linked on its locks' wait lists, and the
 // worker moves on. Zero own steps are spent backing off — the bench
 // asserts backoff_spin_steps == 0 under full contention.
+//
+// Wake coalescing: each worker carries a state word (kWkAwake / kWkIdle /
+// kWkSignalled). A producer that pushed into a worker's inbox posts the
+// futex ONLY after winning the kWkIdle -> kWkSignalled CAS; a worker seen
+// kWkAwake will re-probe its inbox before sleeping, and one seen
+// kWkSignalled already owes a wake — both cases skip the syscall
+// (counted in wake_skips()). Soundness is a seq_cst store-buffering
+// Dekker: producer does push-then-read-state, worker does
+// set-idle-then-probe-inbox; in the seq_cst total order one side must
+// see the other, so either the producer posts or the worker's probe
+// finds the push. Workers that wake ops into their OWN deque mid-cycle
+// hand a steal target to one idle sibling (best-effort — a missed
+// sibling wake costs parallelism for one cycle, never progress, because
+// an owner drains its own deque before it can ever park).
 //
 // Wakes come from the lock table itself. LockTable::attempt() and the
 // thin-word fast path post a release event (WakeSink::on_release) for
@@ -79,9 +99,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -92,8 +110,10 @@
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_set.hpp"
 #include "wfl/core/session.hpp"
+#include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 #include "wfl/util/fiber.hpp"
+#include "wfl/util/work_queue.hpp"
 
 // Capability probe for drivers that sweep backends: baselines without an
 // async executor fall back to synchronous B::submit (see backend.hpp).
@@ -197,6 +217,7 @@ class AsyncExecutor {
       for (std::uint32_t i = 0; i < n_locks; ++i) ids[i] = locks[i];
       race::created(&state, kQueued);
       race::created(&refs, 2);
+      race::created(&q_next, 0);
     }
 
     LockSetView locks() const {
@@ -226,7 +247,9 @@ class AsyncExecutor {
     };
     WaitNode nodes[kMaxLocksPerAttempt];
 
-    AsyncOp* q_next = nullptr;  // run-queue link
+    // MPSC injector link (work_queue.hpp): written by the pushing thread
+    // before the head CAS publishes it, read by the sole consumer.
+    std::atomic<AsyncOp*> q_next{nullptr};
 
     // The owning executor's live-record gauge (see live_ops()).
     std::atomic<std::uint64_t>* live_gauge = nullptr;
@@ -239,6 +262,7 @@ class AsyncExecutor {
         // Retire tracked addresses before the storage can be heap-reused.
         race::destroyed(&state);
         race::destroyed(&refs);
+        race::destroyed(&q_next);
         race::destroyed(&out);
         delete this;
       }
@@ -383,10 +407,10 @@ class AsyncExecutor {
   std::size_t run_ready(std::size_t max_cycles = 0) {
     std::size_t ran = 0;
     while (max_cycles == 0 || ran < max_cycles) {
-      AsyncOp* op = pop_injector();
+      AsyncOp* op = inline_pop();
       if (op == nullptr) break;
       if (!op->client->try_acquire_inline()) {
-        push_injector(op);
+        inline_inj_.push(op);
         break;
       }
       run_cycle(op, op->client->session());
@@ -457,17 +481,16 @@ class AsyncExecutor {
   std::uint64_t completed() const {
     return completed_.load(std::memory_order_acquire);
   }
-  std::uint64_t parks() const {
-    return parks_.load(std::memory_order_relaxed);
+  std::uint64_t parks() const { return sum_counter(&Counters::parks); }
+  std::uint64_t wakes() const { return sum_counter(&Counters::wakes); }
+  std::uint64_t signals() const { return sum_counter(&Counters::signals); }
+  std::uint64_t steals() const { return sum_counter(&Counters::steals); }
+  // Futex posts issued / elided by the coalescing word (see header).
+  std::uint64_t wake_posts() const {
+    return sum_counter(&Counters::wake_posts);
   }
-  std::uint64_t wakes() const {
-    return wakes_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t signals() const {
-    return signals_.load(std::memory_order_relaxed);
-  }
-  std::uint64_t steals() const {
-    return steals_.load(std::memory_order_relaxed);
+  std::uint64_t wake_skips() const {
+    return sum_counter(&Counters::wake_skips);
   }
   std::uint64_t fibers_created() const { return fibers_.created(); }
   std::uint64_t fibers_reused() const { return fibers_.reused(); }
@@ -483,14 +506,60 @@ class AsyncExecutor {
     typename AsyncOp::WaitNode* tail = nullptr;
   };
 
+  // Per-context event counters, cache-padded so hot-path bumps never
+  // share a line across workers (the shared fetch_add counters this
+  // replaces were a measurable contention source at high churn). Pure
+  // monotone gauges — intentionally unhooked (ordering_contracts.hpp
+  // header: advisory telemetry carries no ordering obligation).
+  struct alignas(kCacheLine) Counters {
+    std::atomic<std::uint64_t> parks{0};
+    std::atomic<std::uint64_t> wakes{0};
+    std::atomic<std::uint64_t> signals{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> wake_posts{0};
+    std::atomic<std::uint64_t> wake_skips{0};
+  };
+
+  // Wake-coalescing worker states (see header).
+  static constexpr std::uint32_t kWkAwake = 0;
+  static constexpr std::uint32_t kWkIdle = 1;
+  static constexpr std::uint32_t kWkSignalled = 2;
+
   struct Worker {
-    explicit Worker(Space& s) : session(s) {}
+    explicit Worker(Space& s) : session(s) {
+      race::created(&state, kWkAwake);
+    }
+    ~Worker() { race::destroyed(&state); }
+
     Session session;  // the registered process attempts run under
-    std::mutex mu;
-    std::deque<AsyncOp*> q;  // owner pops front, thieves pop back
+    ChaseLevDeque<AsyncOp*> deque;  // owner push/take bottom, thieves top
+    MpscInjector<AsyncOp> inbox;    // external dispatch lands here
+    std::atomic<std::uint32_t> state{kWkAwake};
     typename Plat::Wake wake;
+    Counters counters;
     std::thread thread;
   };
+
+  // Worker identity for the dispatch fast path: a worker thread pushes
+  // claimed/woken ops straight onto its OWN deque (the only legal
+  // Chase–Lev producer) instead of round-robining them away.
+  struct TlsWorker {
+    AsyncExecutor* exec = nullptr;
+    Worker* w = nullptr;
+    int index = -1;
+  };
+  static TlsWorker& tls_worker() {
+    static thread_local TlsWorker t;
+    return t;
+  }
+
+  // Counter slot for the calling context: the owning worker's padded
+  // line, or the executor-wide external slot (submitter/cancel paths,
+  // inline mode — uncontended there by construction).
+  Counters& counters_here() {
+    TlsWorker& t = tls_worker();
+    return (t.exec == this) ? t.w->counters : *external_counters_;
+  }
 
   // The WakeSink the lock table calls from inside attempt teardown.
   // Member object (not base) so LockTable's header needs only the
@@ -528,7 +597,7 @@ class AsyncExecutor {
                                               std::memory_order_acq_rel)) {
           WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
                          AsyncOp::kRunning);
-          wakes_.fetch_add(1, std::memory_order_relaxed);
+          counters_here().wakes.fetch_add(1, std::memory_order_relaxed);
           enqueue_claimed(op);
           return;  // wake-one
         }
@@ -541,7 +610,7 @@ class AsyncExecutor {
                                               std::memory_order_acq_rel)) {
           WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
                          AsyncOp::kSignalled);
-          signals_.fetch_add(1, std::memory_order_relaxed);
+          counters_here().signals.fetch_add(1, std::memory_order_relaxed);
           return;  // converted into that op's immediate retry
         }
         WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas, s);
@@ -559,69 +628,185 @@ class AsyncExecutor {
   // Enqueue an op already claimed kRunning (woken or cancel-claimed).
   void enqueue_claimed(AsyncOp* op) { dispatch(op); }
 
-  // Worker mode: round-robin onto a worker's LOCAL run queue — the owner
-  // pops front, idle peers steal from the back, so a worker stuck in a
-  // long thunk sheds its backlog. Inline mode has no workers; everything
-  // funnels through the shared injector that run_ready() drains.
+  // Worker mode: a worker thread self-pushes onto its OWN Chase–Lev
+  // deque (op wakes fired from its cycles stay cache-local; it is the
+  // deque's only legal producer) and hands one idle sibling a steal
+  // target when a backlog builds; any other thread targets a worker's
+  // MPSC inbox and wakes it through the coalescing word.
+  //
+  // External target selection prefers a worker that is ALREADY awake
+  // (round-robin start, first non-idle wins): on a machine with fewer
+  // cores than workers, round-robining across parked workers pays a
+  // futex wake plus a context switch per op while an awake worker sits
+  // hot on a core — measured as ~40x median service latency at low rates
+  // (bench_service). The scan is a heuristic only; delivery never
+  // depends on it, because push-then-wake_worker re-reads the target's
+  // state under the seq_cst sleep Dekker. Work conservation is the
+  // worker's half: a drained inbox that spills backlog wakes one idle
+  // sibling to come steal (worker_main), so coalescing onto the awake
+  // worker cannot strand load behind it.
+  //
+  // Inline mode has no workers; everything funnels through the shared
+  // injector that run_ready() drains.
   void dispatch(AsyncOp* op) {
     if (workers_.empty()) {
-      push_injector(op);
+      inline_inj_.push(op);
       return;
     }
-    const std::size_t w =
-        rr_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
-    Worker& tgt = *workers_[w];
-    {
-      std::lock_guard<std::mutex> g(tgt.mu);
-      tgt.q.push_back(op);
+    TlsWorker& t = tls_worker();
+    if (t.exec == this) {
+      t.w->deque.push(op);
+      // Self-pushed work is invisible to the inbox wake path: if anyone
+      // is napping while we accumulate a backlog, hand them a steal
+      // target. Best-effort (see header): a missed wake here costs one
+      // cycle of parallelism, never progress.
+      if (idle_workers_.load(std::memory_order_relaxed) > 0 &&
+          t.w->deque.size_approx() > 1) {
+        wake_one_idle(static_cast<std::size_t>(t.index));
+      }
+      return;
     }
-    tgt.wake.post();
-  }
-
-  void push_injector(AsyncOp* op) {
-    std::lock_guard<std::mutex> g(inj_mu_);
-    race::MutexScope chk(&inj_mu_);
-    if (inj_tail_ == nullptr) {
-      inj_head_ = inj_tail_ = op;
-    } else {
-      inj_tail_->q_next = op;
-      inj_tail_ = op;
-    }
-    op->q_next = nullptr;
-  }
-
-  AsyncOp* pop_injector() {
-    std::lock_guard<std::mutex> g(inj_mu_);
-    race::MutexScope chk(&inj_mu_);
-    AsyncOp* op = inj_head_;
-    if (op != nullptr) {
-      inj_head_ = op->q_next;
-      if (inj_head_ == nullptr) inj_tail_ = nullptr;
-      op->q_next = nullptr;
-    }
-    return op;
-  }
-
-  AsyncOp* pop_local(Worker& w) {
-    std::lock_guard<std::mutex> g(w.mu);
-    if (w.q.empty()) return nullptr;
-    AsyncOp* op = w.q.front();
-    w.q.pop_front();
-    return op;
-  }
-
-  AsyncOp* steal(std::size_t thief) {
-    for (std::size_t i = 1; i < workers_.size(); ++i) {
-      Worker& v = *workers_[(thief + i) % workers_.size()];
-      std::lock_guard<std::mutex> g(v.mu);
-      if (!v.q.empty()) {
-        AsyncOp* op = v.q.back();
-        v.q.pop_back();
-        steals_.fetch_add(1, std::memory_order_relaxed);
-        return op;
+    const std::size_t n = workers_.size();
+    std::size_t pick =
+        rr_.fetch_add(1, std::memory_order_relaxed) % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (pick + i) % n;
+      const std::uint32_t s =
+          workers_[j]->state.load(std::memory_order_seq_cst);
+      WFL_CHK_ATOMIC(&workers_[j]->state, kLoad, seq_cst, kWkrState, s);
+      if (s != kWkIdle) {
+        pick = j;
+        break;
       }
     }
+    Worker& tgt = *workers_[pick];
+    tgt.inbox.push(op);
+    wake_worker(tgt);
+  }
+
+  // Post the target's futex only if it is committed to sleeping. An
+  // awake worker re-probes its inbox before sleeping (the seq_cst
+  // Dekker with our push), and a signalled one already owes a wake —
+  // both skip the syscall.
+  void wake_worker(Worker& tgt) {
+    std::uint32_t s = tgt.state.load(std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&tgt.state, kLoad, seq_cst, kWkrState, s);
+    if (s == kWkIdle) {
+      if (tgt.state.compare_exchange_strong(s, kWkSignalled,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_seq_cst)) {
+        WFL_CHK_ATOMIC(&tgt.state, kCasOk, seq_cst, kWkrState, kWkSignalled);
+        counters_here().wake_posts.fetch_add(1, std::memory_order_relaxed);
+        tgt.wake.post();
+        return;
+      }
+      WFL_CHK_ATOMIC(&tgt.state, kCasFail, seq_cst, kWkrState, s);
+      // Lost the race: the worker woke by itself or another producer
+      // signalled it; either absorbs our wake.
+    }
+    counters_here().wake_skips.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Signal one idle sibling to come steal (self-push backlog path).
+  void wake_one_idle(std::size_t self_index) {
+    const std::size_t n = workers_.size();
+    for (std::size_t i = 1; i < n; ++i) {
+      Worker& v = *workers_[(self_index + i) % n];
+      std::uint32_t s = v.state.load(std::memory_order_seq_cst);
+      WFL_CHK_ATOMIC(&v.state, kLoad, seq_cst, kWkrState, s);
+      if (s != kWkIdle) continue;
+      if (v.state.compare_exchange_strong(s, kWkSignalled,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_seq_cst)) {
+        WFL_CHK_ATOMIC(&v.state, kCasOk, seq_cst, kWkrState, kWkSignalled);
+        counters_here().wake_posts.fetch_add(1, std::memory_order_relaxed);
+        v.wake.post();
+        return;
+      }
+      WFL_CHK_ATOMIC(&v.state, kCasFail, seq_cst, kWkrState, s);
+    }
+  }
+
+  // Spill the whole inbox into the owner's deque, keeping the oldest for
+  // immediate execution. Owner thread only.
+  AsyncOp* drain_inbox(Worker& self) {
+    AsyncOp* first = self.inbox.pop();
+    if (first == nullptr) return nullptr;
+    for (AsyncOp* op = self.inbox.pop(); op != nullptr;
+         op = self.inbox.pop()) {
+      self.deque.push(op);
+    }
+    return first;
+  }
+
+  // Steal from peers: their deques' FIFO end first, then their INBOXES.
+  // An op in a parked (or descheduled) peer's inbox would otherwise wait
+  // for that peer's next timeslice even while this worker idles — the
+  // inbox is part of the run queue, so thieves must see it (the same
+  // reason Go and Tokio steal from inject queues). drain_all() takes the
+  // peer's whole shared chain in one exchange (disjoint from the owner's
+  // private cache and from rival drains); the thief reverses it to FIFO,
+  // runs the oldest, and spills the rest onto its OWN deque — where the
+  // peer, once scheduled again, can steal them right back.
+  AsyncOp* steal_from_peers(std::size_t thief) {
+    const std::size_t n = workers_.size();
+    Worker& self = *workers_[thief];
+    for (std::size_t i = 1; i < n; ++i) {
+      Worker& v = *workers_[(thief + i) % n];
+      AsyncOp* op = v.deque.steal();
+      if (op == nullptr) {
+        AsyncOp* chain = v.inbox.drain_all();
+        if (chain == nullptr) continue;
+        // Chain is newest-first; reverse so the oldest runs now and the
+        // rest land on the deque oldest-at-the-steal-end.
+        AsyncOp* fifo = nullptr;
+        while (chain != nullptr) {
+          AsyncOp* next = chain->q_next.load(std::memory_order_relaxed);
+          WFL_CHK_ATOMIC(&chain->q_next, kLoad, relaxed, kInjNext,
+                         detail::ptr_bits(next));
+          chain->q_next.store(fifo, std::memory_order_relaxed);
+          WFL_CHK_ATOMIC(&chain->q_next, kStore, relaxed, kInjNext,
+                         detail::ptr_bits(fifo));
+          fifo = chain;
+          chain = next;
+        }
+        op = fifo;
+        AsyncOp* rest = fifo->q_next.load(std::memory_order_relaxed);
+        WFL_CHK_ATOMIC(&fifo->q_next, kLoad, relaxed, kInjNext,
+                       detail::ptr_bits(rest));
+        op->q_next.store(nullptr, std::memory_order_relaxed);
+        WFL_CHK_ATOMIC(&op->q_next, kStore, relaxed, kInjNext, 0);
+        while (rest != nullptr) {
+          AsyncOp* next = rest->q_next.load(std::memory_order_relaxed);
+          WFL_CHK_ATOMIC(&rest->q_next, kLoad, relaxed, kInjNext,
+                         detail::ptr_bits(next));
+          rest->q_next.store(nullptr, std::memory_order_relaxed);
+          WFL_CHK_ATOMIC(&rest->q_next, kStore, relaxed, kInjNext, 0);
+          self.deque.push(rest);
+          rest = next;
+        }
+      }
+      self.counters.steals.fetch_add(1, std::memory_order_relaxed);
+      return op;
+    }
     return nullptr;
+  }
+
+  // Inline-mode pop: the MPSC consumer side needs a single consumer, but
+  // run_ready() may be driven from several fibers (Ticket::wait). Claim
+  // the consumer latch or skip — never block (the caller steps and
+  // retries). Modeled as a lock for the analysis layer.
+  AsyncOp* inline_pop() {
+    bool expect = false;
+    if (!inline_consumer_.compare_exchange_strong(
+            expect, true, std::memory_order_acquire)) {
+      return nullptr;
+    }
+    race::mutex_acquire(&inline_consumer_);
+    AsyncOp* op = inline_inj_.pop();
+    race::mutex_release(&inline_consumer_);
+    inline_consumer_.store(false, std::memory_order_release);
+    return op;
   }
 
   // --- wait-list link/unlink ----------------------------------------------
@@ -709,7 +894,7 @@ class AsyncExecutor {
                                             std::memory_order_acq_rel)) {
         WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
                        AsyncOp::kParked);
-        parks_.fetch_add(1, std::memory_order_relaxed);
+        counters_here().parks.fetch_add(1, std::memory_order_relaxed);
         break;  // parked: cycle over, wait nodes carry the wake
       }
       WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas, expect);
@@ -755,23 +940,36 @@ class AsyncExecutor {
 
   void worker_main(int index) {
     Worker& self = *workers_[static_cast<std::size_t>(index)];
+    TlsWorker& tls = tls_worker();
+    tls = TlsWorker{this, &self, index};
     for (;;) {
-      AsyncOp* op = pop_local(self);
-      if (op == nullptr) op = steal(static_cast<std::size_t>(index));
+      // Own deque (LIFO, cache-warm), then the inbox (external FIFO
+      // spill), then peers' deques and inboxes (the steal path).
+      AsyncOp* op = self.deque.take();
+      if (op == nullptr) {
+        op = drain_inbox(self);
+        // Work conservation for awake-preferring dispatch: external
+        // pushes coalesce onto THIS worker while it is awake, so a
+        // spilled backlog here is load no one else has been told about.
+        // Hand one idle sibling a steal target (it will find the spill
+        // on our deque, or our inbox via the steal path).
+        if (op != nullptr && self.deque.size_approx() > 0 &&
+            idle_workers_.load(std::memory_order_relaxed) > 0) {
+          wake_one_idle(static_cast<std::size_t>(index));
+        }
+      }
+      if (op == nullptr) op = steal_from_peers(static_cast<std::size_t>(index));
       if (op == nullptr) {
         // Exit only once stopping_ AND nothing is in flight: shutdown
         // sweeps parked ops back into the run queues as cancelled work,
         // and a worker that left on "queues momentarily empty" would
         // strand that work and wedge shutdown's in_flight_ drain.
         if (stopping_.load(std::memory_order_acquire)) {
-          if (in_flight_.load(std::memory_order_acquire) == 0) return;
+          if (in_flight_.load(std::memory_order_acquire) == 0) break;
           std::this_thread::yield();  // sweep in progress; stay pollable
           continue;
         }
-        const std::uint32_t seen = self.wake.prepare();
-        if (peek_work(index)) continue;
-        if (stopping_.load(std::memory_order_acquire)) continue;
-        self.wake.wait(seen);
+        park(self);
         continue;
       }
       // Each quantum runs on a pooled fiber: the cycle gets its own
@@ -783,16 +981,27 @@ class AsyncExecutor {
       WFL_CHECK(fiber->finished());  // cycles end; they never suspend
       fibers_.release(std::move(fiber));
     }
+    tls = TlsWorker{};
   }
 
-  // Own-queue recheck between prepare() and wait(): dispatch() posts the
-  // target's wake after pushing, so only the self queue can race the
-  // sleep. Work landing in a PEER's queue woke that peer; stealing is
-  // load-shedding, not the wake path.
-  bool peek_work(int index) {
-    Worker& self = *workers_[static_cast<std::size_t>(index)];
-    std::lock_guard<std::mutex> g(self.mu);
-    return !self.q.empty();
+  // Commit to sleep, then re-probe. The kWkIdle store and the inbox
+  // probe are both seq_cst — the worker half of the sleep Dekker (see
+  // wake_worker). Only the inbox needs re-probing: the own deque has no
+  // producer but us, and work landing at a PEER wakes that peer;
+  // stealing is load-shedding, not the wake path. The futex layer
+  // beneath (prepare/wait vs. post) covers the signal-after-probe
+  // window the same way it always has.
+  void park(Worker& self) {
+    self.state.store(kWkIdle, std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&self.state, kStore, seq_cst, kWkrState, kWkIdle);
+    idle_workers_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t seen = self.wake.prepare();
+    if (self.inbox.empty() && !stopping_.load(std::memory_order_acquire)) {
+      self.wake.wait(seen);
+    }
+    self.state.store(kWkAwake, std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&self.state, kStore, seq_cst, kWkrState, kWkAwake);
+    idle_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   void shutdown() {
@@ -818,7 +1027,34 @@ class AsyncExecutor {
       }
     }
     space_->set_wake_sink(nullptr);
+    // Preserve counter totals past worker teardown: accessors stay valid
+    // for post-shutdown reads (benches report after episodes end).
+    for (auto& w : workers_) fold_counters(w->counters);
     workers_.clear();
+  }
+
+  void fold_counters(const Counters& c) {
+    auto fold = [this](std::atomic<std::uint64_t> Counters::* m,
+                       const Counters& src) {
+      ((*external_counters_).*m)
+          .fetch_add((src.*m).load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    };
+    fold(&Counters::parks, c);
+    fold(&Counters::wakes, c);
+    fold(&Counters::signals, c);
+    fold(&Counters::steals, c);
+    fold(&Counters::wake_posts, c);
+    fold(&Counters::wake_skips, c);
+  }
+
+  std::uint64_t sum_counter(std::atomic<std::uint64_t> Counters::* m) const {
+    std::uint64_t total =
+        ((*external_counters_).*m).load(std::memory_order_relaxed);
+    for (const auto& w : workers_) {
+      total += (w->counters.*m).load(std::memory_order_relaxed);
+    }
+    return total;
   }
 
   // Claim every parked op (any client) and queue it; its next cycle
@@ -857,19 +1093,18 @@ class AsyncExecutor {
   std::vector<std::atomic<AsyncOp*>> running_by_pid_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex inj_mu_;
-  AsyncOp* inj_head_ = nullptr;
-  AsyncOp* inj_tail_ = nullptr;
+  // Inline mode's shared run queue + its claim-or-skip consumer latch.
+  MpscInjector<AsyncOp> inline_inj_;
+  std::atomic<bool> inline_consumer_{false};
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> rr_{0};
+  std::atomic<std::size_t> idle_workers_{0};  // advisory sibling-wake gate
   std::atomic<std::uint64_t> in_flight_{0};
   std::atomic<std::uint64_t> live_ops_{0};
   std::atomic<std::uint64_t> completed_{0};
-  std::atomic<std::uint64_t> parks_{0};
-  std::atomic<std::uint64_t> wakes_{0};
-  std::atomic<std::uint64_t> signals_{0};
-  std::atomic<std::uint64_t> steals_{0};
+  // Non-worker contexts' counter slot + post-shutdown accumulator.
+  CachePadded<Counters> external_counters_;
 };
 
 // The client type virtually all code wants (mirrors Session<Plat>).

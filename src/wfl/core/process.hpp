@@ -132,7 +132,13 @@ class ProcessHandle {
         guard_depth_(num_shards, 0),
         rng_(0x5EEDF00Du + static_cast<std::uint64_t>(pid) * 0x9E3779B9ULL) {
     WFL_CHECK(pid >= 0 && num_shards > 0 && serial_block > 0);
+    // fast_ready_ is a raw std::atomic with hooked accessors; seed its
+    // shadow and retire it in the dtor so heap reuse of the handle's
+    // storage cannot alias stale tracked state from a prior object.
+    race::created(&fast_ready_, 1);
   }
+
+  ~ProcessHandle() { race::destroyed(&fast_ready_); }
 
   ProcessHandle(const ProcessHandle&) = delete;
   ProcessHandle& operator=(const ProcessHandle&) = delete;

@@ -1,0 +1,339 @@
+// Lock-free scheduler plumbing: a Chase–Lev work-stealing deque and an
+// MPSC injector stack (the run-queue core of core/async_executor.hpp).
+//
+// Both structures are executor infrastructure — raw std::atomic outside
+// the paper's step model, like the rest of the async plumbing (DESIGN.md
+// substitution #2) — and every weakened-order operation is annotated with
+// its Site in check/ordering_contracts.hpp so CheckedPlat's ordering
+// audit covers them (the contracts quote the soundness arguments; the
+// long-form versions live in DESIGN.md §8).
+//
+// ChaseLevDeque<T*> (Chase & Lev 2005, memory orders per Lê et al. 2013,
+// "Correct and Efficient Work-Stealing for Weak Memory Models"):
+//
+//   * ONE owner thread may push()/take() at the bottom; any thread may
+//     steal() at the top. The owner's path is CAS-free except when it
+//     races a thief for the last element.
+//   * The ring is a power-of-two circular buffer indexed by untruncated
+//     64-bit top/bottom counters. push() grows the ring when full, so an
+//     in-range index can never alias a concurrent wrap; retired rings are
+//     kept until destruction (total memory < 2x the final ring) so a
+//     thief holding a stale ring pointer still dereferences valid — if
+//     superseded — slots, and the top CAS discards its stale read.
+//   * take() reserves bottom-1 with a relaxed store, then a seq_cst
+//     fence, then reads top; steal() reads top (acquire), then a seq_cst
+//     fence, then bottom (acquire). The two fences are a Dekker: at most
+//     one side can miss the other's write, so owner and thief can both
+//     believe the deque non-empty only when it holds >= 2 elements — and
+//     the single-element race is settled by the seq_cst CAS on top.
+//
+// MpscInjector<T> (intrusive Treiber stack + single-consumer FIFO cache):
+//
+//   * push() is multi-producer and lock-free: write the node's q_next,
+//     CAS the head. ABA-immune because push never dereferences the head
+//     it observed — a stale head value just loses the CAS.
+//   * The consumer side is SINGLE-consumer by external discipline (each
+//     executor worker owns its inbox; the inline injector is guarded by
+//     a claim-or-skip latch). pop() exchanges the whole batch out with
+//     exchange(nullptr) and reverses it into a private FIFO cache — the
+//     consumer never CASes a head it read, so there is no pop-side ABA
+//     window at all (the classic Treiber pop bug this shape deletes).
+//   * drain_all() is the one MULTI-consumer entry point: any thread may
+//     exchange the shared head out (work stealing from a descheduled
+//     owner's inbox). Concurrent drains obtain disjoint chains — the
+//     exchange is atomic and never dereferences — and the owner's
+//     private FIFO cache is untouched, so pop()'s single-consumer
+//     discipline is unaffected. The cost: items drained by a thief are
+//     ordered by the thief, so cross-queue FIFO is best-effort (it
+//     already was: the owner's cache vs. fresh pushes race the same way).
+//   * push's CAS and the consumer's pre-sleep empty() probe are seq_cst:
+//     they form the producer half of the executor's sleep Dekker
+//     (push-then-check-worker-state vs. set-idle-then-probe-inbox).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "wfl/check/race.hpp"
+#include "wfl/util/assert.hpp"
+
+namespace wfl {
+
+namespace detail {
+template <typename P>
+std::uint64_t ptr_bits(P* p) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+}  // namespace detail
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_pointer_v<T>,
+                "ChaseLevDeque stores pointers (slots are atomic words; "
+                "a discarded stale read must be harmless)");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : ring_(new Ring(round_up_pow2(initial_capacity))) {
+    race::created(&top_, 0);
+    race::created(&bottom_, 0);
+    race::created(&ring_, detail::ptr_bits(ring_.load()));
+  }
+
+  // Destruction requires quiescence (no concurrent owner or thieves) —
+  // the executor joins its workers first.
+  ~ChaseLevDeque() {
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    while (r != nullptr) {
+      Ring* prev = r->prev;
+      delete r;
+      r = prev;
+    }
+    race::destroyed(&top_);
+    race::destroyed(&bottom_);
+    race::destroyed(&ring_);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  // Owner only. Never fails; grows the ring when full.
+  void push(T x) {
+    const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&bottom_, kLoad, relaxed, kWqBottomOwnLoad, b);
+    const std::uint64_t t = top_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&top_, kLoad, acquire, kWqTopLoad, t);
+    Ring* r = ring_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&ring_, kLoad, acquire, kWqRingLoad, detail::ptr_bits(r));
+    if (b - t >= r->cap) r = grow(r, t, b);
+    r->at(b).store(x, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&r->at(b), kStore, relaxed, kWqSlot, detail::ptr_bits(x));
+    bottom_.store(b + 1, std::memory_order_release);
+    WFL_CHK_ATOMIC(&bottom_, kStore, release, kWqBottomPublish, b + 1);
+  }
+
+  // Owner only. LIFO (newest first — cache warmth; the steal side is the
+  // FIFO end). Returns nullptr when empty.
+  T take() {
+    const std::uint64_t b =
+        bottom_.load(std::memory_order_relaxed) - 1;
+    WFL_CHK_ATOMIC(&bottom_, kLoad, relaxed, kWqBottomOwnLoad, b + 1);
+    Ring* r = ring_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&ring_, kLoad, acquire, kWqRingLoad, detail::ptr_bits(r));
+    bottom_.store(b, std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&bottom_, kStore, relaxed, kWqBottomReserve, b);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    WFL_CHK_FENCE(seq_cst, kWqFence);
+    std::uint64_t t = top_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&top_, kLoad, acquire, kWqTopLoad, t);
+    T x = nullptr;
+    if (static_cast<std::int64_t>(t) <= static_cast<std::int64_t>(b)) {
+      x = r->at(b).load(std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&r->at(b), kLoad, relaxed, kWqSlot,
+                     detail::ptr_bits(x));
+      if (t == b) {
+        // Last element: race the thieves for it on top.
+        if (top_.compare_exchange_strong(t, t + 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst)) {
+          WFL_CHK_ATOMIC(&top_, kCasOk, seq_cst, kWqTopCas, b + 1);
+        } else {
+          WFL_CHK_ATOMIC(&top_, kCasFail, seq_cst, kWqTopCas, t);
+          x = nullptr;  // a thief won it
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        WFL_CHK_ATOMIC(&bottom_, kStore, relaxed, kWqBottomReserve, b + 1);
+      }
+    } else {
+      // Empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&bottom_, kStore, relaxed, kWqBottomReserve, b + 1);
+    }
+    return x;
+  }
+
+  // Any thread. FIFO (oldest first). Returns nullptr when empty OR when
+  // it lost the top CAS to a rival — a lost race means the element went
+  // to someone, so callers treat nullptr as "try the next victim".
+  T steal() {
+    std::uint64_t t = top_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&top_, kLoad, acquire, kWqTopLoad, t);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    WFL_CHK_FENCE(seq_cst, kWqFence);
+    const std::uint64_t b = bottom_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&bottom_, kLoad, acquire, kWqBottomStealLoad, b);
+    if (static_cast<std::int64_t>(t) >= static_cast<std::int64_t>(b)) {
+      return nullptr;  // empty
+    }
+    Ring* r = ring_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&ring_, kLoad, acquire, kWqRingLoad, detail::ptr_bits(r));
+    T x = r->at(t).load(std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&r->at(t), kLoad, relaxed, kWqSlot, detail::ptr_bits(x));
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+      WFL_CHK_ATOMIC(&top_, kCasFail, seq_cst, kWqTopCas, t);
+      return nullptr;  // lost to the owner or another thief
+    }
+    WFL_CHK_ATOMIC(&top_, kCasOk, seq_cst, kWqTopCas, t + 1);
+    return x;
+  }
+
+  // Owner-side size estimate (exact for the owner between its own ops;
+  // a lower bound otherwise — thieves only shrink it).
+  std::size_t size_approx() const {
+    const std::uint64_t b = bottom_.load(std::memory_order_relaxed);
+    WFL_CHK_ATOMIC(&bottom_, kLoad, relaxed, kWqBottomOwnLoad, b);
+    const std::uint64_t t = top_.load(std::memory_order_acquire);
+    WFL_CHK_ATOMIC(&top_, kLoad, acquire, kWqTopLoad, t);
+    const auto d = static_cast<std::int64_t>(b) - static_cast<std::int64_t>(t);
+    return d > 0 ? static_cast<std::size_t>(d) : 0;
+  }
+
+  std::size_t capacity() const {
+    return static_cast<std::size_t>(
+        ring_.load(std::memory_order_acquire)->cap);
+  }
+  std::uint64_t grows() const { return grows_; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::uint64_t c)
+        : cap(c), mask(c - 1), slots(new std::atomic<T>[c]()) {
+      for (std::uint64_t i = 0; i < cap; ++i) race::created(&slots[i], 0);
+    }
+    ~Ring() {
+      for (std::uint64_t i = 0; i < cap; ++i) race::destroyed(&slots[i]);
+      delete[] slots;
+    }
+    std::atomic<T>& at(std::uint64_t i) { return slots[i & mask]; }
+
+    const std::uint64_t cap;
+    const std::uint64_t mask;
+    std::atomic<T>* slots;
+    Ring* prev = nullptr;  // retired predecessor, freed at destruction
+  };
+
+  static std::uint64_t round_up_pow2(std::size_t n) {
+    std::uint64_t c = 2;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  // Owner only (from push). Copies the live window [t, b) and publishes
+  // the new ring; the old one stays linked for stale thief reads.
+  Ring* grow(Ring* r, std::uint64_t t, std::uint64_t b) {
+    Ring* nr = new Ring(r->cap * 2);
+    for (std::uint64_t i = t; i != b; ++i) {
+      const T v = r->at(i).load(std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&r->at(i), kLoad, relaxed, kWqSlot, detail::ptr_bits(v));
+      nr->at(i).store(v, std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&nr->at(i), kStore, relaxed, kWqSlot,
+                     detail::ptr_bits(v));
+    }
+    nr->prev = r;
+    ring_.store(nr, std::memory_order_release);
+    WFL_CHK_ATOMIC(&ring_, kStore, release, kWqRingPublish,
+                   detail::ptr_bits(nr));
+    ++grows_;
+    return nr;
+  }
+
+  std::atomic<std::uint64_t> top_{0};
+  std::atomic<std::uint64_t> bottom_{0};
+  std::atomic<Ring*> ring_;
+  std::uint64_t grows_ = 0;  // owner-only bookkeeping
+};
+
+// Intrusive MPSC stack: T must expose `std::atomic<T*> q_next`.
+template <typename T>
+class MpscInjector {
+ public:
+  MpscInjector() { race::created(&head_, 0); }
+
+  // Destruction requires quiescence; pending nodes are the caller's to
+  // drain (the executor's shutdown empties every queue first).
+  ~MpscInjector() { race::destroyed(&head_); }
+
+  MpscInjector(const MpscInjector&) = delete;
+  MpscInjector& operator=(const MpscInjector&) = delete;
+
+  // Any thread. Lock-free; ABA-immune (never dereferences the observed
+  // head). seq_cst: the producer half of the executor's sleep Dekker.
+  void push(T* n) {
+    T* h = head_.load(std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&head_, kLoad, seq_cst, kInjPushCas, detail::ptr_bits(h));
+    for (;;) {
+      n->q_next.store(h, std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&n->q_next, kStore, relaxed, kInjNext,
+                     detail::ptr_bits(h));
+      if (head_.compare_exchange_weak(h, n, std::memory_order_seq_cst,
+                                      std::memory_order_seq_cst)) {
+        WFL_CHK_ATOMIC(&head_, kCasOk, seq_cst, kInjPushCas,
+                       detail::ptr_bits(n));
+        return;
+      }
+      WFL_CHK_ATOMIC(&head_, kCasFail, seq_cst, kInjPushCas,
+                     detail::ptr_bits(h));
+    }
+  }
+
+  // SINGLE consumer (external discipline). FIFO per producer: the first
+  // empty-cache pop exchanges the whole pushed batch out and reverses it.
+  T* pop() {
+    if (fifo_ == nullptr) {
+      T* batch = head_.exchange(nullptr, std::memory_order_acq_rel);
+      WFL_CHK_ATOMIC(&head_, kExchange, acq_rel, kInjTakeAll, 0);
+      while (batch != nullptr) {
+        T* next = batch->q_next.load(std::memory_order_relaxed);
+        WFL_CHK_ATOMIC(&batch->q_next, kLoad, relaxed, kInjNext,
+                       detail::ptr_bits(next));
+        batch->q_next.store(fifo_, std::memory_order_relaxed);
+        WFL_CHK_ATOMIC(&batch->q_next, kStore, relaxed, kInjNext,
+                       detail::ptr_bits(fifo_));
+        fifo_ = batch;
+        batch = next;
+      }
+    }
+    T* n = fifo_;
+    if (n != nullptr) {
+      T* next = n->q_next.load(std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&n->q_next, kLoad, relaxed, kInjNext,
+                     detail::ptr_bits(next));
+      fifo_ = next;
+      n->q_next.store(nullptr, std::memory_order_relaxed);
+      WFL_CHK_ATOMIC(&n->q_next, kStore, relaxed, kInjNext, 0);
+    }
+    return n;
+  }
+
+  // ANY thread: take the whole shared stack in one exchange, leaving the
+  // owner's private cache alone. Returns the raw intrusive chain in push
+  // (newest-first) order via q_next, or nullptr. This is the inbox-steal
+  // hook: a thief rescuing work from a descheduled owner reverses the
+  // chain itself. Same ABA-immunity as pop()'s batch take — the exchange
+  // never dereferences what it read, and rival drains get disjoint
+  // chains.
+  T* drain_all() {
+    T* chain = head_.exchange(nullptr, std::memory_order_acq_rel);
+    WFL_CHK_ATOMIC(&head_, kExchange, acq_rel, kInjTakeAll,
+                   detail::ptr_bits(chain));
+    return chain;
+  }
+
+  // Consumer only: the pre-sleep probe. seq_cst head load — the worker
+  // half of the sleep Dekker (ordered after the set-idle store).
+  bool empty() const {
+    if (fifo_ != nullptr) return false;
+    T* h = head_.load(std::memory_order_seq_cst);
+    WFL_CHK_ATOMIC(&head_, kLoad, seq_cst, kInjPeek, detail::ptr_bits(h));
+    return h == nullptr;
+  }
+
+ private:
+  std::atomic<T*> head_{nullptr};
+  T* fifo_ = nullptr;  // consumer-private reversed batch
+};
+
+}  // namespace wfl
