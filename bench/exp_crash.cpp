@@ -160,13 +160,21 @@ int main(int argc, char** argv) {
     int finished = 0, wedged = 0;
     std::uint64_t pre = 0, post = 0, post_when_wedged = 0;
     for (int s = 0; s < seeds; ++s) {
-      const CrashOutcome o =
-          run_crash<B>(static_cast<std::uint64_t>(s) + 1, crash_slot);
+      const std::uint64_t seed = static_cast<std::uint64_t>(s) + 1;
+      const CrashOutcome o = run_crash<B>(seed, crash_slot);
       finished += o.survivors_finished ? 1 : 0;
       wedged += o.wedged ? 1 : 0;
       pre += o.pre_crash_successes;
       post += o.post_crash_successes;
       if (o.wedged) post_when_wedged += o.post_crash_successes;
+      if (o.wedged || !o.survivors_finished) {
+        // Same one-line format the fuzz campaign prints, so any wedge seen
+        // here can be replayed by hand with the same three coordinates.
+        std::fprintf(stderr,
+                     "  %s: [reproducer: seed=%llu slot=%llu pid=%d]\n",
+                     B::name(), static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(crash_slot), kVictim);
+      }
     }
     const double ratio =
         pre == 0 ? 0.0 : static_cast<double>(post) / static_cast<double>(pre);

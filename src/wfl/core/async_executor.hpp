@@ -110,6 +110,7 @@
 #include "wfl/core/executor.hpp"
 #include "wfl/core/lock_set.hpp"
 #include "wfl/core/session.hpp"
+#include "wfl/fuzz/sites.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
 #include "wfl/util/fiber.hpp"
@@ -131,7 +132,15 @@ template <typename Space>
 class BasicAsyncClient {
  public:
   explicit BasicAsyncClient(BasicSession<Space>& session)
-      : session_(&session) {}
+      : session_(&session) {
+    // Seed the analysis layer's shadow state and retire it on destruction:
+    // live_ is annotated with WFL_CHK_ATOMIC at every access, so a client
+    // constructed at a recycled heap address must not alias the previous
+    // occupant's final (crashed) value.
+    race::created(&live_, 1);
+  }
+
+  ~BasicAsyncClient() { race::destroyed(&live_); }
 
   BasicAsyncClient(const BasicAsyncClient&) = delete;
   BasicAsyncClient& operator=(const BasicAsyncClient&) = delete;
@@ -299,6 +308,16 @@ class AsyncExecutor {
       WFL_CHK_ATOMIC(&op_->state, kLoad, acquire, kAsyncStateLoad, s);
       return s == AsyncOp::kDone;
     }
+    // True while the submission is parked on its wait nodes (it lost an
+    // attempt and no wake has arrived) — the state cancel_client's
+    // parked-claim exists for. Introspection for tests and the schedule
+    // fuzzer's crash targeting; racy by nature, use as a hint only.
+    bool parked() const {
+      if (op_ == nullptr) return false;
+      const std::uint32_t s = op_->state.load(std::memory_order_acquire);
+      WFL_CHK_ATOMIC(&op_->state, kLoad, acquire, kAsyncStateLoad, s);
+      return s == AsyncOp::kParked;
+    }
 
     // Blocks until the submission completes and returns its Outcome.
     // Worker mode blocks the calling thread (futex wait under RealPlat).
@@ -405,6 +424,7 @@ class AsyncExecutor {
   // whose client is mid-cycle on another fiber is requeued and the
   // drain returns (the caller steps and retries — see Ticket::wait).
   std::size_t run_ready(std::size_t max_cycles = 0) {
+    fuzz_limbo_drain();
     std::size_t ran = 0;
     while (max_cycles == 0 || ran < max_cycles) {
       AsyncOp* op = inline_pop();
@@ -440,7 +460,20 @@ class AsyncExecutor {
                                               std::memory_order_acq_rel)) {
           WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
                          AsyncOp::kRunning);
-          enqueue_claimed(op);
+          WFL_FUZZ_SITE(kSiteAsyncCancelSweep);
+          if (fuzz::fault_on(fuzz::Fault::kShutdownHang)) {
+            // Seeded fault (fuzz mutation gate): the PR 6 shutdown hang.
+            // The sweep claims the crashed client's parked op, but its
+            // dispatch lands on a pool whose workers already exited —
+            // claimed, cancelled work no one will ever run, so the
+            // in-flight drain spins forever. Modeled by diverting the
+            // claimed op to a limbo stack that only drains once the
+            // fault is disarmed (run_ready re-absorbs it, keeping the
+            // harness teardown after a finding sound).
+            fuzz_limbo_push(op);
+          } else {
+            enqueue_claimed(op);
+          }
         } else {
           WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas,
                          expect);
@@ -627,6 +660,32 @@ class AsyncExecutor {
 
   // Enqueue an op already claimed kRunning (woken or cancel-claimed).
   void enqueue_claimed(AsyncOp* op) { dispatch(op); }
+
+  // Fuzz-only (Fault::kShutdownHang): a claimed-but-undispatchable op —
+  // the "dead worker pool" of the original shutdown hang. q_next is free
+  // here precisely because a limbo op is not on any run queue.
+  void fuzz_limbo_push(AsyncOp* op) {
+    AsyncOp* head = fuzz_limbo_.load(std::memory_order_relaxed);
+    do {
+      op->q_next.store(head, std::memory_order_relaxed);
+    } while (!fuzz_limbo_.compare_exchange_weak(
+        head, op, std::memory_order_release, std::memory_order_relaxed));
+  }
+
+  // Re-absorb diverted ops once the fault is disarmed, so the harness can
+  // still tear the executor down after reporting a finding. One relaxed
+  // load on the clean tree.
+  void fuzz_limbo_drain() {
+    if (fuzz_limbo_.load(std::memory_order_relaxed) == nullptr) return;
+    if (fuzz::fault_on(fuzz::Fault::kShutdownHang)) return;
+    AsyncOp* op = fuzz_limbo_.exchange(nullptr, std::memory_order_acquire);
+    while (op != nullptr) {
+      AsyncOp* next = op->q_next.load(std::memory_order_relaxed);
+      op->q_next.store(nullptr, std::memory_order_relaxed);
+      enqueue_claimed(op);
+      op = next;
+    }
+  }
 
   // Worker mode: a worker thread self-pushes onto its OWN Chase–Lev
   // deque (op wakes fired from its cycles stay cache-local; it is the
@@ -861,12 +920,28 @@ class AsyncExecutor {
   void run_cycle(AsyncOp* op, Session& session) {
     std::atomic<AsyncOp*>& slot =
         running_by_pid_[static_cast<std::size_t>(session.pid())];
-    op->state.store(AsyncOp::kRunning, std::memory_order_release);
-    WFL_CHK_ATOMIC(&op->state, kStore, release, kAsyncStateStore,
+    // Exchange, not a plain store: a wake-one signal absorbed between
+    // this op's enqueue and its cycle start (kRunning -> kSignalled in
+    // deliver_event) must not be silently erased. An attempt fulfills the
+    // owed retry; a cycle that cancels WITHOUT attempting does not, so
+    // the signal is handed back to complete(), whose kSignalled-exchange
+    // re-delivery puts the wake back on the lock — otherwise a parked
+    // waiter on the same lock strands forever. (Found by the schedule
+    // fuzzer: cancel_client claims a parked op, a release signals the
+    // claimed op, its final cycle used to wipe the signal and cancel.)
+    const std::uint32_t entry =
+        op->state.exchange(AsyncOp::kRunning, std::memory_order_acq_rel);
+    WFL_CHK_ATOMIC(&op->state, kExchange, acq_rel, kAsyncStateCas,
                    AsyncOp::kRunning);
+    bool owed_signal = entry == AsyncOp::kSignalled;
     for (;;) {
       if (op->cancelled || !op->client->live()) {
         op->cancelled = true;
+        if (owed_signal) {
+          op->state.store(AsyncOp::kSignalled, std::memory_order_release);
+          WFL_CHK_ATOMIC(&op->state, kStore, release, kAsyncStateStore,
+                         AsyncOp::kSignalled);
+        }
         complete(op);
         break;
       }
@@ -875,6 +950,7 @@ class AsyncExecutor {
       WFL_PLAIN_WRITE(&op->out, kAsyncOutcome);  // the attempt fills it
       const bool won = submit_attempt(session, op->locks(), op->armed,
                                       op->out);
+      owed_signal = false;  // the attempt was the retry the signal owed
       slot.store(nullptr, std::memory_order_relaxed);
       // Guard-drop rule: parking (or finishing) with an EBR guard held
       // would stall a shard's reclamation behind a suspended op.
@@ -899,10 +975,12 @@ class AsyncExecutor {
       }
       WFL_CHK_ATOMIC(&op->state, kCasFail, acquire, kAsyncStateCas, expect);
       // A release event landed mid-attempt (kSignalled): consume it and
-      // re-attempt on this same quantum.
+      // re-attempt on this same quantum. Owed until that attempt happens —
+      // the loop top may cancel first (same hand-back as the entry case).
       op->state.store(AsyncOp::kRunning, std::memory_order_release);
       WFL_CHK_ATOMIC(&op->state, kStore, release, kAsyncStateStore,
                      AsyncOp::kRunning);
+      owed_signal = true;
     }
   }
 
@@ -912,10 +990,26 @@ class AsyncExecutor {
       WFL_PLAIN_WRITE(&op->out, kAsyncOutcome);
       op->out.won = false;
     }
-    const std::uint32_t prev =
-        op->state.exchange(AsyncOp::kDone, std::memory_order_acq_rel);
-    WFL_CHK_ATOMIC(&op->state, kExchange, acq_rel, kAsyncStateCas,
-                   AsyncOp::kDone);
+    std::uint32_t prev;
+    if (fuzz::fault_on(fuzz::Fault::kLostWake)) {
+      // Seeded fault (fuzz mutation gate): the original PR 6 bug — a
+      // plain store that never learns it overwrote a kSignalled, so the
+      // wake-one delivery it absorbed is silently dropped. The coverage
+      // tap still observes the overwrite (without acting on it) so
+      // fault-mode mutants are steered toward the absorbed-signal state
+      // the drop needs.
+      if (op->state.load(std::memory_order_relaxed) == AsyncOp::kSignalled) {
+        WFL_FUZZ_SITE(kSiteAsyncSignalOnDone);
+      }
+      prev = AsyncOp::kRunning;
+      op->state.store(AsyncOp::kDone, std::memory_order_release);
+      WFL_CHK_ATOMIC(&op->state, kStore, release, kAsyncStateStore,
+                     AsyncOp::kDone);
+    } else {
+      prev = op->state.exchange(AsyncOp::kDone, std::memory_order_acq_rel);
+      WFL_CHK_ATOMIC(&op->state, kExchange, acq_rel, kAsyncStateCas,
+                     AsyncOp::kDone);
+    }
     // A release event that raced with this op's final attempt CASed
     // kRunning -> kSignalled and counted itself delivered (wake-one).
     // This op is not retrying, so re-post the wake or a parked waiter
@@ -924,6 +1018,7 @@ class AsyncExecutor {
     // whole set; our nodes are unlinked above, so this op cannot be its
     // own target.
     if (prev == AsyncOp::kSignalled) {
+      WFL_FUZZ_SITE(kSiteAsyncSignalOnDone);
       for (std::uint32_t i = 0; i < op->n_locks; ++i) {
         deliver_event(op->ids[i], -1);
       }
@@ -1073,6 +1168,7 @@ class AsyncExecutor {
                                               std::memory_order_acq_rel)) {
           WFL_CHK_ATOMIC(&op->state, kCasOk, acq_rel, kAsyncStateCas,
                          AsyncOp::kRunning);
+          WFL_FUZZ_SITE(kSiteAsyncCancelSweep);
           op->cancelled = true;
           enqueue_claimed(op);
         } else {
@@ -1096,6 +1192,10 @@ class AsyncExecutor {
   // Inline mode's shared run queue + its claim-or-skip consumer latch.
   MpscInjector<AsyncOp> inline_inj_;
   std::atomic<bool> inline_consumer_{false};
+
+  // Fuzz-only: ops diverted by the armed kShutdownHang fault (see
+  // fuzz_limbo_push/fuzz_limbo_drain).
+  std::atomic<AsyncOp*> fuzz_limbo_{nullptr};
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> rr_{0};

@@ -36,6 +36,7 @@
 #include "wfl/check/race.hpp"
 #include "wfl/core/config.hpp"
 #include "wfl/core/descriptor.hpp"
+#include "wfl/fuzz/sites.hpp"
 #include "wfl/idem/idem.hpp"
 
 namespace wfl {
@@ -136,6 +137,7 @@ struct AttemptEngine {
         celebrate_if_won(cx, q);
         return;
       }
+      WFL_FUZZ_SITE(kSiteClaimExpiry);
     }
     // Unclaimed, or the claim went stale: take (or revoke) it and drive.
     // Plain store, not CAS — the claim is advisory, so the last writer

@@ -101,6 +101,7 @@
 #include "wfl/core/descriptor.hpp"
 #include "wfl/core/lock_set.hpp"
 #include "wfl/core/process.hpp"
+#include "wfl/fuzz/sites.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/mem/arena.hpp"
 #include "wfl/mem/ebr.hpp"
@@ -501,6 +502,7 @@ class LockTable {
       // 0 — and any attempt that started after our publication already
       // found us through the word or will see our effects as decided.
       WFL_CHK_TAG(kThinRelease);
+      WFL_FUZZ_SITE(kSiteThinRevocation);
       w.store(0);
       h.begin_fast_cooldown();
       ebr_[shard_of(lock_id)]->retire(h.pid(), &h, 0,

@@ -39,6 +39,7 @@
 #include "wfl/active/multi_set.hpp"
 #include "wfl/check/race.hpp"
 #include "wfl/core/config.hpp"
+#include "wfl/fuzz/sites.hpp"
 #include "wfl/idem/idem.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
@@ -204,6 +205,7 @@ class ProcessHandle {
   }
   // EbrDomain deleter shape for the cooldown token; ctx is the handle.
   static void fast_cooldown_expired(void* ctx, std::uint32_t) {
+    WFL_FUZZ_SITE(kSiteCooldownResume);
     static_cast<ProcessHandle*>(ctx)->end_fast_cooldown();
   }
 

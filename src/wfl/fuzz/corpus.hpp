@@ -1,0 +1,94 @@
+// Corpus: the retained set of interesting traces.
+//
+// Retention policy lives in the campaign (a trace is added when its run
+// set a fresh feature-map bit or failed an oracle); the corpus itself is
+// storage + selection. Selection is mildly recency-biased — newer
+// entries opened new coverage, so their neighborhoods are where the
+// frontier is — but never starves the old tail (plain uniform with
+// probability 1/2), which keeps the sampler ergodic over everything
+// retained. Deduplication hashes the canonical serialized form.
+//
+// On-disk layout: one `<stem>.trace` text file (Trace::save) per entry in
+// a flat directory. That same format is what tests/fuzz_corpus/ checks
+// in: a minimized reproducer IS a corpus file, and load_dir() is the
+// regression tests' ingestion path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "wfl/fuzz/trace.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl::fuzz {
+
+class Corpus {
+ public:
+  // Returns false on duplicates (already-known serialized form).
+  bool add(const Trace& t) {
+    if (!seen_.insert(t.save_string()).second) return false;
+    entries_.push_back(t);
+    return true;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const Trace& at(std::size_t i) const { return entries_[i]; }
+
+  const Trace& pick(Xoshiro256& rng) const {
+    const std::size_t n = entries_.size();
+    if (n == 1 || rng.next_below(2) == 0) {
+      return entries_[rng.next_below(n)];
+    }
+    // Recency bias: uniform over the newest quarter (rounded up).
+    const std::size_t recent = (n + 3) / 4;
+    return entries_[n - recent + rng.next_below(recent)];
+  }
+
+  // Writes every entry as <dir>/<prefix><index>.trace. Returns the number
+  // written (0 on directory-creation failure).
+  std::size_t save_dir(const std::filesystem::path& dir,
+                       const std::string& prefix = "t") const {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return 0;
+    std::size_t written = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::ofstream os(dir / (prefix + std::to_string(i) + ".trace"));
+      if (!os) continue;
+      entries_[i].save(os);
+      if (os.good()) ++written;
+    }
+    return written;
+  }
+
+  // Loads every *.trace under dir (sorted by filename for determinism);
+  // malformed files are skipped. Returns the number ingested.
+  std::size_t load_dir(const std::filesystem::path& dir) {
+    std::error_code ec;
+    std::vector<std::filesystem::path> files;
+    for (std::filesystem::directory_iterator it(dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->path().extension() == ".trace") files.push_back(it->path());
+    }
+    std::sort(files.begin(), files.end());
+    std::size_t n = 0;
+    for (const auto& f : files) {
+      std::ifstream is(f);
+      Trace t;
+      if (is && t.load(is) && add(t)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<Trace> entries_;
+  std::unordered_set<std::string> seen_;
+};
+
+}  // namespace wfl::fuzz

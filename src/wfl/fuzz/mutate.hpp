@@ -1,0 +1,167 @@
+// NodeFz-style trace mutation (SNIPPETS.md Snippet 3: fuzz the scheduler's
+// freedom, not the program's inputs).
+//
+// Every operator edits the Trace genome only — grants, crashes, tail
+// stream — never execution state, so a mutant is exactly as oblivious as
+// its parent: the full schedule is fixed before the replay observes
+// anything. Crash edits are first-class operators (inject/move/remove)
+// because the campaign's highest-value targets are crashes landing inside
+// narrow windows — mid-attempt, mid-fast-path-publish, mid-help-claim,
+// mid-async-cancel — and moving an existing crash slot by small deltas is
+// how a mutant walks the crash point through such a window one slot at a
+// time.
+//
+// mutate() is a pure function of (parent, mutation_seed): the campaign
+// logs only seeds, yet any mutant can be re-derived; test_fuzz pins this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "wfl/fuzz/trace.hpp"
+#include "wfl/util/rng.hpp"
+
+namespace wfl::fuzz {
+
+inline Trace mutate(const Trace& parent, std::uint64_t mutation_seed) {
+  Trace t = parent;
+  Xoshiro256 rng(mutation_seed);
+  const auto procs = static_cast<std::uint64_t>(t.procs);
+  auto rand_pid = [&] {
+    return static_cast<std::uint16_t>(rng.next_below(procs));
+  };
+  // A slot index near the action: inside the prefix, or just past it.
+  auto rand_slot = [&]() -> std::uint64_t {
+    return rng.next_below(t.grants.size() + 64);
+  };
+
+  // Stack 1-4 operators; small stacks keep the parent's coverage
+  // neighborhood reachable, occasional larger ones jump basins.
+  const int ops = 1 + static_cast<int>(rng.next_below(4));
+  for (int k = 0; k < ops; ++k) {
+    switch (rng.next_below(11)) {
+      case 0: {  // swap two prefix grants
+        if (t.grants.size() < 2) break;
+        const std::size_t a = rng.next_below(t.grants.size());
+        const std::size_t b = rng.next_below(t.grants.size());
+        std::swap(t.grants[a], t.grants[b]);
+        break;
+      }
+      case 1: {  // point mutation: re-aim one grant
+        if (t.grants.empty()) break;
+        t.grants[rng.next_below(t.grants.size())] = rand_pid();
+        break;
+      }
+      case 2: {  // stall-burst insertion: one pid monopolizes 4-64 slots
+                 // (equivalently: everyone else stalls)
+        const std::uint16_t pid = rand_pid();
+        const std::size_t at =
+            t.grants.empty() ? 0 : rng.next_below(t.grants.size() + 1);
+        const std::size_t len = 4 + rng.next_below(61);
+        t.grants.insert(t.grants.begin() + static_cast<std::ptrdiff_t>(at),
+                        len, pid);
+        break;
+      }
+      case 3: {  // extend the explicit prefix with random grants
+        const std::size_t len = 8 + rng.next_below(121);
+        for (std::size_t i = 0; i < len; ++i) t.grants.push_back(rand_pid());
+        break;
+      }
+      case 4: {  // truncate the prefix tail (earlier divergence into the
+                 // uniform tail stream)
+        if (t.grants.empty()) break;
+        t.grants.resize(rng.next_below(t.grants.size()));
+        break;
+      }
+      case 5: {  // crash injection (keep >= 1 survivor)
+        if (t.crashes.size() + 1 >= static_cast<std::size_t>(t.procs)) break;
+        CrashSchedule::Crash c{};
+        c.pid = static_cast<int>(rng.next_below(procs));
+        bool dup = false;
+        for (const auto& e : t.crashes) dup = dup || e.pid == c.pid;
+        if (dup) break;
+        // Half the injections land near the prefix, half anywhere in a
+        // full run's slot range — late phases (the async quiet tail) sit
+        // thousands of slots past any realistic prefix.
+        c.slot = rng.next_below(2) == 0 ? rand_slot()
+                                        : rng.next_below(10000);
+        t.crashes.push_back(c);
+        break;
+      }
+      case 6: {  // crash move: walk a crash slot by a small signed delta
+        if (t.crashes.empty()) break;
+        auto& c = t.crashes[rng.next_below(t.crashes.size())];
+        const std::uint64_t delta = 1 + rng.next_below(32);
+        if (rng.next_below(2) == 0) {
+          c.slot += delta;
+        } else {
+          c.slot = c.slot > delta ? c.slot - delta : 0;
+        }
+        break;
+      }
+      case 7: {  // crash removal
+        if (t.crashes.empty()) break;
+        const std::size_t at = rng.next_below(t.crashes.size());
+        t.crashes.erase(t.crashes.begin() +
+                        static_cast<std::ptrdiff_t>(at));
+        break;
+      }
+      case 8: {  // reroll the uniform tail stream
+        t.tail_seed = rng.next();
+        break;
+      }
+      case 9: {  // reroll the sim seed (new per-process RNG streams): a
+                 // big jump, but the campaign's only source of sim-seed
+                 // diversity — faults whose trigger needs a rare
+                 // conjunction (a park coinciding with a dropped baton)
+                 // are found by sampling seeds, not by perturbing grants
+                 // around one
+        t.seed = rng.next();
+        break;
+      }
+      case 10: {  // deep divergence: materialize the parent's own uniform
+                  // tail draws into the explicit prefix up to a random
+                  // depth, then reroll the tail stream. Replay is
+                  // bit-identical to the parent UP TO the new prefix end
+                  // and diverges exactly there — the only way a single
+                  // mutation can re-steer the schedule thousands of slots
+                  // in (late-phase windows like the async workload's quiet
+                  // tail are unreachable by prefix edits alone). Stacked
+                  // burst/point operators then edit near the splice.
+        if (t.grants.size() >= 12000) break;  // bound generational growth
+        const std::size_t depth = 64 + rng.next_below(9000);
+        Xoshiro256 tail(t.tail_seed);
+        for (std::size_t i = 0; i < depth; ++i) {
+          t.grants.push_back(static_cast<std::uint16_t>(
+              tail.next_below(procs)));
+        }
+        t.tail_seed = rng.next();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return t;
+}
+
+// A mutated trace, directly usable as a Schedule: derives the mutant at
+// construction and replays it. Non-copyable (the replay engine points at
+// the owned mutant).
+class FuzzSchedule final : public Schedule {
+ public:
+  FuzzSchedule(const Trace& parent, std::uint64_t mutation_seed)
+      : mutant_(mutate(parent, mutation_seed)), replay_(mutant_) {}
+  FuzzSchedule(const FuzzSchedule&) = delete;
+  FuzzSchedule& operator=(const FuzzSchedule&) = delete;
+
+  int next() override { return replay_.next(); }
+  const Trace& trace() const { return mutant_; }
+
+ private:
+  Trace mutant_;
+  TraceSchedule replay_;
+};
+
+}  // namespace wfl::fuzz

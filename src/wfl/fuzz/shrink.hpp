@@ -1,0 +1,134 @@
+// Deterministic delta-debugging shrinker.
+//
+// Given a failing Trace and a predicate "does this trace still fail?",
+// shrink() searches for a smaller trace with the same verdict. Because a
+// TraceSchedule backfills past the explicit prefix with uniform tail
+// draws, *every* candidate edit yields a complete, runnable schedule —
+// there is no "trace too short" failure mode, which is what makes plain
+// ddmin applicable to schedules at all.
+//
+// Passes (each iterated to fixpoint, whole sequence repeated while any
+// pass improved and budget remains):
+//   1. crash removal — drop whole crash entries (coarsest first: a
+//      reproducer that needs no crash is categorically simpler);
+//   2. grant-chunk deletion — ddmin over the prefix: try deleting chunks
+//      of half the prefix, then quarters, ... down to single grants;
+//   3. crash-slot minimization — binary-search each crash slot downward
+//      (earlier crash = shorter interesting prefix next pass);
+//   4. slot-cap tightening — halve/step the replay budget down while the
+//      failure persists, so wedge reproducers replay fast.
+//
+// The shrinker is RNG-free: candidate order is a pure function of the
+// input trace, so the same failure always minimizes to the same
+// reproducer byte-for-byte (test_fuzz pins this). Every predicate call
+// replays a full simulation; `budget` caps those calls, and the best
+// trace so far is returned when it runs out. The result is 1-minimal
+// with respect to the passes above when the budget was not exhausted.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "wfl/fuzz/trace.hpp"
+
+namespace wfl::fuzz {
+
+using FailPredicate = std::function<bool(const Trace&)>;
+
+struct ShrinkStats {
+  int evals = 0;        // predicate calls spent
+  int improvements = 0; // accepted smaller candidates
+};
+
+// `shrink_slot_cap` gates pass 4: for wedge findings the caller must
+// disable it — ANY trace "fails to finish" under a tiny slot cap, so
+// cap-tightening would minimize a genuine wedge into a meaningless
+// not-enough-budget artifact. (The kind-preserving predicate alone cannot
+// tell the two apart: both read "unfinished at slot cap".)
+inline Trace shrink(const Trace& failing, const FailPredicate& still_fails,
+                    int budget = 300, ShrinkStats* stats_out = nullptr,
+                    bool shrink_slot_cap = true) {
+  Trace best = failing;
+  ShrinkStats st;
+  auto try_candidate = [&](const Trace& cand) {
+    if (st.evals >= budget) return false;
+    ++st.evals;
+    if (!still_fails(cand)) return false;
+    best = cand;
+    ++st.improvements;
+    return true;
+  };
+
+  bool improved = true;
+  while (improved && st.evals < budget) {
+    improved = false;
+
+    // Pass 1: drop crash entries, last first (stable candidate order).
+    for (std::size_t i = best.crashes.size(); i-- > 0;) {
+      Trace cand = best;
+      cand.crashes.erase(cand.crashes.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      improved |= try_candidate(cand);
+    }
+
+    // Pass 2: ddmin over the grant prefix. Chunk size halves from n/2
+    // down to 1; within a size, scan back-to-front so accepted deletions
+    // do not invalidate the indices still to be tried.
+    for (std::size_t chunk = best.grants.size() / 2; chunk >= 1;
+         chunk /= 2) {
+      bool any = true;
+      while (any && st.evals < budget) {
+        any = false;
+        const std::size_t n = best.grants.size();
+        if (n == 0) break;
+        const std::size_t nchunks = (n + chunk - 1) / chunk;
+        for (std::size_t ci = nchunks; ci-- > 0 && st.evals < budget;) {
+          const std::size_t start = ci * chunk;
+          if (start >= best.grants.size()) continue;
+          Trace cand = best;
+          const std::size_t end =
+              std::min(start + chunk, cand.grants.size());
+          cand.grants.erase(
+              cand.grants.begin() + static_cast<std::ptrdiff_t>(start),
+              cand.grants.begin() + static_cast<std::ptrdiff_t>(end));
+          if (try_candidate(cand)) {
+            any = true;
+            improved = true;
+          }
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // Pass 3: binary-search each crash slot toward 0.
+    for (std::size_t i = 0; i < best.crashes.size(); ++i) {
+      std::uint64_t lo = 0, hi = best.crashes[i].slot;
+      while (lo < hi && st.evals < budget) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        Trace cand = best;
+        cand.crashes[i].slot = mid;
+        if (try_candidate(cand)) {
+          hi = mid;
+          improved = true;
+        } else {
+          lo = mid + 1;
+        }
+      }
+    }
+
+    // Pass 4: tighten the replay budget (fast reproducers). Skipped for
+    // wedge findings — see the parameter note above.
+    while (shrink_slot_cap && best.slot_cap > 64 && st.evals < budget) {
+      Trace cand = best;
+      cand.slot_cap = best.slot_cap / 2;
+      if (!try_candidate(cand)) break;
+      improved = true;
+    }
+  }
+
+  if (stats_out != nullptr) *stats_out = st;
+  return best;
+}
+
+}  // namespace wfl::fuzz

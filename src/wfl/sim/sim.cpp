@@ -1,5 +1,9 @@
 #include "wfl/sim/sim.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
 #include "wfl/check/race.hpp"
 #include "wfl/util/assert.hpp"
 
@@ -7,6 +11,17 @@ namespace wfl {
 
 namespace {
 thread_local Simulator* g_current_sim = nullptr;
+
+// WFL_SIM_WATCHDOG_SLOTS: when set to a positive integer, every Simulator
+// arms a fail-hard watchdog at that cumulative slot bound. Parsed once.
+std::uint64_t env_watchdog_slots() {
+  static const std::uint64_t cached = [] {
+    const char* v = std::getenv("WFL_SIM_WATCHDOG_SLOTS");
+    if (v == nullptr || *v == '\0') return std::uint64_t{0};
+    return static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+  }();
+  return cached;
+}
 }  // namespace
 
 WeightedSchedule::WeightedSchedule(std::vector<double> weights,
@@ -76,7 +91,11 @@ int CrashSchedule::next() {
   return pick;
 }
 
-Simulator::Simulator(std::uint64_t seed) : seed_(seed) {}
+Simulator::Simulator(std::uint64_t seed) : seed_(seed) {
+  if (const std::uint64_t cap = env_watchdog_slots(); cap > 0) {
+    enable_watchdog(cap, /*fail_hard=*/true);
+  }
+}
 
 Simulator::~Simulator() = default;
 
@@ -105,8 +124,21 @@ bool Simulator::run(Schedule& sched, std::uint64_t max_slots,
   race::run_boundary(/*entering=*/true, seed_);
 
   while (finished_ < required && slots_used_ < max_slots) {
+    if (watchdog_slots_ > 0 && slots_used_ >= watchdog_slots_ &&
+        !watchdog_fired_) {
+      watchdog_fired_ = true;
+      watchdog_dump_ = build_watchdog_dump();
+      if (watchdog_fail_hard_) {
+        std::fputs(watchdog_dump_.c_str(), stderr);
+        WFL_CHECK_MSG(false, "simulator wedge watchdog fired");
+      }
+      break;  // report mode: end the run, let the driver inspect the dump
+    }
     const int pid = sched.next();
     WFL_CHECK(pid >= 0 && pid < static_cast<int>(procs_.size()));
+    if (watchdog_slots_ > 0) {
+      trace_ring_[slots_used_ % kTraceRing] = pid;
+    }
     ++slots_used_;
     Proc& p = *procs_[pid];
     if (p.done) continue;  // wasted slot: oblivious scheduler can't know
@@ -124,6 +156,36 @@ bool Simulator::run(Schedule& sched, std::uint64_t max_slots,
   g_current_sim = nullptr;
   in_run_ = false;
   return finished_ >= required;
+}
+
+void Simulator::enable_watchdog(std::uint64_t max_total_slots,
+                                bool fail_hard) {
+  WFL_CHECK_MSG(max_total_slots > 0, "watchdog bound must be positive");
+  watchdog_slots_ = max_total_slots;
+  watchdog_fail_hard_ = fail_hard;
+  watchdog_fired_ = false;
+  watchdog_dump_.clear();
+}
+
+std::string Simulator::build_watchdog_dump() const {
+  std::ostringstream os;
+  os << "=== simulator wedge watchdog ===\n"
+     << "cumulative slots " << slots_used_ << " reached bound "
+     << watchdog_slots_ << " with " << finished_ << "/" << procs_.size()
+     << " processes finished\n";
+  for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+    const Proc& p = *procs_[pid];
+    os << "  pid " << pid << ": steps=" << p.steps
+       << (p.done ? " done" : " LIVE") << "\n";
+  }
+  const std::uint64_t shown =
+      slots_used_ < kTraceRing ? slots_used_ : kTraceRing;
+  os << "  last " << shown << " grants (slot:pid):";
+  for (std::uint64_t i = slots_used_ - shown; i < slots_used_; ++i) {
+    os << " " << i << ":" << trace_ring_[i % kTraceRing];
+  }
+  os << "\n[reproducer: seed=" << seed_ << " slot=" << slots_used_ << "]\n";
+  return os.str();
 }
 
 std::uint64_t Simulator::steps_of(int pid) const {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "wfl/util/fiber.hpp"
@@ -133,6 +134,24 @@ class Simulator {
   bool run(Schedule& sched, std::uint64_t max_slots,
            int required_finishers = -1);
 
+  // Wedge watchdog. Harness loops around run() (exp_crash, the fuzz
+  // campaign, any run-until-survivors retry loop) traditionally pass a
+  // huge max_slots and rely on forward progress; a wedge then hangs ctest
+  // with no diagnostics. enable_watchdog() arms a CUMULATIVE bound on
+  // slots_used(): crossing it inside run() captures a dump — per-process
+  // step counts and done flags, the most recent slot grants, and a
+  // `[reproducer: seed=S slot=N]` line — then either aborts via the
+  // assertion machinery (fail_hard, the default: the test fails loudly
+  // instead of spinning) or ends the run() early with watchdog_fired()
+  // set so a driver (the fuzzer) can treat the overrun as a finding.
+  //
+  // Every Simulator also arms a fail-hard watchdog from the
+  // WFL_SIM_WATCHDOG_SLOTS env var when set, so existing suites inherit
+  // hang protection with no code changes.
+  void enable_watchdog(std::uint64_t max_total_slots, bool fail_hard = true);
+  bool watchdog_fired() const { return watchdog_fired_; }
+  const std::string& watchdog_dump() const { return watchdog_dump_; }
+
   int process_count() const { return static_cast<int>(procs_.size()); }
   int finished_count() const { return finished_; }
   bool is_finished(int pid) const;
@@ -156,12 +175,22 @@ class Simulator {
     bool done = false;
   };
 
+  std::string build_watchdog_dump() const;
+
   std::uint64_t seed_;
   std::vector<std::unique_ptr<Proc>> procs_;
   int running_pid_ = -1;
   int finished_ = 0;
   std::uint64_t slots_used_ = 0;
   bool in_run_ = false;
+
+  // Watchdog state (see enable_watchdog).
+  static constexpr int kTraceRing = 64;
+  std::uint64_t watchdog_slots_ = 0;  // 0 = disarmed
+  bool watchdog_fail_hard_ = true;
+  bool watchdog_fired_ = false;
+  std::string watchdog_dump_;
+  int trace_ring_[kTraceRing] = {};  // recent grants, indexed by slot
 };
 
 }  // namespace wfl

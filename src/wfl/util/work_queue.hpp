@@ -57,6 +57,7 @@
 #include <type_traits>
 
 #include "wfl/check/race.hpp"
+#include "wfl/fuzz/sites.hpp"
 #include "wfl/util/assert.hpp"
 
 namespace wfl {
@@ -319,6 +320,7 @@ class MpscInjector {
     T* chain = head_.exchange(nullptr, std::memory_order_acq_rel);
     WFL_CHK_ATOMIC(&head_, kExchange, acq_rel, kInjTakeAll,
                    detail::ptr_bits(chain));
+    if (chain != nullptr) WFL_FUZZ_SITE(kSiteDrainAllRival);
     return chain;
   }
 
