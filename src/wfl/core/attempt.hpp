@@ -22,6 +22,8 @@
 //                                         // performs the observe protocol
 //   int  pid();                           // caller's dense process id
 //   bool cooperative();                   // claim-gated helping enabled?
+//   std::uint32_t claim_patience();       // foreign observations a claim
+//                                         // survives before revocation
 //
 // The stats object only needs add_elimination()/add_thunk_run(); it is the
 // caller's striped slab, so nothing the engine does writes a cacheline
@@ -108,12 +110,11 @@ struct AttemptEngine {
   // claim word lets ONE helper at a time do the full drive while everyone
   // else settles for celebrate-if-won — eliminating the herd of redundant
   // status/priority CASes on the helper-shared line. The claim is
-  // advisory and revocable: after kClaimPatience observers found the same
-  // claim in place, the next observer drives regardless, so a crashed or
-  // preempted claimer delays any attempt by a bounded number of
+  // advisory and revocable: after cfg.claim_patience observers found the
+  // same claim in place, the next observer drives regardless, so a crashed
+  // or preempted claimer delays any attempt by a bounded number of
   // observations and wait-freedom is untouched (worst case degenerates to
   // today's everyone-drives behavior). See DESIGN.md §5.2.
-  static constexpr std::uint32_t kClaimPatience = 16;
 
   static void help(Ctx& cx, Desc& q) {
     if (!cx.cooperative()) {
@@ -132,7 +133,7 @@ struct AttemptEngine {
           q.claim_skips.fetch_add(1, std::memory_order_relaxed);
       WFL_CHK_ATOMIC(&q.claim_skips, kFetchAdd, relaxed, kClaimSkipsBump,
                      skips + 1);
-      if (skips < kClaimPatience) {
+      if (skips < cx.claim_patience()) {
         cx.stats().add_help_claim_skip();
         celebrate_if_won(cx, q);
         return;

@@ -54,6 +54,14 @@ struct LockConfig {
   //     (starvation-freedom argument in DESIGN.md §5.2).
   bool fast_path = true;
   bool cooperative_help = true;
+  // How many foreign observations a help claim survives before the next
+  // observer revokes it and drives the attempt itself (DESIGN.md §5.2).
+  // Bounds the celebrate-only delay any single stalled claimer can impose;
+  // wait-freedom holds for every value >= 1 (the revoke path degenerates
+  // to everyone-drives). Small values trade redundant drives for shorter
+  // stalls — the schedule fuzzer runs one to keep the expiry/revoke branch
+  // under coverage pressure.
+  std::uint32_t claim_patience = 16;
 
   std::uint64_t t0_steps() const {
     const double k = kappa, l = max_locks, t = max_thunk_steps;
@@ -69,6 +77,7 @@ struct LockConfig {
     WFL_CHECK(max_locks >= 1);
     WFL_CHECK(max_thunk_steps >= 1);
     WFL_CHECK(c0 > 0 && c1 > 0);
+    WFL_CHECK(claim_patience >= 1);
   }
 };
 

@@ -45,9 +45,16 @@ enum : std::uint32_t {
 // start too — it is CAS'd only during replays, on a different schedule
 // than the status words. The struct itself is line-aligned so pool-array
 // neighbours never share the boundary lines.
-template <typename Plat>
+// ThunkT defaults to the in-process closure type. The shared-memory table
+// (core/shm_table.hpp) instantiates Descriptor with a POD thunk *program*
+// instead: a FixedFunction captures pointers, which are meaningless in
+// another address space, so the cross-process thunk must be interpretable
+// data (opcode + cell offsets). Any ThunkT needs reset(), operator bool,
+// and operator()(IdemCtx<Plat>&).
+template <typename Plat,
+          typename ThunkT = FixedFunction<void(IdemCtx<Plat>&), 64>>
 struct alignas(kCacheLine) Descriptor {
-  using Thunk = FixedFunction<void(IdemCtx<Plat>&), 64>;
+  using Thunk = ThunkT;
 
   // Lifetime hooks for the raw atomics below: descriptors sit in pool
   // segments whose heap addresses get reused across table generations, so

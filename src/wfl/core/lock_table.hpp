@@ -142,6 +142,8 @@ class WakeSink {
   ~WakeSink() = default;
 };
 
+class ShmLockTable;  // core/shm_table.hpp: cross-process placement
+
 template <typename Plat>
 class LockTable {
  public:
@@ -150,6 +152,17 @@ class LockTable {
   using Thunk = typename Desc::Thunk;
   using Set = ActiveSet<Plat, Desc*>;
   using Handle = ProcessHandle<Plat, Desc>;
+
+  // Shared-memory placement factories (defined in core/shm_table.hpp,
+  // which callers include to use them). The shm table is a distinct type —
+  // offset-addressed, POD thunks, single shard — not this class placed in
+  // a mapping; these exist so "give me a lock table in that arena" reads
+  // at the same API surface as the in-process constructor. RealPlat only.
+  static std::unique_ptr<ShmLockTable> create_in(ShmArena& shm,
+                                                 const LockConfig& cfg,
+                                                 int max_procs,
+                                                 int num_locks);
+  static std::unique_ptr<ShmLockTable> attach(ShmArena& shm);
 
   // A per-logical-process name (dense id; also the participant id in every
   // shard's EBR domain). Cheap value type; each OS thread / sim fiber
@@ -763,6 +776,7 @@ class LockTable {
     }
     int pid() { return h.pid(); }
     bool cooperative() { return t.cooperative_; }
+    std::uint32_t claim_patience() { return t.cfg_.claim_patience; }
   };
   friend struct AttemptCtx;
 
@@ -848,6 +862,10 @@ class LockTable {
                    prev - 1);
     if (prev == 1) {
       cache->free(handle);
+    } else {
+      // Multi-shard descriptor: another shard's grace period still holds a
+      // reference. Only reachable when the attempt's lock set spans shards.
+      WFL_FUZZ_SITE(kSiteMultiShardRetire);
     }
   }
 

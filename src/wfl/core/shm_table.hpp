@@ -1,0 +1,854 @@
+// Cross-process lock table: Algorithm 3 in a shared-memory arena
+// (DESIGN.md §10).
+//
+// ShmLockTable is the pointer-free sibling of LockTable: every piece of
+// shared state — descriptors, set snapshots, announcement slots, EBR
+// participants, session records — lives in a ShmArena and is addressed by
+// pool handle or byte offset, so independent OS processes can attach the
+// same table at different base addresses. The competition core is the SAME
+// AttemptEngine the in-process table runs (core/attempt.hpp is duck-typed
+// over its context); what changes is the context: sets are read through a
+// handle-resolving view, thunks are interpretable POD programs instead of
+// closures, and there is no thin-word fast path or cooperative helping
+// (both are single-address-space optimizations; the descriptor path is the
+// paper's algorithm and needs neither).
+//
+// The honest part of the paper's fault model lives here. A "crashed
+// process" is a real SIGKILL, and recovery is SURVIVOR-DRIVEN:
+//
+//   * each session binds its OS pid and heartbeats a lease word in its
+//     shared EBR participant on every attempt;
+//   * any attacher that observes a dead pid (kill(0) probe) or a stalled
+//     lease claims the victim's session record with one CAS (kLive ->
+//     kReaping, exactly one reaper wins) and recovers:
+//       - the victim's EBR guard is abandoned (legal: the SIGKILL evidence
+//         is the no-further-steps proof EbrDomain::abandon requires),
+//         un-pinning the global epoch;
+//       - a REVEALED in-flight descriptor (priority > 0) is driven through
+//         Engine::run — decide + celebrate-if-won completes the victim's
+//         thunk exactly once via the idempotence log, the same replay any
+//         helper performs;
+//       - an UNREVEALED one (priority still pending) is eliminated: no
+//         getSet ever surfaced it (the flag filter), so no helper can have
+//         depended on it winning, and losing is the only sound fate;
+//       - the victim's announcement slots are cleared by owner-scan and
+//         re-climbed, removing it from every lock's set;
+//   * the victim's pool slots — its in-flight descriptor, anything parked
+//     in its private SlotCache, its pending local retirements — leak
+//     forever, bounded per crash and priced into the fixed pool sizing.
+//     Its pid is never recycled to a new session.
+//
+// Survivors' wait-freedom is preserved: recovery adds a bounded amount of
+// work (one run() + L·C owner scans per crash), and everything a survivor
+// waits on — status CASes, set climbs — is the bounded competition the
+// paper already prices in. A crashed winner's lock is released the moment
+// any survivor celebrates its thunk and the reaper removes it from the
+// sets; nothing blocks on the corpse.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "wfl/active/active_set.hpp"
+#include "wfl/active/multi_set.hpp"
+#include "wfl/core/attempt.hpp"
+#include "wfl/core/config.hpp"
+#include "wfl/core/descriptor.hpp"
+#include "wfl/core/lock_table.hpp"
+#include "wfl/core/process.hpp"
+#include "wfl/idem/cell.hpp"
+#include "wfl/idem/idem.hpp"
+#include "wfl/mem/arena.hpp"
+#include "wfl/mem/ebr.hpp"
+#include "wfl/platform/real.hpp"
+#include "wfl/util/shm.hpp"
+
+namespace wfl {
+
+namespace shm_detail {
+// The thunk interpreter needs an arena to resolve cell offsets, but
+// Engine::celebrate_if_won calls thunks with only an IdemCtx — so the
+// attached arena is registered process-globally. One arena per process is
+// the supported shape (the experiments and tests need exactly one); a
+// second, different registration is a loud failure, not a silent misread.
+inline std::atomic<const ShmArena*> g_thunk_arena{nullptr};
+
+inline void register_thunk_arena(const ShmArena* a) {
+  const ShmArena* cur = g_thunk_arena.load(std::memory_order_acquire);
+  WFL_CHECK_MSG(cur == nullptr || cur == a,
+                "one ShmArena per process: a different arena is registered");
+  g_thunk_arena.store(a, std::memory_order_release);
+}
+inline void unregister_thunk_arena(const ShmArena* a) {
+  const ShmArena* cur = g_thunk_arena.load(std::memory_order_acquire);
+  if (cur == a) g_thunk_arena.store(nullptr, std::memory_order_release);
+}
+}  // namespace shm_detail
+
+// The cross-process thunk: an interpretable program over arena-resident
+// cells, not a closure. A FixedFunction captures pointers that are garbage
+// in another address space; survivors must be able to REPLAY the victim's
+// thunk, so the thunk itself has to be data. kAddCells covers the locked
+// read-modify-write shape every crash experiment and test in this repo
+// uses; the opcode space leaves room for richer programs.
+//
+// The trap fields are crash-harness hooks: when the interpreting process's
+// OS pid matches trap_os_pid, the thunk raises trap_flag after its first
+// cell op and freezes (awaiting SIGKILL) — wedging the victim MID-THUNK
+// with a partially-applied, partially-logged program. Survivors replaying
+// the thunk have a different pid, skip the trap, and complete it; the
+// agreement log makes their replay of the already-applied prefix
+// write-identical (idem/idem.hpp), so the program still applies exactly
+// once.
+struct ShmThunk {
+  enum Op : std::uint32_t { kNone = 0, kAddCells };
+  static constexpr std::uint32_t kMaxCells = 4;
+
+  std::uint32_t op = kNone;
+  std::uint32_t n_cells = 0;
+  Offset<Cell<RealPlat>> cells[kMaxCells] = {};
+  std::uint32_t delta = 1;
+  int trap_os_pid = 0;
+  Offset<std::atomic<std::uint32_t>> trap_flag = {};
+
+  void reset() { *this = ShmThunk{}; }
+  explicit operator bool() const { return op != kNone; }
+
+  void operator()(IdemCtx<RealPlat>& m) const {
+    if (op != kAddCells) return;
+    const ShmArena* a =
+        shm_detail::g_thunk_arena.load(std::memory_order_acquire);
+    WFL_CHECK_MSG(a != nullptr, "ShmThunk run with no arena registered");
+    for (std::uint32_t i = 0; i < n_cells; ++i) {
+      Cell<RealPlat>& c = *cells[i].in(*a);
+      m.store(c, m.load(c) + delta);
+      if (i == 0 && trap_os_pid != 0 && trap_os_pid == ::getpid()) {
+        // No IdemCtx ops inside the trap branch: the logged op sequence
+        // must be identical for the victim and its replayers.
+        if (auto* f = trap_flag.in(*a)) {
+          f->store(1, std::memory_order_release);
+        }
+        for (;;) ::usleep(1000);  // hold the win; the harness SIGKILLs us
+      }
+    }
+  }
+};
+
+using ShmDesc = Descriptor<RealPlat, ShmThunk>;
+
+// One announcement slot of a shm active set: owner is a descriptor handle
+// + 1 (0 = free), set is a snapshot handle in the table's snapshot pool.
+// Same Algorithm 1 discipline as ActiveSet, minus the pointers.
+struct ShmSetSlot {
+  RealPlat::Atomic<std::uint32_t> owner;
+  RealPlat::Atomic<std::uint32_t> set;
+};
+
+// Session lifecycle states (shared record). Pids move kFree -> kLive ->
+// {kClosed, kReaping -> kReaped} and never back: a crashed or closed pid's
+// slot is retired forever (its guard-depth/log state cannot be proven
+// clean, and recycling it would let a stale announcement impersonate a new
+// session).
+enum : std::uint32_t {
+  kSessFree = 0,
+  kSessLive = 1,
+  kSessReaping = 2,
+  kSessReaped = 3,
+  kSessClosed = 4,
+};
+
+struct alignas(kCacheLine) ShmSessionRec {
+  std::atomic<std::uint32_t> state;
+  // Handle+1 of the in-flight descriptor, 0 = none. Published (release)
+  // after line group A is complete, so a reaper's acquire load sees a
+  // fully-formed descriptor. This is the one piece of crash-recovery state
+  // the in-process table never needed: there, the abandoning thread could
+  // inspect the victim's stack; here the stack died with the process.
+  std::atomic<std::uint32_t> cur_desc;
+};
+
+struct ShmTableHeader {
+  LockConfig cfg;
+  int max_procs = 0;
+  std::uint32_t num_locks = 0;
+  std::uint32_t set_cap = 0;
+  std::uint32_t empty_snap = 0;  // reserved all-empty snapshot handle
+  std::uint64_t desc_pool_off = 0;
+  std::uint64_t snap_pool_off = 0;
+  std::uint64_t ebr_off = 0;
+  std::uint64_t sets_off = 0;      // ShmSetSlot[num_locks * set_cap]
+  std::uint64_t sessions_off = 0;  // ShmSessionRec[max_procs]
+  std::atomic<std::uint64_t> serial_hwm{1};
+};
+
+class ShmLockTable {
+ public:
+  using Desc = ShmDesc;
+  using Snap = SetSnap<std::uint32_t>;  // members are owner words (handle+1)
+
+  struct Sizing {
+    std::uint32_t desc_pool_capacity;  // 0 = auto
+    std::uint32_t snap_pool_capacity;  // 0 = auto
+  };
+
+  // A process-local member view of one lock's set: get_set() resolves the
+  // current slot-0 snapshot's handles into descriptor pointers in THIS
+  // process's mapping, into a persistent per-session buffer. Shaped so
+  // multi_get_set's duck-typing (snap->count / snap->items / flag filter)
+  // works unchanged. Caller holds the EBR guard across get_set() and every
+  // use of the members, exactly as with ActiveSet.
+  struct LocalSnap {
+    std::uint32_t count = 0;
+    Desc* items[kMaxSetCap];
+  };
+
+  class Session;
+
+  class SetView {
+   public:
+    const LocalSnap* get_set() {
+      t_->snapshot_members(lock_id_, *buf_);
+      return buf_;
+    }
+
+   private:
+    friend class ShmLockTable;
+    ShmLockTable* t_ = nullptr;
+    LocalSnap* buf_ = nullptr;
+    std::uint32_t lock_id_ = 0;
+  };
+
+  // Per-process session state. The shared part is the EBR participant
+  // (announcement + lease) and the ShmSessionRec; everything here — stats,
+  // scratch, slot cache, serial block — is private to the owning process
+  // and dies with it (the cached slots leak on a crash; see the header
+  // comment).
+  class Session {
+   public:
+    int pid() const { return pid_; }
+    StatsSlab& stats() { return stats_; }
+
+    // Crash-harness hooks: run at the two descriptor-path points a real
+    // crash is most interesting (announced-but-unrevealed, and revealed-
+    // but-undriven). The experiments park the process inside one and
+    // SIGKILL it there.
+    std::function<void()> trap_pre_reveal;
+    std::function<void()> trap_post_reveal;
+
+   private:
+    friend class ShmLockTable;
+    int pid_ = -1;
+    std::uint32_t guard_depth_ = 0;
+    std::uint64_t serial_next_ = 0;
+    std::uint64_t serial_end_ = 0;
+    StatsSlab stats_;
+    MemberList<Desc*> help_scratch_;
+    MemberList<Desc*> run_scratch_;
+    LocalSnap snap_buf_;
+    SlotCache<Desc, 64, ShmPool<Desc>> dcache_;
+  };
+
+  // --- construction --------------------------------------------------------
+
+  // Builds a table inside the arena and publishes it as the arena root.
+  // Creator-only; every other process (and the creator itself) talks to it
+  // through the returned local accessor.
+  static std::unique_ptr<ShmLockTable> create_in(ShmArena& shm,
+                                                 const LockConfig& cfg,
+                                                 int max_procs, int num_locks,
+                                                 Sizing sizing = Sizing{0, 0}) {
+    cfg.validate();
+    WFL_CHECK(max_procs > 0 && num_locks > 0);
+    WFL_CHECK(cfg.max_locks <= kMaxLocksPerAttempt);
+    WFL_CHECK(cfg.max_thunk_steps <= kMaxThunkOps);
+    WFL_CHECK(cfg.kappa <= kMaxSetCap);
+    // The delays are step-counted in thread_locals that mean nothing across
+    // address spaces, and the fairness argument they buy assumes a common
+    // step clock; the cross-process table runs practical mode only.
+    WFL_CHECK_MSG(cfg.delay_mode == DelayMode::kOff,
+                  "ShmLockTable supports DelayMode::kOff only");
+
+    const std::uint64_t header_off = shm.create<ShmTableHeader>();
+    ShmTableHeader* h = shm.at<ShmTableHeader>(header_off);
+    h->cfg = cfg;
+    h->max_procs = max_procs;
+    h->num_locks = static_cast<std::uint32_t>(num_locks);
+    // Announcement capacity: κ live attempts per lock, plus slack for
+    // dead-but-unreaped announcements (a crashed process's slot stays
+    // claimed until a survivor reaps it, and that corpse does not count
+    // against the liveness contract κ promises).
+    h->set_cap = std::min(kMaxSetCap, cfg.kappa + kCrashSlackSlots);
+
+    // Pool sizing: the steady-state demand bounds of the in-process table,
+    // plus crash leakage — each crash retires forever at most one in-flight
+    // descriptor, one SlotCache of cached slots, and one retirement
+    // bucket's worth of snapshots.
+    const auto procs = static_cast<std::uint32_t>(max_procs);
+    const std::uint32_t desc_cap =
+        sizing.desc_pool_capacity != 0
+            ? sizing.desc_pool_capacity
+            : std::max<std::uint32_t>(1024, procs * 256);
+    // Snapshot demand is retire-rate times reclamation latency, and on an
+    // oversubscribed host the latency is scheduling quanta (a preempted
+    // guard holder pins the epoch for milliseconds), not instruction
+    // counts — size for that, not for the quiescent steady state. The
+    // backpressure path below makes undersizing degrade throughput rather
+    // than abort, but headroom is what keeps the common case wait-free.
+    const std::uint32_t snap_cap =
+        sizing.snap_pool_capacity != 0
+            ? sizing.snap_pool_capacity
+            : std::max<std::uint32_t>(16384, procs * 2048);
+
+    h->desc_pool_off = ShmPool<Desc>::create_in(shm, desc_cap);
+    h->snap_pool_off = ShmPool<Snap>::create_in(shm, snap_cap);
+    h->ebr_off = ShmEbrDomain::create_in(shm, max_procs);
+    h->sessions_off =
+        shm.create_array<ShmSessionRec>(static_cast<std::size_t>(max_procs));
+    h->sets_off = shm.create_array<ShmSetSlot>(
+        static_cast<std::size_t>(h->num_locks) * h->set_cap);
+
+    auto t = std::unique_ptr<ShmLockTable>(new ShmLockTable());
+    t->bind(shm, header_off);
+
+    // Reserve the permanently-empty sentinel snapshot (the `set[C]` corner
+    // case of Algorithm 1) and point every slot at it.
+    const std::uint32_t empty = t->snap_pool_.alloc();
+    Snap& es = t->snap_pool_.at(empty);
+    es.count = 0;
+    es.self_index = empty;
+    h->empty_snap = empty;
+    ShmSetSlot* slots = shm.at<ShmSetSlot>(h->sets_off);
+    for (std::uint64_t i = 0;
+         i < static_cast<std::uint64_t>(h->num_locks) * h->set_cap; ++i) {
+      slots[i].owner.init(0);
+      slots[i].set.init(empty);
+    }
+
+    shm.set_root(header_off);
+    shm.publish_ready();
+    return t;
+  }
+
+  // Joins an existing table (same process or another one). The arena must
+  // outlive the returned accessor and every Session opened through it.
+  static std::unique_ptr<ShmLockTable> attach(ShmArena& shm) {
+    WFL_CHECK_MSG(shm.root() != ShmArena::kNullOffset,
+                  "ShmLockTable::attach: arena has no table root");
+    auto t = std::unique_ptr<ShmLockTable>(new ShmLockTable());
+    t->bind(shm, shm.root());
+    return t;
+  }
+
+  ~ShmLockTable() {
+    if (arena_ != nullptr) shm_detail::unregister_thunk_arena(arena_);
+  }
+
+  ShmLockTable(const ShmLockTable&) = delete;
+  ShmLockTable& operator=(const ShmLockTable&) = delete;
+
+  const LockConfig& config() const { return h_->cfg; }
+  int max_procs() const { return h_->max_procs; }
+  std::uint32_t num_locks() const { return h_->num_locks; }
+
+  // --- sessions ------------------------------------------------------------
+
+  std::unique_ptr<Session> open_session() {
+    auto s = std::make_unique<Session>();
+    s->pid_ = ebr_.register_participant();
+    s->dcache_.bind(&desc_pool_);
+    ShmSessionRec& r = rec(s->pid_);
+    std::uint32_t expect = kSessFree;
+    WFL_CHECK_MSG(
+        r.state.compare_exchange_strong(expect, kSessLive,
+                                        std::memory_order_acq_rel),
+        "session slot not fresh: pids are never recycled");
+    r.cur_desc.store(0, std::memory_order_relaxed);
+    ebr_.bind_os_pid(s->pid_, static_cast<int>(::getpid()));
+    return s;
+  }
+
+  // Orderly end: spill the private cache back to the shared pool and mark
+  // the slot closed. The pid is still not recycled — pool slots are the
+  // recyclable resource, pids are the audit trail.
+  void close_session(Session& s) {
+    WFL_CHECK(s.guard_depth_ == 0);
+    ebr_.abandon(s.pid_);
+    s.dcache_.drain();
+    rec(s.pid_).state.store(kSessClosed, std::memory_order_release);
+  }
+
+  void heartbeat(Session& s) { ebr_.heartbeat(s.pid_); }
+  std::uint64_t lease(int pid) const { return ebr_.lease(pid); }
+  int os_pid(int pid) const { return ebr_.os_pid(pid); }
+
+  // --- the attempt path ----------------------------------------------------
+
+  // One tryLock attempt. Mirrors LockTable::attempt minus the pieces that
+  // do not cross address spaces: no thin-word fast path, no cooperative
+  // claims, no theory delays (create_in enforces kOff), single EBR domain.
+  bool try_locks(Session& s, std::span<const std::uint32_t> lock_ids,
+                 const ShmThunk& thunk) {
+    WFL_CHECK(!lock_ids.empty() &&
+              lock_ids.size() <= h_->cfg.max_locks);
+    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
+      WFL_CHECK(lock_ids[i] < h_->num_locks);
+    }
+    s.stats_.add_attempt();
+    ebr_.heartbeat(s.pid_);
+
+    const std::uint32_t didx = alloc_desc(s);
+    Desc& d = desc_pool_.at(didx);
+    s.stats_.add_log_slot_resets(d.reinit(next_serial(s)));
+    d.lock_count = static_cast<std::uint32_t>(lock_ids.size());
+    for (std::size_t i = 0; i < lock_ids.size(); ++i) {
+      d.lock_ids[i] = lock_ids[i];
+    }
+    d.thunk = thunk;
+    d.retire_refs.store(1, std::memory_order_relaxed);
+    // Publish the in-flight handle for a potential reaper BEFORE the first
+    // set insert: from here on a crash leaves recoverable state.
+    rec(s.pid_).cur_desc.store(didx + 1, std::memory_order_release);
+
+    AttemptCtx cx{this, &s};
+
+    // --- work segment 1: help phase + multiInsert ---
+    guard_enter(s);
+    if (h_->cfg.help_phase) {
+      for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+        multi_get_set<RealPlat>(cx.set(d.lock_ids[i]), s.help_scratch_);
+        for (Desc* q : s.help_scratch_) {
+          s.stats_.add_help();
+          Engine::help(cx, *q);
+        }
+      }
+    }
+    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+      d.slot_of_lock[i] = set_insert(d.lock_ids[i], didx + 1, s);
+    }
+    guard_exit(s);
+
+    if (s.trap_pre_reveal) s.trap_pre_reveal();
+
+    // --- the reveal step ---
+    d.priority.store(draw_priority<RealPlat>());
+
+    if (s.trap_post_reveal) s.trap_post_reveal();
+
+    // --- work segment 2: compete, then multiRemove ---
+    guard_enter(s);
+    Engine::run(cx, d);
+    d.clear_flag();
+    for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+      set_remove(d.lock_ids[i], d.slot_of_lock[i], s);
+    }
+    guard_exit(s);
+
+    rec(s.pid_).cur_desc.store(0, std::memory_order_release);
+    const bool won = d.status.load() == kStatusWon;
+    if (won) s.stats_.add_win();
+    ebr_.retire(s.pid_, &s.dcache_, didx, &release_descriptor);
+    return won;
+  }
+
+  // --- survivor-driven recovery --------------------------------------------
+
+  // Probes every live session's OS pid and reaps the dead ones. Returns
+  // the number reaped. Any session may call this at any time; the per-
+  // victim claim CAS makes concurrent reapers race safely (one wins, the
+  // rest skip).
+  int reap_dead(Session& s) {
+    int reaped = 0;
+    const int n = ebr_.participant_count();
+    for (int pid = 0; pid < n; ++pid) {
+      if (pid == s.pid_) continue;
+      if (rec(pid).state.load(std::memory_order_acquire) != kSessLive) {
+        continue;
+      }
+      const int os = ebr_.os_pid(pid);
+      if (os == 0 || shm_pid_alive(os)) continue;
+      if (reap(s, pid)) ++reaped;
+    }
+    return reaped;
+  }
+
+  // Reaps one victim. The caller owns the liveness evidence: a dead-pid
+  // probe (reap_dead), or a lease stalled past the harness's threshold —
+  // abandon() is only legal against a process that takes no further steps,
+  // and a false positive here is the ONE way this layer can corrupt
+  // itself, so lease thresholds must be chosen against worst-case
+  // preemption, not typical latency (DESIGN.md §10).
+  bool reap(Session& s, int victim_pid) {
+    WFL_CHECK(victim_pid >= 0 && victim_pid < h_->max_procs &&
+              victim_pid != s.pid_);
+    ShmSessionRec& r = rec(victim_pid);
+    std::uint32_t expect = kSessLive;
+    if (!r.state.compare_exchange_strong(expect, kSessReaping,
+                                         std::memory_order_acq_rel)) {
+      return false;  // already reaped (or being reaped) by someone else
+    }
+    // Drop the victim's guard first: reclamation un-stalls even while the
+    // recovery below is still running.
+    ebr_.abandon(victim_pid);
+
+    guard_enter(s);
+    AttemptCtx cx{this, &s};
+    const std::uint32_t cd = r.cur_desc.load(std::memory_order_acquire);
+    if (cd != 0) {
+      Desc& d = desc_pool_.at(cd - 1);
+      if (d.priority.load() > 0) {
+        // Revealed: finish the victim's competition on its behalf —
+        // celebrate-if-won replays its thunk to completion (exactly once,
+        // by the agreement log).
+        Engine::run(cx, d);
+      } else if (d.status.cas(kStatusActive, kStatusLost)) {
+        // Announced but never revealed: the flag filter means no getSet
+        // surfaced it and nobody can have helped it win; eliminate.
+        s.stats_.add_elimination();
+      }
+      d.clear_flag();
+      // multiRemove on the victim's behalf. Its slot_of_lock is owner-
+      // private state that may have died mid-update; the owner-scan is the
+      // crash-safe equivalent (bounded: L · C slots).
+      for (std::uint32_t i = 0; i < d.lock_count; ++i) {
+        ShmSetSlot* slots = set_slots(d.lock_ids[i]);
+        for (std::uint32_t j = 0; j < h_->set_cap; ++j) {
+          if (slots[j].owner.load() == cd) {
+            slots[j].owner.store(0);
+            climb(d.lock_ids[i], static_cast<int>(j), s);
+          }
+        }
+      }
+      // The victim's descriptor slot is NOT retired to the pool: its
+      // private cache state died with it, so the slot leaks — bounded at
+      // one per crash, priced into create_in's sizing.
+    }
+    guard_exit(s);
+    r.cur_desc.store(0, std::memory_order_release);
+    r.state.store(kSessReaped, std::memory_order_release);
+    return true;
+  }
+
+  // --- diagnostics ---------------------------------------------------------
+
+  std::uint32_t desc_free() const { return desc_pool_.free_count(); }
+  std::uint32_t snap_free() const { return snap_pool_.free_count(); }
+  std::uint64_t snap_alloc_total() const { return snap_pool_.alloc_total(); }
+  std::uint64_t snap_free_total() const { return snap_pool_.free_total(); }
+  std::uint64_t epoch() const { return ebr_.epoch(); }
+  std::size_t pending_retired(const Session& s) const {
+    return ebr_.pending_retired(s.pid_);
+  }
+  std::uint32_t session_state(int pid) const {
+    return rec(pid).state.load(std::memory_order_acquire);
+  }
+  int participant_count() const { return ebr_.participant_count(); }
+  bool participant_active(int pid) const {
+    return ebr_.participant_active(pid);
+  }
+  std::uint64_t participant_epoch(int pid) const {
+    return ebr_.participant_epoch(pid);
+  }
+  int participant_os_pid(int pid) const { return ebr_.os_pid(pid); }
+
+  // Quiescent-only wedge probe: true iff some lock's set still announces a
+  // descriptor that is active-and-revealed (a holder nobody can finish) or
+  // belongs to an unreaped corpse. Mirrors exp_crash's any_held probe.
+  bool any_holder(Session& s) {
+    bool held = false;
+    guard_enter(s);
+    for (std::uint32_t lock = 0; lock < h_->num_locks && !held; ++lock) {
+      ShmSetSlot* slots = set_slots(lock);
+      for (std::uint32_t j = 0; j < h_->set_cap && !held; ++j) {
+        const std::uint32_t owner = slots[j].owner.load();
+        if (owner == 0) continue;
+        Desc& d = desc_pool_.at(owner - 1);
+        held = d.status.load() == kStatusActive && d.priority.load() > 0;
+      }
+    }
+    guard_exit(s);
+    return held;
+  }
+
+ private:
+  struct AttemptCtx;
+  using Engine = AttemptEngine<RealPlat, AttemptCtx>;
+
+  static constexpr std::uint32_t kCrashSlackSlots = 8;
+  static constexpr std::uint32_t kPoolLowWater = 64;
+  static constexpr std::uint64_t kSerialBlock = 1024;
+
+  ShmLockTable() = default;
+
+  void bind(ShmArena& shm, std::uint64_t header_off) {
+    arena_ = &shm;
+    h_ = shm.at<ShmTableHeader>(header_off);
+    desc_pool_.attach(shm, h_->desc_pool_off);
+    snap_pool_.attach(shm, h_->snap_pool_off);
+    ebr_.attach(shm, h_->ebr_off);
+    sessions_ = shm.at<ShmSessionRec>(h_->sessions_off);
+    shm_detail::register_thunk_arena(&shm);
+  }
+
+  ShmSessionRec& rec(int pid) const { return sessions_[pid]; }
+
+  ShmSetSlot* set_slots(std::uint32_t lock_id) const {
+    return arena_->at<ShmSetSlot>(h_->sets_off) +
+           static_cast<std::uint64_t>(lock_id) * h_->set_cap;
+  }
+
+  std::uint64_t next_serial(Session& s) {
+    if (s.serial_next_ == s.serial_end_) {
+      s.serial_next_ =
+          h_->serial_hwm.fetch_add(kSerialBlock, std::memory_order_acq_rel);
+      s.serial_end_ = s.serial_next_ + kSerialBlock;
+    }
+    return s.serial_next_++;
+  }
+
+  // Re-entrant single-domain guard (the engine's lock_guards nests inside
+  // the attempt's work-segment guard, exactly like the sharded table's
+  // depth counters).
+  void guard_enter(Session& s) {
+    if (s.guard_depth_++ == 0) ebr_.enter(s.pid_);
+  }
+  void guard_exit(Session& s) {
+    WFL_DASSERT(s.guard_depth_ > 0);
+    if (--s.guard_depth_ == 0) ebr_.exit(s.pid_);
+  }
+
+  class GuardScope {
+   public:
+    GuardScope(ShmLockTable& t, Session& s) : t_(t), s_(s) {
+      t_.guard_enter(s_);
+    }
+    ~GuardScope() { t_.guard_exit(s_); }
+    GuardScope(const GuardScope&) = delete;
+    GuardScope& operator=(const GuardScope&) = delete;
+
+   private:
+    ShmLockTable& t_;
+    Session& s_;
+  };
+
+  // The engine context (core/attempt.hpp's duck-typed contract). No thin
+  // words and no cooperative claims in shm mode: thin_rival is always
+  // null, cooperative() false (help() degenerates to run(), the paper's
+  // everyone-drives discipline).
+  struct AttemptCtx {
+    ShmLockTable* t;
+    Session* s;
+    SetView view;
+    using Desc = ShmLockTable::Desc;
+
+    SetView& set(std::uint32_t lock_id) {
+      view.t_ = t;
+      view.buf_ = &s->snap_buf_;
+      view.lock_id_ = lock_id;
+      return view;
+    }
+    StatsSlab& stats() { return s->stats_; }
+    MemberList<Desc*>& run_scratch() { return s->run_scratch_; }
+    GuardScope lock_guards(Desc&) { return GuardScope(*t, *s); }
+    Desc* thin_rival(std::uint32_t) { return nullptr; }
+    int pid() { return s->pid_; }
+    bool cooperative() { return false; }
+    std::uint32_t claim_patience() { return ~std::uint32_t{0}; }  // unused
+  };
+  friend struct AttemptCtx;
+
+  // Resolve the current slot-0 snapshot's handles into local pointers.
+  // Caller holds the EBR guard (the snapshot cannot be reclaimed, so the
+  // handles cannot be recycled, while we copy).
+  void snapshot_members(std::uint32_t lock_id, LocalSnap& out) {
+    ShmSetSlot* slots = set_slots(lock_id);
+    const std::uint32_t snap_h = slots[0].set.load();
+    const Snap& snap = snap_pool_.at(snap_h);
+    out.count = 0;
+    for (std::uint32_t i = 0; i < snap.count && i < kMaxSetCap; ++i) {
+      const std::uint32_t owner = snap.items[i];
+      if (owner != 0) out.items[out.count++] = desc_pool_.ptr(owner - 1);
+    }
+  }
+
+  // Algorithm 1 over handles (ActiveSet's insert/remove/climb verbatim,
+  // with pool indices in place of pointers and the reserved empty-snapshot
+  // handle as the above-top sentinel).
+  int set_insert(std::uint32_t lock_id, std::uint32_t owner_val, Session& s) {
+    ShmSetSlot* slots = set_slots(lock_id);
+    for (int pass = 0; pass < 8; ++pass) {
+      for (std::uint32_t i = 0; i < h_->set_cap; ++i) {
+        if (slots[i].owner.load() == 0 && slots[i].owner.cas(0, owner_val)) {
+          climb(lock_id, static_cast<int>(i), s);
+          return static_cast<int>(i);
+        }
+      }
+    }
+    WFL_CHECK_MSG(false,
+                  "shm set insert found no free slot: point contention "
+                  "exceeds kappa + crash slack (unreaped corpses?)");
+    return -1;
+  }
+
+  void set_remove(std::uint32_t lock_id, int slot, Session& s) {
+    ShmSetSlot* slots = set_slots(lock_id);
+    slots[static_cast<std::uint32_t>(slot)].owner.store(0);
+    climb(lock_id, slot, s);
+  }
+
+  void climb(std::uint32_t lock_id, int i, Session& s) {
+    if (snap_pool_.free_count() < kPoolLowWater) ebr_.collect(s.pid_);
+    ShmSetSlot* slots = set_slots(lock_id);
+    for (int j = i; j >= 0; --j) {
+      for (int k = 0; k < 2; ++k) {
+        // Allocate BEFORE reading cur/above: alloc_snap may bounce the EBR
+        // guard to wait out a reclamation stall, and no snapshot handle
+        // read under the old guard may be used after re-entry.
+        const std::uint32_t idx = alloc_snap(s);
+        Snap& fresh = snap_pool_.at(idx);
+        fresh.self_index = idx;
+        const std::uint32_t cur =
+            slots[static_cast<std::uint32_t>(j)].set.load();
+        const std::uint32_t above =
+            (j + 1 == static_cast<int>(h_->set_cap))
+                ? h_->empty_snap
+                : slots[static_cast<std::uint32_t>(j) + 1].set.load();
+        const std::uint32_t member =
+            slots[static_cast<std::uint32_t>(j)].owner.load();
+        build(fresh, snap_pool_.at(above), member);
+        if (slots[static_cast<std::uint32_t>(j)].set.cas(cur, idx)) {
+          retire_snap(cur, s);
+        } else {
+          snap_pool_.free(idx);  // never published
+        }
+      }
+    }
+  }
+
+  // --- allocation backpressure ---------------------------------------------
+  //
+  // The pools are fixed-size shared arrays, so the unbounded-memory
+  // assumption behind the paper's wait-freedom does not literally hold
+  // here: a process preempted (or killed) inside an EBR guard pins the
+  // epoch, and while it is pinned every retirement stays pending and the
+  // pools only drain. On an oversubscribed host a single scheduling
+  // quantum is enough churn to empty a correctly-sized snapshot pool.
+  // The honest response is backpressure, not abort: stop allocating, push
+  // reclamation (collect), probe for corpses to reap (a SIGKILLed guard
+  // holder pins the epoch forever until abandoned), and let the preempted
+  // holder run. Progress during a stall degrades from wait-free to
+  // blocking-on-reclamation; the paper's bounds resume as soon as
+  // reclamation catches up (DESIGN.md §10).
+  //
+  // Deadlock-freedom: the waiter fully exits its own guard while waiting
+  // (a waiter announced at epoch E otherwise pins global at E+1 and its
+  // own current-epoch bucket — holding most of the pool after a long peer
+  // stall — could never reach the E+2 drain bar). Callers therefore must
+  // not hold any guard-protected pointer across an alloc_* call; climb()
+  // is ordered alloc-first for exactly this reason.
+  static constexpr std::uint32_t kAllocPatienceSpins = 100000;  // ~10 s
+
+  template <typename TryAlloc>
+  std::uint32_t alloc_backpressure(Session& s, TryAlloc&& try_alloc,
+                                   const char* what) {
+    const std::uint32_t depth = s.guard_depth_;
+    if (depth > 0) {
+      s.guard_depth_ = 0;
+      ebr_.exit(s.pid_);
+    }
+    std::uint32_t idx = kNullIndex;
+    for (std::uint32_t spin = 0; idx == kNullIndex; ++spin) {
+      WFL_CHECK_MSG(spin < kAllocPatienceSpins,
+                    "shm pool allocation stalled past patience: pool "
+                    "undersized, or a live peer wedged inside a guard");
+      ebr_.collect(s.pid_);
+      idx = try_alloc();
+      if (idx != kNullIndex) break;
+      if ((spin & 63u) == 63u) reap_dead(s);
+      ::usleep(100);
+      (void)what;
+    }
+    if (depth > 0) {
+      ebr_.enter(s.pid_);
+      s.guard_depth_ = depth;
+    }
+    return idx;
+  }
+
+  std::uint32_t alloc_snap(Session& s) {
+    const std::uint32_t idx = snap_pool_.try_alloc();
+    if (idx != kNullIndex) return idx;
+    return alloc_backpressure(
+        s, [this] { return snap_pool_.try_alloc(); }, "snapshot");
+  }
+
+  std::uint32_t alloc_desc(Session& s) {
+    const std::uint32_t idx = s.dcache_.try_alloc();
+    if (idx != kNullIndex) return idx;
+    return alloc_backpressure(
+        s, [&s] { return s.dcache_.try_alloc(); }, "descriptor");
+  }
+
+  void build(Snap& out, const Snap& above, std::uint32_t member) {
+    WFL_CHECK(above.count <= kMaxSetCap);
+    out.count = 0;
+    for (std::uint32_t i = 0; i < above.count; ++i) {
+      if (above.items[i] != member) out.items[out.count++] = above.items[i];
+    }
+    if (member != 0) {
+      WFL_CHECK_MSG(out.count < kMaxSetCap, "shm set snapshot overflow");
+      out.items[out.count++] = member;
+    }
+  }
+
+  void retire_snap(std::uint32_t snap_h, Session& s) {
+    if (snap_h == h_->empty_snap) return;
+    ebr_.retire(s.pid_, this, snap_h, &free_snap);
+  }
+
+  static void free_snap(void* ctx, std::uint32_t handle) {
+    static_cast<ShmLockTable*>(ctx)->snap_pool_.free(handle);
+  }
+
+  // EBR deleter for an orderly attempt's descriptor (single domain, so
+  // retire_refs is 1 and the slot goes straight back to the owner's
+  // cache). Crashed descriptors never reach this — they leak by design.
+  static void release_descriptor(void* ctx, std::uint32_t handle) {
+    auto* cache = static_cast<SlotCache<Desc, 64, ShmPool<Desc>>*>(ctx);
+    Desc& d = cache->pool().at(handle);
+    const std::uint32_t prev =
+        d.retire_refs.fetch_sub(1, std::memory_order_acq_rel);
+    if (prev == 1) cache->free(handle);
+  }
+
+  const ShmArena* arena_ = nullptr;
+  ShmTableHeader* h_ = nullptr;
+  ShmPool<Desc> desc_pool_;
+  ShmPool<Snap> snap_pool_;
+  ShmEbrDomain ebr_;
+  ShmSessionRec* sessions_ = nullptr;
+};
+
+// The placement factories declared on LockTable (the API callers reach
+// first). Only the real platform can cross address spaces; simulated plats
+// have no second process to attach from.
+template <typename Plat>
+std::unique_ptr<ShmLockTable> LockTable<Plat>::create_in(
+    ShmArena& shm, const LockConfig& cfg, int max_procs, int num_locks) {
+  static_assert(!Plat::kSimulated,
+                "shared-memory placement requires RealPlat");
+  return ShmLockTable::create_in(shm, cfg, max_procs, num_locks);
+}
+
+template <typename Plat>
+std::unique_ptr<ShmLockTable> LockTable<Plat>::attach(ShmArena& shm) {
+  static_assert(!Plat::kSimulated,
+                "shared-memory placement requires RealPlat");
+  return ShmLockTable::attach(shm);
+}
+
+}  // namespace wfl

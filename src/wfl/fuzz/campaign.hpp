@@ -110,11 +110,38 @@ inline std::vector<Trace> seed_traces(const std::string& fault) {
   // default.
   constexpr std::uint64_t kSeedSlotCap = 30000;
   std::vector<Trace> seeds;
-  const WorkloadKind kinds[] = {WorkloadKind::kEngine, WorkloadKind::kAsync};
+  // Fault campaigns seed only the workload family that can express the
+  // fault: mutators never change a trace's workload kind, so seeds from
+  // unrelated families just dilute the mutation budget — enough that the
+  // lost_wake gate stopped converging when the sharded family landed.
+  // Clean campaigns (and soak) keep the full pool.
+  std::vector<WorkloadKind> kinds = {WorkloadKind::kEngine,
+                                     WorkloadKind::kAsync,
+                                     WorkloadKind::kEngineSharded};
+  if (const std::optional<FaultSpec> f = parse_fault(fault); f.has_value()) {
+    if (f->hook != Fault::kNone) {
+      kinds = {WorkloadKind::kAsync};  // executor wake-path hooks
+    } else if (f->engine_mutation) {
+      kinds = {WorkloadKind::kEngine, WorkloadKind::kEngineSharded};
+    }
+  }
+  // Sharded seeds spread over 8 locks (2 per shard): enough lanes that
+  // the own-lane beat really is per-process, while the straddling pairs
+  // still cross every shard boundary.
+  auto shape_locks = [](WorkloadKind wk) {
+    return wk == WorkloadKind::kEngineSharded ? 8 : 2;
+  };
+  // Sharded seeds also run wider (6 procs): the hot-lock beat needs
+  // enough simultaneous helpers that claim tenures overlap at all.
+  auto shape_procs = [](WorkloadKind wk) {
+    return wk == WorkloadKind::kEngineSharded ? 6 : 4;
+  };
   for (const WorkloadKind wk : kinds) {
     for (std::uint64_t s = 1; s <= 3; ++s) {  // plain uniform, 3 streams
       Trace t;
       t.workload = wk;
+      t.locks = shape_locks(wk);
+      t.procs = shape_procs(wk);
       t.fault = fault;
       t.seed = s;
       t.tail_seed = s * 0x9E3779B97F4A7C15ULL + 1;
@@ -124,6 +151,8 @@ inline std::vector<Trace> seed_traces(const std::string& fault) {
     {  // stall-burst prefix: each pid monopolizes a 24-slot burst
       Trace t;
       t.workload = wk;
+      t.locks = shape_locks(wk);
+      t.procs = shape_procs(wk);
       t.fault = fault;
       t.seed = 7;
       t.tail_seed = 0xD1B54A32D192ED03ULL;
@@ -141,6 +170,8 @@ inline std::vector<Trace> seed_traces(const std::string& fault) {
     for (const std::uint64_t slot : {40ULL, 400ULL, 2000ULL, 7000ULL}) {
       Trace t;
       t.workload = wk;
+      t.locks = shape_locks(wk);
+      t.procs = shape_procs(wk);
       t.fault = fault;
       t.seed = 11;
       t.tail_seed = slot * 0xBF58476D1CE4E5B9ULL + 3;

@@ -12,12 +12,23 @@
 // a flat directory. That same format is what tests/fuzz_corpus/ checks
 // in: a minimized reproducer IS a corpus file, and load_dir() is the
 // regression tests' ingestion path.
+//
+// Durability: a campaign is exactly the kind of process that dies mid-write
+// (crash oracles abort, CI walls kill), and a half-written .trace poisons
+// every later ingestion of the directory. Writes therefore go through a
+// same-directory temp file and a rename — readers only ever see absent or
+// complete — and the raw-fd I/O loops handle EINTR and short transfers,
+// which buffered iostreams silently mishandle on signal-heavy hosts.
 #pragma once
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -26,6 +37,64 @@
 #include "wfl/util/rng.hpp"
 
 namespace wfl::fuzz {
+
+// Writes `data` to `path` atomically: temp file in the same directory (so
+// the rename cannot cross filesystems), short-write/EINTR loop, fsync,
+// rename over the target. Returns false (target untouched) on any error.
+inline bool write_file_atomic(const std::filesystem::path& path,
+                              const std::string& data) {
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ::ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must not become durable ahead of the
+  // bytes it publishes.
+  if (::fsync(fd) != 0 || ::close(fd) != 0 ||
+      ::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Reads all of `path` into `out` with an EINTR/short-read loop. Returns
+// false on open or read failure (out is then unspecified).
+inline bool read_file_all(const std::filesystem::path& path,
+                          std::string& out) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  out.clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ::ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
 
 class Corpus {
  public:
@@ -59,10 +128,9 @@ class Corpus {
     if (ec) return 0;
     std::size_t written = 0;
     for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::ofstream os(dir / (prefix + std::to_string(i) + ".trace"));
-      if (!os) continue;
-      entries_[i].save(os);
-      if (os.good()) ++written;
+      const std::filesystem::path target =
+          dir / (prefix + std::to_string(i) + ".trace");
+      if (write_file_atomic(target, entries_[i].save_string())) ++written;
     }
     return written;
   }
@@ -78,10 +146,12 @@ class Corpus {
     }
     std::sort(files.begin(), files.end());
     std::size_t n = 0;
+    std::string raw;
     for (const auto& f : files) {
-      std::ifstream is(f);
+      if (!read_file_all(f, raw)) continue;
+      std::istringstream is(raw);
       Trace t;
-      if (is && t.load(is) && add(t)) ++n;
+      if (t.load(is) && add(t)) ++n;
     }
     return n;
   }

@@ -34,12 +34,20 @@ namespace wfl::fuzz {
 
 // Which harness replays the trace (fuzz/workload.hpp).
 enum class WorkloadKind : std::uint8_t {
-  kEngine = 0,  // direct submit() rounds: fast path, helping, crashes
-  kAsync,       // AsyncExecutor inline mode: park/wake, cancellation
+  kEngine = 0,     // direct submit() rounds: fast path, helping, crashes
+  kAsync,          // AsyncExecutor inline mode: park/wake, cancellation
+  kEngineSharded,  // sharded-table engine rounds: shard-straddling lock
+                   // sets (refcounted multi-shard retire), own-lane
+                   // fast-path reuse (cooldown expiry), hot-lock helping
+                   // bursts (stale-claim revocation)
 };
 
 inline const char* workload_name(WorkloadKind k) {
-  return k == WorkloadKind::kEngine ? "engine" : "async";
+  switch (k) {
+    case WorkloadKind::kAsync: return "async";
+    case WorkloadKind::kEngineSharded: return "engine_sharded";
+    default: return "engine";
+  }
 }
 
 struct Trace {
@@ -117,6 +125,8 @@ struct Trace {
           workload = WorkloadKind::kEngine;
         } else if (v == "async") {
           workload = WorkloadKind::kAsync;
+        } else if (v == "engine_sharded") {
+          workload = WorkloadKind::kEngineSharded;
         } else {
           return false;
         }

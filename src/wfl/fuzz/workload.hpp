@@ -1,7 +1,7 @@
 // Fuzz workload harnesses: replay a Trace, evaluate the oracles, report
 // features.
 //
-// Two workloads cover the two runtime stacks the campaign targets:
+// Three workloads cover the runtime stacks the campaign targets:
 //
 //   * kEngine — direct submit() rounds over a small lock clique under
 //     DelayMode::kOff with the fast path and cooperative helping on:
@@ -10,6 +10,20 @@
 //     (the victim's fiber simply never runs again), which is the paper's
 //     crash model verbatim — mid-attempt, mid-fast-path-publish and
 //     mid-help-claim crash points fall out of slot granularity.
+//
+//   * kEngineSharded — the same engine harness over a 4-shard table with
+//     deliberately small per-shard pools and a three-beat lock pattern:
+//     own-lane singles (fast-path publish/release, then a re-acquire that
+//     lands inside or just past the EBR cooldown — kSiteCooldownResume),
+//     shard-straddling pairs {l, l+1} (refcounted descriptor retire where
+//     a sibling shard's grace period still holds a reference —
+//     kSiteMultiShardRetire), and all-procs hot-lock beats run at
+//     claim_patience 2, where overlapping help-claim tenures go stale
+//     inside a run — kSiteClaimExpiry (see EngineShape::claim_patience for
+//     why the production threshold is out of reach of any bounded
+//     schedule). The plain engine workload runs single-shard by
+//     construction (2 locks, 4 procs), so these branches were dead weight
+//     in the feature map until this config.
 //
 //   * kAsync — AsyncExecutor inline mode (workers = 0, the
 //     sim-deterministic configuration): park/wake, wake-one signal
@@ -136,26 +150,119 @@ inline void fail(RunResult& r, const std::string& what) {
   }
 }
 
+// Per-round lock-set choice plus the table geometry it runs against; the
+// engine harness body is shared between the plain and sharded configs.
+// `pick` writes up to 2 ascending ids and returns the count.
+struct EngineShape {
+  int rounds;
+  int locks;
+  SpaceSizing sizing;
+  std::uint32_t (*pick)(int p, int r, int locks, std::uint32_t* ids);
+  // Per-round acquisition policy. The sharded config retries its hot-lock
+  // beat until it wins: claim tenures only ever overlap (the precondition
+  // for skip accumulation and eventually kSiteClaimExpiry) when rivals
+  // restart attempts densely enough to observe each other mid-drive, and
+  // a bounded attempts() budget under a hostile schedule never gets
+  // there.
+  Policy (*policy)(int r);
+  // Help-claim patience for this config (LockConfig::claim_patience).
+  // The production default (16) makes kSiteClaimExpiry structurally
+  // unreachable in a bounded run: expiry needs one claim tenure to absorb
+  // patience+1 foreign observations, but every observer that skips also
+  // duels the claimed descriptor with a fresh uniform priority afterwards,
+  // so the descriptor dies (or the claimer finishes) an order of magnitude
+  // earlier — measured across >10k adversarial grant genomes the best
+  // single tenure absorbed 8. The sharded config runs patience 2 so the
+  // revoke-and-drive branch is under real coverage pressure; the branch
+  // body is identical at every threshold.
+  std::uint32_t claim_patience;
+};
+
+// Plain clique: odd rounds take the {0,1} pair, even rounds spread.
+inline std::uint32_t pick_engine_plain(int p, int r, int locks,
+                                       std::uint32_t* ids) {
+  if (r % 2 == 1 && locks >= 2) {
+    ids[0] = 0;
+    ids[1] = 1;
+    return 2;
+  }
+  ids[0] = static_cast<std::uint32_t>((p + r) % locks);
+  return 1;
+}
+
+// Sharded three-beat (see header): own lane, straddling pair, hot lock.
+// Pairs use l in [0, locks-2] so ids stay ascending without wrapping.
+// The hot beat is FOUR consecutive rounds, not one: a lone hot round ends
+// as soon as each proc wins once, so help-claim tenures barely overlap;
+// sustained single-lock pressure is what stacks a second and third
+// observation onto a live claim before its holder finishes the drive.
+inline std::uint32_t pick_engine_sharded(int p, int r, int locks,
+                                         std::uint32_t* ids) {
+  switch (r % 6) {
+    case 0:
+      ids[0] = static_cast<std::uint32_t>(p % locks);
+      return 1;
+    case 1: {
+      const std::uint32_t l =
+          static_cast<std::uint32_t>((p + r) % (locks - 1));
+      ids[0] = l;
+      ids[1] = l + 1;
+      return 2;
+    }
+    default:
+      ids[0] = 0;
+      return 1;
+  }
+}
+
+inline Policy policy_attempts4(int) { return Policy::attempts(4); }
+inline Policy policy_sharded(int r) {
+  return r % 6 >= 2 ? Policy::retry() : Policy::attempts(4);
+}
+
+inline EngineShape plain_shape(const Trace& t) {
+  return {/*rounds=*/6, /*locks=*/t.locks, SpaceSizing{},
+          &pick_engine_plain, &policy_attempts4, /*claim_patience=*/16};
+}
+
+inline EngineShape sharded_shape(const Trace& t) {
+  EngineShape sh;
+  sh.rounds = 12;  // two full own/pair/hot*4 beats (see pick_engine_sharded)
+  // Every shard must own at least one lock and the pair pattern needs
+  // locks >= 2 per shard boundary; 4 is the floor, seeds use 8.
+  sh.locks = std::max(4, t.locks);
+  // Small per-shard pools: reclamation pressure is what walks the EBR
+  // epochs fast enough for cooldown tokens to expire inside a run.
+  sh.sizing.snap_pool_capacity = 320;
+  sh.sizing.desc_pool_capacity = 96;
+  sh.sizing.shards = 4;
+  sh.pick = &pick_engine_sharded;
+  sh.policy = &policy_sharded;
+  sh.claim_patience = 2;  // see EngineShape — keeps expiry reachable
+  return sh;
+}
+
 }  // namespace detail
 
 // --- engine workload --------------------------------------------------------
 
 template <typename Plat>
-RunResult run_engine_trace(const Trace& t) {
-  constexpr int kRounds = 6;
+RunResult run_engine_shape(const Trace& t, const detail::EngineShape& sh) {
+  const int kRounds = sh.rounds;
   const int procs = t.procs;
-  const int locks = t.locks;
-  const LockConfig cfg = detail::fuzz_cfg(procs);
+  const int locks = sh.locks;
+  LockConfig cfg = detail::fuzz_cfg(procs);
+  cfg.claim_patience = sh.claim_patience;
 
   RunResult result;
   SiteTable sites;
   SiteScope site_scope(sites);
 
-  LockTable<Plat> space(cfg, procs, locks);
+  LockTable<Plat> space(cfg, procs, locks, sh.sizing);
   MutexAudit<Plat> audit(locks);
   // One register per lock, indexed by an op's FIRST lock id: every writer
-  // of regs[l] holds lock l (single-lock ops on l, or the {0,1} clique ops
-  // for l == 0), so each register individually sees a mutually excluded
+  // of regs[l] holds lock l (single-lock ops on l, or a pair whose lowest
+  // lock is l), so each register individually sees a mutually excluded
   // writer set. One shared register would NOT be protected — a lock-0-only
   // op and a lock-1-only op are allowed to run concurrently.
   std::deque<Cell<Plat>> regs;
@@ -187,15 +294,7 @@ RunResult run_engine_trace(const Trace& t) {
         const std::size_t slot =
             static_cast<std::size_t>(p) * kRounds + static_cast<std::size_t>(r);
         std::uint32_t* ids = &op_ids[slot * 2];
-        std::uint32_t n;
-        if (r % 2 == 1 && locks >= 2) {
-          ids[0] = 0;
-          ids[1] = 1;
-          n = 2;
-        } else {
-          ids[0] = static_cast<std::uint32_t>((p + r) % locks);
-          n = 1;
-        }
+        const std::uint32_t n = sh.pick(p, r, locks, ids);
         op_first_lock[slot] = ids[0];
         StaticLockSet<2> ls(std::span<const std::uint32_t>(ids, n), cfg);
         MutexAudit<Plat>* aud = &audit;
@@ -212,7 +311,7 @@ RunResult run_engine_trace(const Trace& t) {
               m.store(*reg, v + 1);
               *val_out = v;  // idempotent: replays rewrite the agreed value
             },
-            Policy::attempts(4));
+            sh.policy(r));
         op_response[slot] = sim.slots_used();
         op_won[slot] = out.won ? 1 : 0;
       }
@@ -309,6 +408,16 @@ RunResult run_engine_trace(const Trace& t) {
   result.features.push_back(0);
   result.features.push_back(0);
   return result;
+}
+
+template <typename Plat>
+RunResult run_engine_trace(const Trace& t) {
+  return run_engine_shape<Plat>(t, detail::plain_shape(t));
+}
+
+template <typename Plat>
+RunResult run_engine_sharded_trace(const Trace& t) {
+  return run_engine_shape<Plat>(t, detail::sharded_shape(t));
 }
 
 // --- async workload ---------------------------------------------------------
@@ -813,8 +922,12 @@ RunResult run_trace(const Trace& t) {
     return r;
   }
   FaultScope scope(f->hook);
-  return t.workload == WorkloadKind::kEngine ? run_engine_trace<Plat>(t)
-                                             : run_async_trace<Plat>(t);
+  switch (t.workload) {
+    case WorkloadKind::kAsync: return run_async_trace<Plat>(t);
+    case WorkloadKind::kEngineSharded:
+      return run_engine_sharded_trace<Plat>(t);
+    default: return run_engine_trace<Plat>(t);
+  }
 }
 
 }  // namespace wfl::fuzz

@@ -30,6 +30,7 @@
 #include "wfl/check/race.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
+#include "wfl/util/shm.hpp"
 
 namespace wfl {
 
@@ -277,6 +278,231 @@ class IndexPool {
   std::mutex grow_mutex_;
 };
 
+// --- Shared-memory pool (offset-addressed mode) ---------------------------
+//
+// The cross-process table (core/shm_table.hpp, DESIGN.md §10) needs pools
+// whose *state* lives in a ShmArena and whose slots are meaningful in every
+// attached address space. IndexPool already trades in indices; what stops
+// it crossing a process boundary is the heap-allocated segment directory
+// (raw Segment* pointers) and the ability to grow. ShmPool is the
+// pointer-free variant: capacity is fixed at create time, storage and
+// next-links are flat arrays carved from the arena and referenced by byte
+// offset, and each process holds a tiny local accessor with the offsets
+// resolved against its own mapping. The freelist discipline — packed
+// (index:32, tag:32) head, one CAS per single or batched transaction, tag
+// bump on every pop killing the Treiber ABA case — is IndexPool's verbatim.
+//
+// Exhaustion is a loud failure, not a grow: growth would need cross-process
+// agreement on new mappings, and the shm table's demand is bounded by
+// (max_procs × pool sizing) plus crash leakage, both sized up front.
+struct ShmPoolState {
+  std::uint32_t capacity;
+  std::uint32_t pad_;
+  std::uint64_t next_off;    // std::atomic<uint32>[capacity]
+  std::uint64_t items_off;   // T[capacity]
+  std::uint64_t inlist_off;  // std::atomic<uint8>[capacity] membership bits
+  alignas(kCacheLine) std::atomic<std::uint64_t> head;
+  alignas(kCacheLine) std::atomic<std::uint32_t> free_count;
+  std::atomic<std::uint64_t> freelist_ops;
+  std::atomic<std::uint64_t> alloc_total;
+  std::atomic<std::uint64_t> free_total;
+};
+
+template <typename T>
+class ShmPool {
+ public:
+  // Creator side: carves state + arrays from the arena, default-constructs
+  // every item, links the freelist bottom-up (index 0 pops first). Returns
+  // the state's offset for the table header to record.
+  static std::uint64_t create_in(ShmArena& a, std::uint32_t capacity) {
+    WFL_CHECK(capacity > 0 && capacity < kNullIndex);
+    const std::uint64_t state_off = a.create<ShmPoolState>();
+    ShmPoolState* st = a.at<ShmPoolState>(state_off);
+    st->capacity = capacity;
+    st->next_off = a.create_array<std::atomic<std::uint32_t>>(capacity);
+    st->items_off = a.alloc_bytes(sizeof(T) * capacity, alignof(T));
+    st->inlist_off = a.create_array<std::atomic<std::uint8_t>>(capacity);
+    T* items = a.at<T>(st->items_off);
+    for (std::uint32_t i = 0; i < capacity; ++i) new (items + i) T();
+    auto* next = a.at<std::atomic<std::uint32_t>>(st->next_off);
+    auto* inlist = a.at<std::atomic<std::uint8_t>>(st->inlist_off);
+    for (std::uint32_t i = 0; i < capacity; ++i) {
+      next[i].store(i + 1 < capacity ? i + 1 : kNullIndex,
+                    std::memory_order_relaxed);
+      inlist[i].store(1, std::memory_order_relaxed);
+    }
+    st->head.store(pack(0, 0), std::memory_order_relaxed);
+    st->free_count.store(capacity, std::memory_order_relaxed);
+    st->freelist_ops.store(0, std::memory_order_relaxed);
+    st->alloc_total.store(0, std::memory_order_relaxed);
+    st->free_total.store(0, std::memory_order_relaxed);
+    return state_off;
+  }
+
+  ShmPool() = default;
+
+  // Any process (creator included) resolves the offsets against its own
+  // mapping. Attach is idempotent and side-effect free.
+  void attach(const ShmArena& a, std::uint64_t state_off) {
+    st_ = a.at<ShmPoolState>(state_off);
+    next_ = a.at<std::atomic<std::uint32_t>>(st_->next_off);
+    items_ = a.at<T>(st_->items_off);
+    inlist_ = a.at<std::atomic<std::uint8_t>>(st_->inlist_off);
+  }
+
+  bool attached() const { return st_ != nullptr; }
+  std::uint32_t capacity() const { return st_->capacity; }
+  std::uint32_t free_count() const {
+    return st_->free_count.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freelist_ops() const {
+    return st_->freelist_ops.load(std::memory_order_relaxed);
+  }
+
+  // Pop one slot, or kNullIndex when the freelist is empty. Callers that
+  // can apply backpressure (wait for reclamation to catch up) use this;
+  // alloc() below is the must-succeed wrapper.
+  std::uint32_t try_alloc() {
+    std::uint64_t head = st_->head.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t idx = index_of(head);
+      if (idx == kNullIndex) return kNullIndex;
+      const std::uint32_t next = next_[idx].load(std::memory_order_relaxed);
+      if (st_->head.compare_exchange_weak(head, pack(next, tag_of(head) + 1),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        WFL_CHECK_MSG(
+            inlist_[idx].exchange(0, std::memory_order_acq_rel) == 1,
+            "ShmPool alloc popped a node not on the freelist (corruption)");
+        st_->free_count.fetch_sub(1, std::memory_order_relaxed);
+        st_->freelist_ops.fetch_add(1, std::memory_order_relaxed);
+        st_->alloc_total.fetch_add(1, std::memory_order_relaxed);
+        return idx;
+      }
+    }
+  }
+
+  std::uint32_t alloc() {
+    const std::uint32_t idx = try_alloc();
+    WFL_CHECK_MSG(idx != kNullIndex,
+                  "ShmPool exhausted: undersized or crash leakage");
+    return idx;
+  }
+
+  // Batch pop of up to `want` slots; returns how many were taken (0 when
+  // the freelist is empty — the backpressure signal).
+  std::uint32_t try_alloc_batch(std::uint32_t* out, std::uint32_t want) {
+    WFL_DASSERT(want > 0);
+    std::uint64_t head = st_->head.load(std::memory_order_acquire);
+    for (;;) {
+      if (index_of(head) == kNullIndex) return 0;
+      std::uint32_t got = 0;
+      std::uint32_t idx = index_of(head);
+      while (got < want && idx != kNullIndex) {
+        out[got++] = idx;
+        idx = next_[idx].load(std::memory_order_relaxed);
+      }
+      if (st_->head.compare_exchange_weak(head, pack(idx, tag_of(head) + 1),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        for (std::uint32_t i = 0; i < got; ++i) {
+          WFL_CHECK_MSG(
+              inlist_[out[i]].exchange(0, std::memory_order_acq_rel) == 1,
+              "ShmPool alloc popped a node not on the freelist (corruption)");
+        }
+        st_->free_count.fetch_sub(got, std::memory_order_relaxed);
+        st_->freelist_ops.fetch_add(1, std::memory_order_relaxed);
+        st_->alloc_total.fetch_add(got, std::memory_order_relaxed);
+        return got;
+      }
+    }
+  }
+
+  std::uint32_t alloc_batch(std::uint32_t* out, std::uint32_t want) {
+    const std::uint32_t got = try_alloc_batch(out, want);
+    WFL_CHECK_MSG(got > 0,
+                  "ShmPool exhausted: undersized or crash leakage");
+    return got;
+  }
+
+  void free(std::uint32_t idx) {
+    WFL_DASSERT(idx < st_->capacity);
+    WFL_CHECK_MSG(inlist_[idx].exchange(1, std::memory_order_acq_rel) == 0,
+                  "ShmPool double free");
+    std::uint64_t head = st_->head.load(std::memory_order_acquire);
+    for (;;) {
+      next_[idx].store(index_of(head), std::memory_order_relaxed);
+      if (st_->head.compare_exchange_weak(head, pack(idx, tag_of(head) + 1),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        st_->free_count.fetch_add(1, std::memory_order_relaxed);
+        st_->freelist_ops.fetch_add(1, std::memory_order_relaxed);
+        st_->free_total.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  void free_batch(const std::uint32_t* idxs, std::uint32_t n) {
+    if (n == 0) return;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      WFL_DASSERT(idxs[i] < st_->capacity);
+      WFL_CHECK_MSG(
+          inlist_[idxs[i]].exchange(1, std::memory_order_acq_rel) == 0,
+          "ShmPool double free");
+    }
+    for (std::uint32_t i = 0; i + 1 < n; ++i) {
+      next_[idxs[i]].store(idxs[i + 1], std::memory_order_relaxed);
+    }
+    std::uint64_t head = st_->head.load(std::memory_order_acquire);
+    for (;;) {
+      next_[idxs[n - 1]].store(index_of(head), std::memory_order_relaxed);
+      if (st_->head.compare_exchange_weak(head,
+                                          pack(idxs[0], tag_of(head) + 1),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        st_->free_count.fetch_add(n, std::memory_order_relaxed);
+        st_->freelist_ops.fetch_add(1, std::memory_order_relaxed);
+        st_->free_total.fetch_add(n, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  T& at(std::uint32_t idx) {
+    WFL_DASSERT(idx < st_->capacity);
+    return items_[idx];
+  }
+  const T& at(std::uint32_t idx) const {
+    WFL_DASSERT(idx < st_->capacity);
+    return items_[idx];
+  }
+  T* ptr(std::uint32_t idx) { return &at(idx); }
+
+  std::uint64_t alloc_total() const {
+    return st_->alloc_total.load(std::memory_order_relaxed);
+  }
+  std::uint64_t free_total() const {
+    return st_->free_total.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::uint64_t pack(std::uint32_t idx, std::uint32_t tag) {
+    return (static_cast<std::uint64_t>(tag) << 32) | idx;
+  }
+  static std::uint32_t index_of(std::uint64_t head) {
+    return static_cast<std::uint32_t>(head & 0xFFFFFFFFu);
+  }
+  static std::uint32_t tag_of(std::uint64_t head) {
+    return static_cast<std::uint32_t>(head >> 32);
+  }
+
+  ShmPoolState* st_ = nullptr;               // shared, in the arena
+  std::atomic<std::uint32_t>* next_ = nullptr;  // shared, resolved locally
+  T* items_ = nullptr;                       // shared, resolved locally
+  std::atomic<std::uint8_t>* inlist_ = nullptr;  // freelist membership bits
+};
+
 // A small owner-private LIFO of pool slots fronting a shared IndexPool.
 // alloc() pops the cache and refills a batch (one head CAS) only when
 // empty; free() pushes and spills the *coldest* batch (one head CAS) only
@@ -286,21 +512,37 @@ class IndexPool {
 // by that same process (retire/collect are per-participant) or during
 // quiescent domain teardown. Like the pool itself, caches are outside the
 // step model (DESIGN.md substitution #2).
-template <typename T, std::uint32_t Cap = 64>
+//
+// PoolT is any pool with IndexPool's alloc_batch/free_batch surface; the
+// shm table binds SlotCache<T, Cap, ShmPool<T>> so the batching layer is
+// shared between the in-process and cross-process runtimes. The cache
+// itself always lives in the owner's private memory — only the slot
+// indices it traffics in are meaningful across processes.
+template <typename T, std::uint32_t Cap = 64, typename PoolT = IndexPool<T>>
 class SlotCache {
   static_assert(Cap >= 8 && (Cap % 4) == 0);
 
  public:
   static constexpr std::uint32_t kBatch = Cap / 4;
 
-  void bind(IndexPool<T>* pool) { pool_ = pool; }
-  IndexPool<T>& pool() { return *pool_; }
+  void bind(PoolT* pool) { pool_ = pool; }
+  PoolT& pool() { return *pool_; }
 
   std::uint32_t alloc() {
     // Single-owner plain region: every access must be ordered against every
     // other (the owner's program order, or EBR's deleter-runs-on-owner).
     WFL_PLAIN_WRITE(&slots_[0], kSlotCacheBatch);
     if (n_ == 0) n_ = pool_->alloc_batch(slots_, kBatch);
+    return slots_[--n_];
+  }
+
+  // Backpressure-aware variant: kNullIndex when the cache is empty and the
+  // shared pool has nothing to refill from (instantiated only against pools
+  // with a try_alloc_batch, i.e. ShmPool).
+  std::uint32_t try_alloc() {
+    WFL_PLAIN_WRITE(&slots_[0], kSlotCacheBatch);
+    if (n_ == 0) n_ = pool_->try_alloc_batch(slots_, kBatch);
+    if (n_ == 0) return kNullIndex;
     return slots_[--n_];
   }
 
@@ -332,7 +574,7 @@ class SlotCache {
   }
 
  private:
-  IndexPool<T>* pool_ = nullptr;
+  PoolT* pool_ = nullptr;
   std::uint32_t n_ = 0;
   std::uint32_t slots_[Cap];
 };

@@ -23,6 +23,7 @@
 #include "wfl/check/race.hpp"
 #include "wfl/util/align.hpp"
 #include "wfl/util/assert.hpp"
+#include "wfl/util/shm.hpp"
 
 namespace wfl {
 
@@ -264,6 +265,235 @@ class EbrDomain {
   // invalidate the registration counter's line (and vice versa).
   alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch_{0};
   alignas(kCacheLine) std::atomic<int> next_participant_{0};
+};
+
+// --- Shared-memory EBR domain (DESIGN.md §10) ------------------------------
+//
+// The cross-process variant splits the domain in two:
+//
+//   * the LIVENESS state — global epoch, participant announcements — lives
+//     in the ShmArena, because a guard held in one process must block
+//     reclamation in every other;
+//   * the RETIRED-object buckets stay process-local, because a deleter is a
+//     function pointer plus a ctx pointer, neither of which survives an
+//     address-space boundary. Retire/collect are per-participant and only
+//     ever run in the owning process, so locality is free.
+//
+// The split decides the crash story: when a process dies by SIGKILL, its
+// announced guard (shared) would pin the global epoch forever, and its
+// pending retirements (local) vanish with the address space. The reaper
+// fixes the former with abandon() — legal because a SIGKILLed process
+// provably takes no further steps — and the latter is a bounded leak: at
+// most one bucket-load of slots per crash, priced into the shm pools'
+// fixed sizing exactly like the crashed pid's own retired-forever slots.
+//
+// Each shared participant additionally carries the liveness lease: the OS
+// pid driving it and a heartbeat counter bumped by the owner on every
+// attempt. Survivors detect a victim either way — a dead pid (probe via
+// kill(0), instant and precise when pids are visible) or a stalled lease
+// (no pid visibility needed, e.g. across containers; threshold picked by
+// the harness). Detection lives here, recovery policy in the table layer.
+struct alignas(kCacheLine) ShmEbrParticipant {
+  std::atomic<std::uint32_t> active;
+  std::atomic<std::uint64_t> epoch;
+  std::atomic<int> os_pid;        // 0 = never bound
+  std::atomic<std::uint64_t> lease;  // heartbeat counter, owner-bumped
+};
+
+struct ShmEbrShared {
+  std::uint32_t max_participants;
+  std::uint32_t pad_;
+  std::uint64_t parts_off;  // ShmEbrParticipant[max_participants]
+  alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch;
+  alignas(kCacheLine) std::atomic<int> next_participant;
+};
+
+class ShmEbrDomain {
+ public:
+  using Deleter = EbrDomain::Deleter;
+
+  static std::uint64_t create_in(ShmArena& a, int max_participants) {
+    WFL_CHECK(max_participants > 0);
+    const std::uint64_t off = a.create<ShmEbrShared>();
+    ShmEbrShared* sh = a.at<ShmEbrShared>(off);
+    sh->max_participants = static_cast<std::uint32_t>(max_participants);
+    sh->parts_off = a.create_array<ShmEbrParticipant>(
+        static_cast<std::size_t>(max_participants));
+    sh->global_epoch.store(0, std::memory_order_relaxed);
+    sh->next_participant.store(0, std::memory_order_relaxed);
+    return off;
+  }
+
+  ShmEbrDomain() = default;
+  ShmEbrDomain(const ShmEbrDomain&) = delete;
+  ShmEbrDomain& operator=(const ShmEbrDomain&) = delete;
+
+  void attach(const ShmArena& a, std::uint64_t off) {
+    sh_ = a.at<ShmEbrShared>(off);
+    parts_ = a.at<ShmEbrParticipant>(sh_->parts_off);
+    buckets_.resize(sh_->max_participants);
+  }
+
+  int register_participant() {
+    const int id =
+        sh_->next_participant.fetch_add(1, std::memory_order_acq_rel);
+    WFL_CHECK_MSG(id < static_cast<int>(sh_->max_participants),
+                  "ShmEbrDomain participant capacity exceeded");
+    return id;
+  }
+
+  int participant_count() const {
+    return sh_->next_participant.load(std::memory_order_acquire);
+  }
+
+  // Lease surface. bind_os_pid is called once at session open; heartbeat on
+  // every attempt. Writes are owner-only, reads are anyone's.
+  void bind_os_pid(int pid, int os_pid) {
+    part(pid).os_pid.store(os_pid, std::memory_order_release);
+    part(pid).lease.store(1, std::memory_order_release);
+  }
+  int os_pid(int pid) const {
+    return part(pid).os_pid.load(std::memory_order_acquire);
+  }
+  void heartbeat(int pid) {
+    std::atomic<std::uint64_t>& l = part(pid).lease;
+    l.store(l.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+  std::uint64_t lease(int pid) const {
+    return part(pid).lease.load(std::memory_order_acquire);
+  }
+
+  // Guard protocol: identical announce-then-verify to EbrDomain (see the
+  // long comment there); the fence/verify argument does not care which
+  // process the announcing thread lives in.
+  void enter(int pid) {
+    ShmEbrParticipant& p = part(pid);
+    WFL_CHECK_MSG(p.active.load(std::memory_order_relaxed) == 0,
+                  "shm EBR enter() while already in a critical region");
+    p.active.store(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::uint64_t e = sh_->global_epoch.load(std::memory_order_seq_cst);
+    if (e == p.epoch.load(std::memory_order_relaxed)) return;
+    for (;;) {
+      p.epoch.store(e, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      const std::uint64_t e2 =
+          sh_->global_epoch.load(std::memory_order_seq_cst);
+      if (e2 == e) return;
+      e = e2;
+    }
+  }
+
+  void exit(int pid) {
+    ShmEbrParticipant& p = part(pid);
+    WFL_CHECK(p.active.load(std::memory_order_relaxed) != 0);
+    p.active.store(0, std::memory_order_release);
+  }
+
+  // Same legality contract as EbrDomain::abandon — the participant must
+  // take no further steps. For the shm domain that is established by the
+  // reaper's waitpid/pid-probe evidence, not by in-process joining.
+  void abandon(int pid) {
+    part(pid).active.store(0, std::memory_order_seq_cst);
+  }
+
+  void retire(int pid, void* ctx, std::uint32_t handle, Deleter deleter) {
+    const std::uint64_t e =
+        sh_->global_epoch.load(std::memory_order_seq_cst);
+    LocalBuckets& lb = buckets_[static_cast<std::size_t>(pid)];
+    Bucket& b = lb.buckets[e % kBuckets];
+    if (!b.items.empty() && b.epoch != e) {
+      WFL_CHECK(b.epoch + 2 <= e);
+      drain(b);
+    }
+    b.epoch = e;
+    b.items.push_back(Retired{ctx, handle, deleter});
+    if (++lb.retire_ops >= kCollectEvery) {
+      lb.retire_ops = 0;
+      collect(pid);
+    }
+  }
+
+  void collect(int pid) {
+    const std::uint64_t e =
+        sh_->global_epoch.load(std::memory_order_seq_cst);
+    if (all_participants_at(e)) {
+      std::uint64_t expected = e;
+      sh_->global_epoch.compare_exchange_strong(expected, e + 1,
+                                                std::memory_order_seq_cst);
+    }
+    LocalBuckets& lb = buckets_[static_cast<std::size_t>(pid)];
+    const std::uint64_t now =
+        sh_->global_epoch.load(std::memory_order_seq_cst);
+    for (Bucket& b : lb.buckets) {
+      if (!b.items.empty() && b.epoch + 2 <= now) drain(b);
+    }
+  }
+
+  std::uint64_t epoch() const {
+    return sh_->global_epoch.load(std::memory_order_relaxed);
+  }
+
+  // Diagnostic: this process's not-yet-drained retirements for `pid` (the
+  // crash experiments chart it to show reclaim keeps up with churn).
+  std::size_t pending_retired(int pid) const {
+    const LocalBuckets& lb = buckets_[static_cast<std::size_t>(pid)];
+    std::size_t n = 0;
+    for (const Bucket& b : lb.buckets) n += b.items.size();
+    return n;
+  }
+
+  // Diagnostics for the reaper and the crash experiments: who is inside a
+  // guard, and at which announced epoch. Racy snapshots, advisory only.
+  bool participant_active(int pid) const {
+    return part(pid).active.load(std::memory_order_seq_cst) != 0;
+  }
+  std::uint64_t participant_epoch(int pid) const {
+    return part(pid).epoch.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  static constexpr int kBuckets = 3;
+  static constexpr int kCollectEvery = 16;
+
+  struct Retired {
+    void* ctx;
+    std::uint32_t handle;
+    Deleter deleter;
+  };
+  struct Bucket {
+    std::uint64_t epoch = 0;
+    std::vector<Retired> items;
+  };
+  struct LocalBuckets {
+    Bucket buckets[kBuckets];
+    int retire_ops = 0;
+  };
+
+  static void drain(Bucket& b) {
+    for (const Retired& r : b.items) r.deleter(r.ctx, r.handle);
+    b.items.clear();
+  }
+
+  ShmEbrParticipant& part(int pid) const {
+    WFL_DASSERT(pid >= 0 &&
+                pid < static_cast<int>(sh_->max_participants));
+    return parts_[pid];
+  }
+
+  bool all_participants_at(std::uint64_t e) const {
+    const int n = participant_count();
+    for (int i = 0; i < n; ++i) {
+      const ShmEbrParticipant& p = parts_[i];
+      if (p.active.load(std::memory_order_seq_cst) == 0) continue;
+      if (p.epoch.load(std::memory_order_seq_cst) != e) return false;
+    }
+    return true;
+  }
+
+  ShmEbrShared* sh_ = nullptr;       // shared, in the arena
+  ShmEbrParticipant* parts_ = nullptr;  // shared, resolved locally
+  std::vector<LocalBuckets> buckets_;   // process-local retired objects
 };
 
 }  // namespace wfl

@@ -50,6 +50,7 @@
 #include "wfl/core/process.hpp"
 #include "wfl/core/retry.hpp"
 #include "wfl/core/session.hpp"
+#include "wfl/core/shm_table.hpp"
 #include "wfl/core/txn.hpp"
 #include "wfl/idem/cell.hpp"
 #include "wfl/idem/idem.hpp"
